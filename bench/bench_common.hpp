@@ -1,0 +1,159 @@
+// Shared harness for the paper-reproduction benches.
+//
+// Every bench binary sweeps configurations of the out-of-core GAXPYkernels
+// on the simulated Touchstone Delta (sim::MachineCostModel::touchstone_delta
+// + io::DiskModel::touchstone_delta_cfs) and prints rows in the layout of
+// the paper's tables, alongside the paper's published numbers for shape
+// comparison. Environment knobs:
+//   OOCC_N      global array extent (default 512; the paper used 1024 for
+//               Table 1/Figure 10 and 2048 for Table 2)
+//   OOCC_PROCS  comma-separated processor counts (default 4,16,32,64)
+//   OOCC_FULL   set to run at full paper scale (N=1024/2048)
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "oocc/gaxpy/gaxpy.hpp"
+#include "oocc/io/file_backend.hpp"
+#include "oocc/runtime/ooc_array.hpp"
+#include "oocc/sim/collectives.hpp"
+#include "oocc/util/env.hpp"
+#include "oocc/util/table.hpp"
+
+namespace oocc::bench {
+
+enum class GaxpyVersion { kColumnSlabs, kRowSlabs, kInCore };
+
+inline std::string version_name(GaxpyVersion v) {
+  switch (v) {
+    case GaxpyVersion::kColumnSlabs:
+      return "Col. slab";
+    case GaxpyVersion::kRowSlabs:
+      return "Row slab";
+    case GaxpyVersion::kInCore:
+      return "In-core";
+  }
+  return "?";
+}
+
+struct GaxpyRunConfig {
+  GaxpyVersion version = GaxpyVersion::kColumnSlabs;
+  std::int64_t n = 512;
+  int nprocs = 4;
+  std::int64_t slab_a = 0;  ///< elements; 0 = whole OCLA
+  std::int64_t slab_b = 0;
+  std::int64_t slab_c = 0;
+  bool prefetch = false;
+  sim::MachineCostModel machine = sim::MachineCostModel::touchstone_delta();
+  io::DiskModel disk = io::DiskModel::touchstone_delta_cfs();
+};
+
+struct GaxpyRunResult {
+  double sim_time_s = 0.0;
+  double wall_time_s = 0.0;
+  std::uint64_t a_read_requests = 0;   ///< per processor (max)
+  std::uint64_t a_bytes_read = 0;
+  std::uint64_t total_io_requests = 0;
+  std::uint64_t total_io_bytes = 0;
+  std::uint64_t total_messages = 0;
+};
+
+/// Runs one GAXPY configuration end to end: create arrays (with the
+/// storage order natural for the version), initialize, barrier, reset the
+/// accounting (so staging is excluded, as the paper's timings exclude the
+/// initial distribution), run, and report the simulated makespan.
+inline GaxpyRunResult run_gaxpy(const GaxpyRunConfig& cfg) {
+  io::TempDir dir("oocc-bench");
+  sim::Machine machine(cfg.nprocs, cfg.machine);
+
+  GaxpyRunResult result;
+  const std::int64_t local =
+      cfg.n * ((cfg.n + cfg.nprocs - 1) / cfg.nprocs);
+  const std::int64_t slab_a = cfg.slab_a > 0 ? cfg.slab_a : local;
+  const std::int64_t slab_b = cfg.slab_b > 0 ? cfg.slab_b : local;
+  const std::int64_t slab_c = cfg.slab_c > 0 ? cfg.slab_c : local;
+
+  std::uint64_t a_reads = 0;
+  std::uint64_t a_bytes = 0;
+  std::mutex mu;
+
+  sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
+    const io::StorageOrder a_order =
+        cfg.version == GaxpyVersion::kRowSlabs ? io::StorageOrder::kRowMajor
+                                               : io::StorageOrder::kColumnMajor;
+    runtime::OutOfCoreArray a(ctx, dir.path(), "a",
+                              hpf::column_block(cfg.n, cfg.n, cfg.nprocs),
+                              a_order, cfg.disk);
+    runtime::OutOfCoreArray b(ctx, dir.path(), "b",
+                              hpf::row_block(cfg.n, cfg.n, cfg.nprocs),
+                              io::StorageOrder::kColumnMajor, cfg.disk);
+    runtime::OutOfCoreArray c(ctx, dir.path(), "c",
+                              hpf::column_block(cfg.n, cfg.n, cfg.nprocs),
+                              a_order, cfg.disk);
+    a.initialize(
+        ctx,
+        [](std::int64_t r, std::int64_t col) {
+          return 0.5 + 1e-3 * static_cast<double>((r * 13 + col * 7) % 97);
+        },
+        local);
+    b.initialize(
+        ctx,
+        [](std::int64_t r, std::int64_t col) {
+          return -0.25 + 1e-3 * static_cast<double>((r * 5 + col * 11) % 89);
+        },
+        local);
+    sim::barrier(ctx);
+    ctx.reset_accounting();
+    a.laf().reset_stats();
+
+    gaxpy::GaxpyConfig kcfg;
+    kcfg.slab_a_elements = slab_a;
+    kcfg.slab_b_elements = slab_b;
+    kcfg.slab_c_elements = slab_c;
+    kcfg.prefetch = cfg.prefetch;
+    runtime::MemoryBudget budget(4 * local + 4 * cfg.n);
+    switch (cfg.version) {
+      case GaxpyVersion::kColumnSlabs:
+        gaxpy::ooc_gaxpy_column_slabs(ctx, a, b, c, budget, kcfg);
+        break;
+      case GaxpyVersion::kRowSlabs:
+        gaxpy::ooc_gaxpy_row_slabs(ctx, a, b, c, budget, kcfg);
+        break;
+      case GaxpyVersion::kInCore:
+        gaxpy::in_core_gaxpy(ctx, a, b, c);
+        break;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    a_reads = std::max(a_reads, a.laf().stats().read_requests);
+    a_bytes = std::max(a_bytes, a.laf().stats().bytes_read);
+  });
+
+  result.sim_time_s = report.max_sim_time_s();
+  result.wall_time_s = report.wall_time_s;
+  result.a_read_requests = a_reads;
+  result.a_bytes_read = a_bytes;
+  result.total_io_requests = report.total_io_requests();
+  result.total_io_bytes = report.total_io_bytes();
+  result.total_messages = report.total_messages();
+  return result;
+}
+
+/// Default sweep parameters honouring the environment knobs.
+inline std::int64_t bench_n(std::int64_t paper_n) {
+  if (env_flag("OOCC_FULL")) {
+    return env_int("OOCC_N", paper_n);
+  }
+  return env_int("OOCC_N", 512);
+}
+
+inline std::vector<int> bench_procs() {
+  return env_int_list("OOCC_PROCS", {4, 16, 32, 64});
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace oocc::bench

@@ -1,0 +1,61 @@
+// Validation of the compiler's I/O cost estimator (Equations 3-6) against
+// measured counters: for a sweep of N, P and slab ratios, the predicted
+// T_fetch (requests/processor) and T_data (elements/processor) for array A
+// must match the LocalArrayFile counters exactly.
+#include "bench_common.hpp"
+
+#include "oocc/compiler/cost.hpp"
+
+int main() {
+  using namespace oocc;
+  using namespace oocc::bench;
+
+  print_header("Cost-model validation: Equations 3-6 vs measured counters");
+
+  TextTable table({"orient", "N", "P", "ratio", "T_fetch pred", "T_fetch meas",
+                   "T_data pred", "T_data meas", "match"});
+  bool all_ok = true;
+
+  const std::int64_t n = bench_n(256) >= 512 ? 256 : bench_n(256);
+  for (runtime::SlabOrientation orient :
+       {runtime::SlabOrientation::kColumnSlabs,
+        runtime::SlabOrientation::kRowSlabs}) {
+    for (int p : {2, 4, 8}) {
+      for (int den : {1, 2, 4, 8}) {
+        const std::int64_t local = n * (n / p);
+        const std::int64_t slab = local / den;
+
+        compiler::GaxpyCostQuery q;
+        q.n = n;
+        q.nprocs = p;
+        q.slab_a = q.slab_b = q.slab_c = slab;
+        const compiler::CandidateCost predicted =
+            compiler::estimate_gaxpy_cost(orient, q);
+
+        GaxpyRunConfig cfg;
+        cfg.version = orient == runtime::SlabOrientation::kColumnSlabs
+                          ? GaxpyVersion::kColumnSlabs
+                          : GaxpyVersion::kRowSlabs;
+        cfg.n = n;
+        cfg.nprocs = p;
+        cfg.slab_a = cfg.slab_b = cfg.slab_c = slab;
+        const GaxpyRunResult r = run_gaxpy(cfg);
+
+        const double pred_fetch = predicted.cost_of("a").fetch_requests;
+        const double pred_data = predicted.cost_of("a").data_elements;
+        const double meas_fetch = static_cast<double>(r.a_read_requests);
+        const double meas_data = static_cast<double>(r.a_bytes_read) / 8.0;
+        const bool ok = pred_fetch == meas_fetch && pred_data == meas_data;
+        all_ok = all_ok && ok;
+        table.add_row({std::string(runtime::slab_orientation_name(orient)),
+                       std::to_string(n), std::to_string(p),
+                       format_ratio(1, den), format_fixed(pred_fetch, 0),
+                       format_fixed(meas_fetch, 0), format_fixed(pred_data, 0),
+                       format_fixed(meas_data, 0), ok ? "OK" : "FAIL"});
+      }
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("all predictions exact: %s\n", all_ok ? "OK" : "FAILED");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,143 @@
+// §2.3 and §4.1 one-time reorganization overheads and their amortization.
+//
+// Two experiments:
+//  1. Initial redistribution: data arrives on disk column-block but the
+//     program wants row-block; measure the out-of-core redistribution and
+//     compare with the cost of one GAXPY run (the paper argues the
+//     overhead is amortized when the array is used repeatedly).
+//  2. Storage reorganization: the optimizer wants row slabs of A; compare
+//     (a) paying strided row-slab reads every run, vs (b) reorganizing the
+//     LAF to row-major once and reading contiguous slabs. Report the
+//     crossover (number of runs) after which reorganization wins.
+#include "bench_common.hpp"
+
+#include "oocc/runtime/redistribute.hpp"
+#include "oocc/runtime/reorganize.hpp"
+
+int main() {
+  using namespace oocc;
+  using namespace oocc::bench;
+
+  const std::int64_t n = bench_n(1024);
+  const int p = static_cast<int>(env_int("OOCC_REDIST_PROCS", 4));
+  const std::int64_t local = n * ((n + p - 1) / p);
+
+  print_header("Redistribution & storage reorganization overheads");
+  std::printf("N = %lld, P = %d\n\n", static_cast<long long>(n), p);
+
+  // ---- Experiment 1: distribution change (column-block -> row-block).
+  {
+    io::TempDir dir("oocc-redist");
+    sim::Machine machine(p, sim::MachineCostModel::touchstone_delta());
+    double redist_time = 0.0;
+    sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
+      runtime::OutOfCoreArray src(ctx, dir.path(), "src",
+                                  hpf::column_block(n, n, p),
+                                  io::StorageOrder::kColumnMajor,
+                                  io::DiskModel::touchstone_delta_cfs());
+      runtime::OutOfCoreArray dst(ctx, dir.path(), "dst",
+                                  hpf::row_block(n, n, p),
+                                  io::StorageOrder::kColumnMajor,
+                                  io::DiskModel::touchstone_delta_cfs());
+      src.initialize(
+          ctx,
+          [](std::int64_t r, std::int64_t c) {
+            return static_cast<double>((r + c) % 17);
+          },
+          local / 4);
+      sim::barrier(ctx);
+      ctx.reset_accounting();
+      runtime::redistribute(ctx, src, dst, local / 4);
+    });
+    redist_time = report.max_sim_time_s();
+
+    GaxpyRunConfig cfg;
+    cfg.version = GaxpyVersion::kRowSlabs;
+    cfg.n = n;
+    cfg.nprocs = p;
+    cfg.slab_a = cfg.slab_b = cfg.slab_c = local / 4;
+    const GaxpyRunResult run = run_gaxpy(cfg);
+
+    std::printf("column-block -> row-block redistribution: %.2f s "
+                "(%.2f%% of one optimized GAXPY run at %.2f s)\n",
+                redist_time, 100.0 * redist_time / run.sim_time_s,
+                run.sim_time_s);
+  }
+
+  // ---- Experiment 2: storage order reorganization crossover.
+  {
+    io::TempDir dir("oocc-reorg");
+    sim::Machine machine(p, sim::MachineCostModel::touchstone_delta());
+    double reorg_time = 0.0;
+    machine.run([&](sim::SpmdContext& ctx) {
+      const std::int64_t nlc = (n + p - 1) / p;
+      io::LocalArrayFile cm(dir.path() / ("cm_p" + std::to_string(ctx.rank())),
+                            n, nlc, io::StorageOrder::kColumnMajor,
+                            io::DiskModel::touchstone_delta_cfs());
+      io::LocalArrayFile rm(dir.path() / ("rm_p" + std::to_string(ctx.rank())),
+                            n, nlc, io::StorageOrder::kRowMajor,
+                            io::DiskModel::touchstone_delta_cfs());
+      cm.fill(ctx, 1.0);
+      sim::barrier(ctx);
+      ctx.reset_accounting();
+      runtime::reorganize_storage(ctx, cm, rm, local / 4);
+      if (ctx.rank() == 0) {
+        reorg_time = ctx.clock().now();
+      }
+    });
+
+    // Per-run cost with strided vs contiguous row slabs. Reuse the cost
+    // estimator's honest extent arithmetic by timing actual runs: the
+    // "strided" run stores A column-major but sweeps row slabs.
+    GaxpyRunConfig strided;
+    strided.version = GaxpyVersion::kRowSlabs;
+    strided.n = n;
+    strided.nprocs = p;
+    strided.slab_a = strided.slab_b = strided.slab_c = local / 4;
+    // run_gaxpy stores A row-major for the row version; emulate the
+    // strided variant with a custom run below.
+    io::TempDir sdir("oocc-strided");
+    sim::Machine smachine(p, sim::MachineCostModel::touchstone_delta());
+    sim::RunReport sreport = smachine.run([&](sim::SpmdContext& ctx) {
+      runtime::OutOfCoreArray a(ctx, sdir.path(), "a",
+                                hpf::column_block(n, n, p),
+                                io::StorageOrder::kColumnMajor,
+                                io::DiskModel::touchstone_delta_cfs());
+      runtime::OutOfCoreArray b(ctx, sdir.path(), "b",
+                                hpf::row_block(n, n, p),
+                                io::StorageOrder::kColumnMajor,
+                                io::DiskModel::touchstone_delta_cfs());
+      runtime::OutOfCoreArray c(ctx, sdir.path(), "c",
+                                hpf::column_block(n, n, p),
+                                io::StorageOrder::kColumnMajor,
+                                io::DiskModel::touchstone_delta_cfs());
+      a.initialize(ctx, [](std::int64_t, std::int64_t) { return 1.0; },
+                   local / 4);
+      b.initialize(ctx, [](std::int64_t, std::int64_t) { return 1.0; },
+                   local / 4);
+      sim::barrier(ctx);
+      ctx.reset_accounting();
+      gaxpy::GaxpyConfig kcfg;
+      kcfg.slab_a_elements = local / 4;
+      kcfg.slab_b_elements = local / 4;
+      kcfg.slab_c_elements = local / 4;
+      runtime::MemoryBudget budget(4 * local + 4 * n);
+      gaxpy::ooc_gaxpy_row_slabs(ctx, a, b, c, budget, kcfg);
+    });
+    const double strided_time = sreport.max_sim_time_s();
+
+    const GaxpyRunResult contiguous = run_gaxpy(strided);
+    const double saving = strided_time - contiguous.sim_time_s;
+    std::printf("row slabs on column-major A: %.2f s/run; after one-time "
+                "reorganization (%.2f s): %.2f s/run\n",
+                strided_time, reorg_time, contiguous.sim_time_s);
+    if (saving > 0) {
+      std::printf("reorganization pays off after %.1f runs\n",
+                  reorg_time / saving);
+    }
+    const bool ok = contiguous.sim_time_s < strided_time;
+    std::printf("shape check (contiguous slabs faster than strided): %s\n",
+                ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+  }
+}

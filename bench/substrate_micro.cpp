@@ -1,0 +1,126 @@
+// Google-benchmark microbenchmarks of the substrates themselves (host wall
+// time, not simulated time): message passing, collectives, Local Array
+// File section I/O, slab iteration and distribution index algebra. These
+// guard the simulator's own performance so paper-scale sweeps stay fast.
+#include <benchmark/benchmark.h>
+
+#include "oocc/hpf/distribution.hpp"
+#include "oocc/io/laf.hpp"
+#include "oocc/runtime/slab_iter.hpp"
+#include "oocc/sim/collectives.hpp"
+
+namespace {
+
+using namespace oocc;
+
+void BM_SendRecv(benchmark::State& state) {
+  const std::size_t elements = static_cast<std::size_t>(state.range(0));
+  sim::Machine machine(2, sim::MachineCostModel::zero());
+  for (auto _ : state) {
+    machine.run([&](sim::SpmdContext& ctx) {
+      if (ctx.rank() == 0) {
+        const std::vector<double> payload(elements, 1.0);
+        ctx.send<double>(1, 0, std::span<const double>(payload));
+      } else {
+        benchmark::DoNotOptimize(ctx.recv<double>(0, 0));
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * elements * sizeof(double)));
+}
+BENCHMARK(BM_SendRecv)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_Barrier(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  sim::Machine machine(p, sim::MachineCostModel::zero());
+  for (auto _ : state) {
+    machine.run([](sim::SpmdContext& ctx) {
+      for (int i = 0; i < 10; ++i) {
+        sim::barrier(ctx);
+      }
+    });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ReduceSum(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  sim::Machine machine(p, sim::MachineCostModel::zero());
+  const std::vector<double> mine(1024, 0.5);
+  for (auto _ : state) {
+    machine.run([&](sim::SpmdContext& ctx) {
+      benchmark::DoNotOptimize(sim::reduce_sum<double>(
+          ctx, 0, std::span<const double>(mine.data(), mine.size())));
+    });
+  }
+}
+BENCHMARK(BM_ReduceSum)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_LafContiguousRead(benchmark::State& state) {
+  const std::int64_t cols = state.range(0);
+  io::TempDir dir("oocc-micro");
+  sim::Machine machine(1, sim::MachineCostModel::zero());
+  machine.run([&](sim::SpmdContext& ctx) {
+    io::LocalArrayFile laf(dir.file("x.laf"), 1024, cols,
+                           io::StorageOrder::kColumnMajor,
+                           io::DiskModel::zero());
+    laf.fill(ctx, 3.0);
+    std::vector<double> buf(static_cast<std::size_t>(1024 * cols));
+    for (auto _ : state) {
+      laf.read_full(ctx, std::span<double>(buf.data(), buf.size()));
+      benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * buf.size() * sizeof(double)));
+  });
+}
+BENCHMARK(BM_LafContiguousRead)->Arg(64)->Arg(512);
+
+void BM_LafStridedRead(benchmark::State& state) {
+  // Row slab of a column-major file: one extent per column.
+  io::TempDir dir("oocc-micro");
+  sim::Machine machine(1, sim::MachineCostModel::zero());
+  machine.run([&](sim::SpmdContext& ctx) {
+    io::LocalArrayFile laf(dir.file("x.laf"), 1024, 256,
+                           io::StorageOrder::kColumnMajor,
+                           io::DiskModel::zero());
+    laf.fill(ctx, 3.0);
+    const io::Section s{0, 64, 0, 256};
+    std::vector<double> buf(static_cast<std::size_t>(s.elements()));
+    for (auto _ : state) {
+      laf.read_section(ctx, s, std::span<double>(buf.data(), buf.size()));
+      benchmark::DoNotOptimize(buf.data());
+    }
+  });
+}
+BENCHMARK(BM_LafStridedRead);
+
+void BM_SlabIteration(benchmark::State& state) {
+  const runtime::SlabIterator it(4096, 4096,
+                                 runtime::SlabOrientation::kRowSlabs, 65536);
+  for (auto _ : state) {
+    std::int64_t total = 0;
+    for (std::int64_t i = 0; i < it.count(); ++i) {
+      total += it.section(i).elements();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_SlabIteration);
+
+void BM_GlobalToLocal(benchmark::State& state) {
+  const hpf::DimDistribution d(hpf::DistKind::kBlockCyclic, 1 << 20, 16, 8);
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (std::int64_t g = 0; g < 4096; ++g) {
+      acc += d.global_to_local(g) + d.owner(g);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_GlobalToLocal);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Table 2 reproduction: dividing node memory between the slabs of A and B
+// (row-slab version). Paper setup: 2K x 2K reals on 16 processors; slab
+// sizes expressed as the extent along the slab dimension (rows of A /
+// columns of B), swept 256..2048.
+//
+// Expected shape: growing A's slab with B fixed helps more than growing
+// B's slab with A fixed — the compiler should give the most frequently
+// accessed array (A) the larger share (§4.2.1).
+#include "bench_common.hpp"
+
+#include "oocc/compiler/memplan.hpp"
+
+namespace {
+
+// Paper Table 2 (seconds): {slab extent, fixed-A-vary-B, fixed-B-vary-A}.
+struct PaperRow {
+  int extent;
+  double vary_b;
+  double vary_a;
+};
+constexpr PaperRow kPaper[4] = {
+    {256, 826.94, 826.94},
+    {512, 548.13, 510.02},
+    {1024, 507.01, 492.87},
+    {2048, 493.04, 452.29},
+};
+
+}  // namespace
+
+int main() {
+  using namespace oocc;
+  using namespace oocc::bench;
+
+  const std::int64_t n = bench_n(2048);
+  const int p = static_cast<int>(env_int("OOCC_TABLE2_PROCS", 16));
+  const std::int64_t nlc = (n + p - 1) / p;
+
+  print_header("Table 2: memory division between slabs of A and B");
+  std::printf("N = %lld, P = %d (paper: N = 2048, P = 16); row-slab "
+              "version; slab sizes are extents along the slab dimension\n\n",
+              static_cast<long long>(n), p);
+
+  const std::int64_t extents[4] = {n / 8, n / 4, n / 2, n};
+
+  TextTable table({"Slab B ext", "Slab A=" + std::to_string(extents[0]),
+                   "Slab A ext", "Slab B=" + std::to_string(extents[0]),
+                   "Total Mem (ext units)", "paper vary-B", "paper vary-A"});
+  for (int i = 0; i < 4; ++i) {
+    // Experiment 1: A fixed at the smallest slab, B grows. C's slab
+    // tracks A's (it buffers subcolumns of A's slab height).
+    GaxpyRunConfig cfg1;
+    cfg1.version = GaxpyVersion::kRowSlabs;
+    cfg1.n = n;
+    cfg1.nprocs = p;
+    cfg1.slab_a = extents[0] * nlc;  // rows x local columns
+    cfg1.slab_b = extents[i] * nlc;  // columns x local rows
+    cfg1.slab_c = extents[0] * nlc;
+    const GaxpyRunResult r1 = run_gaxpy(cfg1);
+
+    // Experiment 2: B fixed, A grows.
+    GaxpyRunConfig cfg2 = cfg1;
+    cfg2.slab_a = extents[i] * nlc;
+    cfg2.slab_b = extents[0] * nlc;
+    cfg2.slab_c = extents[i] * nlc;
+    const GaxpyRunResult r2 = run_gaxpy(cfg2);
+
+    table.add_row({std::to_string(extents[i]), format_fixed(r1.sim_time_s, 2),
+                   std::to_string(extents[i]), format_fixed(r2.sim_time_s, 2),
+                   std::to_string(extents[0] + extents[i]),
+                   format_fixed(kPaper[i].vary_b, 2),
+                   format_fixed(kPaper[i].vary_a, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // The compiler's §4.2.1 policy, for the same total memory as the last
+  // row: the weighted planner must allocate A the larger slab and beat
+  // (or match) the equal split.
+  const std::int64_t budget = (extents[0] + extents[3]) * nlc + n + n;
+  double strategy_times[2];
+  for (int s = 0; s < 2; ++s) {
+    const compiler::MemoryPlan plan = compiler::plan_memory(
+        s == 0 ? compiler::MemoryStrategy::kEqualSplit
+               : compiler::MemoryStrategy::kAccessWeighted,
+        budget, n, p, runtime::SlabOrientation::kRowSlabs);
+    GaxpyRunConfig cfg;
+    cfg.version = GaxpyVersion::kRowSlabs;
+    cfg.n = n;
+    cfg.nprocs = p;
+    cfg.slab_a = plan.slab_a;
+    cfg.slab_b = plan.slab_b;
+    cfg.slab_c = plan.slab_c;
+    const GaxpyRunResult r = run_gaxpy(cfg);
+    strategy_times[s] = r.sim_time_s;
+    std::printf("%s allocation: slab_a=%lld slab_b=%lld slab_c=%lld -> "
+                "%.2f s\n",
+                std::string(compiler::memory_strategy_name(plan.strategy))
+                    .c_str(),
+                static_cast<long long>(plan.slab_a),
+                static_cast<long long>(plan.slab_b),
+                static_cast<long long>(plan.slab_c), r.sim_time_s);
+  }
+  const bool ok = strategy_times[1] <= strategy_times[0] * 1.001;
+  std::printf("shape check (weighted allocation <= equal split): %s\n",
+              ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

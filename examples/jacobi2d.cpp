@@ -1,0 +1,82 @@
+// Out-of-core 2-D Jacobi relaxation (oocc::apps::ooc_jacobi) — the class
+// of "large-scale scientific application" the paper's introduction
+// motivates, written directly against the PASSION-style runtime (no
+// compiler involved).
+//
+// The N x N grid is column-block distributed; each processor's panel
+// lives in a Local Array File and is swept slab-by-slab within the node
+// memory budget, with one-column ghost exchanges between neighbours. The
+// result is verified against a serial in-memory Jacobi.
+//
+//   $ ./examples/jacobi2d [N] [P] [iterations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "oocc/apps/jacobi.hpp"
+#include "oocc/sim/collectives.hpp"
+
+namespace {
+
+double initial_value(std::int64_t r, std::int64_t c) {
+  // Hot left edge, textured interior.
+  return c == 0 ? 100.0 : (r % 3 == 0 ? 1.0 : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oocc;
+
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 128;
+  const int p = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int iterations = argc > 3 ? std::atoi(argv[3]) : 10;
+  const std::int64_t nlc = (n + p - 1) / p;
+  const std::int64_t slab = n * std::max<std::int64_t>(1, nlc / 4);
+
+  std::printf("Out-of-core 2-D Jacobi: %lld x %lld grid over %d processors, "
+              "%d iterations, slab = %lld elements\n",
+              static_cast<long long>(n), static_cast<long long>(n), p,
+              iterations, static_cast<long long>(slab));
+
+  io::TempDir dir("oocc-jacobi");
+  sim::Machine machine(p, sim::MachineCostModel::touchstone_delta());
+  std::vector<double> result;
+  sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
+    runtime::OutOfCoreArray grid_a(ctx, dir.path(), "grid_a",
+                                   hpf::column_block(n, n, p),
+                                   io::StorageOrder::kColumnMajor,
+                                   io::DiskModel::touchstone_delta_cfs());
+    runtime::OutOfCoreArray grid_b(ctx, dir.path(), "grid_b",
+                                   hpf::column_block(n, n, p),
+                                   io::StorageOrder::kColumnMajor,
+                                   io::DiskModel::touchstone_delta_cfs());
+    grid_a.initialize(ctx, initial_value, slab);
+    sim::barrier(ctx);
+    ctx.reset_accounting();
+
+    runtime::OutOfCoreArray& final_state =
+        apps::ooc_jacobi(ctx, grid_a, grid_b, iterations, slab);
+    std::vector<double> gathered = final_state.gather_global(ctx, slab);
+    if (ctx.rank() == 0) {
+      result = std::move(gathered);
+    }
+  });
+
+  const std::vector<double> want =
+      apps::serial_jacobi(n, iterations, initial_value);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    max_err = std::max(max_err, std::abs(want[i] - result[i]));
+  }
+
+  std::printf("simulated time: %.3f s (%.3f s/iteration); I/O: %llu "
+              "requests, %.2f MB; %llu messages\n",
+              report.max_sim_time_s(),
+              report.max_sim_time_s() / iterations,
+              static_cast<unsigned long long>(report.total_io_requests()),
+              static_cast<double>(report.total_io_bytes()) / 1e6,
+              static_cast<unsigned long long>(report.total_messages()));
+  std::printf("max |ooc - serial| = %.3g -> %s\n", max_err,
+              max_err < 1e-9 ? "CORRECT" : "WRONG");
+  return max_err < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Out-of-core LU factorization example (oocc::apps::ooc_lu_factor).
+//
+// Factors a diagonally dominant N x N matrix, column-block distributed,
+// in panels sized to the node memory budget. The I/O statistics printed
+// at the end show the left-looking reuse pattern: every factored panel is
+// re-read once per later panel — exactly the kind of repeated-access
+// structure the paper's cost model reasons about.
+//
+//   $ ./examples/ooc_lu [N] [P] [panel_cols]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "oocc/apps/lu.hpp"
+#include "oocc/sim/collectives.hpp"
+
+namespace {
+
+double matrix(std::int64_t r, std::int64_t c) {
+  const double off = std::sin(static_cast<double>(r * 13 + c * 7)) * 0.5;
+  return r == c ? 256.0 + off : off;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oocc;
+
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 256;
+  const int p = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::int64_t panel =
+      argc > 3 ? std::atoll(argv[3])
+               : std::max<std::int64_t>(1, (n + p - 1) / p / 4);
+
+  std::printf("Out-of-core LU: %lld x %lld over %d processors, panels of "
+              "%lld columns (working set: 2 panels = %lld elements)\n",
+              static_cast<long long>(n), static_cast<long long>(n), p,
+              static_cast<long long>(panel),
+              static_cast<long long>(2 * n * panel));
+
+  io::TempDir dir("oocc-lu");
+  sim::Machine machine(p, sim::MachineCostModel::touchstone_delta());
+  std::vector<double> lu;
+  sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
+    runtime::OutOfCoreArray a(ctx, dir.path(), "a",
+                              hpf::column_block(n, n, p),
+                              io::StorageOrder::kColumnMajor,
+                              io::DiskModel::touchstone_delta_cfs());
+    a.initialize(ctx, matrix, 2 * n * panel);
+    sim::barrier(ctx);
+    ctx.reset_accounting();
+    runtime::MemoryBudget budget(2 * n * panel + 16);
+    apps::ooc_lu_factor(ctx, a, budget, panel);
+    std::vector<double> gathered = a.gather_global(ctx, 2 * n * panel);
+    if (ctx.rank() == 0) {
+      lu = std::move(gathered);
+    }
+  });
+
+  // Spot-verify: reconstruct a sample of entries from L*U.
+  auto at = [&](std::int64_t r, std::int64_t c) {
+    return lu[static_cast<std::size_t>(c * n + r)];
+  };
+  double max_err = 0.0;
+  for (std::int64_t r = 0; r < n; r += std::max<std::int64_t>(1, n / 17)) {
+    for (std::int64_t c = 0; c < n; c += std::max<std::int64_t>(1, n / 13)) {
+      double sum = 0.0;
+      const std::int64_t kmax = std::min(r, c);
+      for (std::int64_t k = 0; k < kmax; ++k) {
+        sum += at(r, k) * at(k, c);
+      }
+      sum += r <= c ? at(r, c) : at(r, c) * at(c, c);
+      max_err = std::max(max_err, std::abs(sum - matrix(r, c)));
+    }
+  }
+
+  std::printf("simulated time: %.3f s; I/O: %llu requests, %.2f MB; "
+              "%llu messages\n",
+              report.max_sim_time_s(),
+              static_cast<unsigned long long>(report.total_io_requests()),
+              static_cast<double>(report.total_io_bytes()) / 1e6,
+              static_cast<unsigned long long>(report.total_messages()));
+  std::printf("max |L*U - A| over sampled entries = %.3g -> %s\n", max_err,
+              max_err < 1e-8 ? "CORRECT" : "WRONG");
+  return max_err < 1e-8 ? 0 : 1;
+}

@@ -1,0 +1,143 @@
+// Out-of-core redistribution and storage reorganization (§2.3 / §4.1).
+//
+// Data "arrives" on disk column-block distributed (as if streamed from
+// archival storage); the program wants it row-block distributed with
+// row-major Local Array Files so the compiler's row slabs are contiguous.
+// This example performs both reorganizations out-of-core within a memory
+// budget, verifies content preservation, and prints the one-time costs
+// next to the per-run savings they buy (the amortization argument).
+//
+//   $ ./examples/ooc_transpose [N] [P]
+#include <cstdio>
+#include <cstdlib>
+
+#include "oocc/runtime/ooc_array.hpp"
+#include "oocc/runtime/redistribute.hpp"
+#include "oocc/runtime/reorganize.hpp"
+#include "oocc/sim/collectives.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oocc;
+
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 256;
+  const int p = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::int64_t budget = n * ((n + p - 1) / p) / 4;
+
+  std::printf("Out-of-core redistribution: %lld x %lld, %d processors, "
+              "staging budget %lld elements\n\n",
+              static_cast<long long>(n), static_cast<long long>(n), p,
+              static_cast<long long>(budget));
+
+  io::TempDir dir("oocc-transpose");
+  sim::Machine machine(p, sim::MachineCostModel::touchstone_delta());
+  bool content_ok = true;
+  double redist_time = 0.0;
+  double reorg_time = 0.0;
+  std::uint64_t reorg_requests = 0;
+
+  sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
+    auto value = [](std::int64_t r, std::int64_t c) {
+      return static_cast<double>(r * 100000 + c);
+    };
+
+    // Stage 1: data as it arrived — column-block, column-major.
+    runtime::OutOfCoreArray arrived(ctx, dir.path(), "arrived",
+                                    hpf::column_block(n, n, p),
+                                    io::StorageOrder::kColumnMajor,
+                                    io::DiskModel::touchstone_delta_cfs());
+    arrived.initialize(ctx, value, budget);
+    sim::barrier(ctx);
+    ctx.reset_accounting();
+
+    // Stage 2: redistribute to the program's row-block layout.
+    runtime::OutOfCoreArray wanted(ctx, dir.path(), "wanted",
+                                   hpf::row_block(n, n, p),
+                                   io::StorageOrder::kColumnMajor,
+                                   io::DiskModel::touchstone_delta_cfs());
+    runtime::redistribute(ctx, arrived, wanted, budget);
+    sim::barrier(ctx);
+    if (ctx.rank() == 0) {
+      redist_time = ctx.clock().now();
+    }
+
+    // Stage 3: reorganize each LAF to row-major storage so row slabs are
+    // one request each.
+    io::LocalArrayFile reorganized(
+        dir.path() / ("wanted_rm_p" + std::to_string(ctx.rank())),
+        wanted.local_rows(), wanted.local_cols(), io::StorageOrder::kRowMajor,
+        io::DiskModel::touchstone_delta_cfs());
+    const std::uint64_t reqs = runtime::reorganize_storage(
+        ctx, wanted.laf(), reorganized, budget);
+    sim::barrier(ctx);
+    if (ctx.rank() == 0) {
+      reorg_time = ctx.clock().now() - redist_time;
+      reorg_requests = reqs;
+    }
+
+    // Verify: every element of the reorganized file equals the generator.
+    std::vector<double> mine(static_cast<std::size_t>(
+        wanted.local_rows() * wanted.local_cols()));
+    reorganized.read_full(ctx, std::span<double>(mine.data(), mine.size()));
+    bool ok = true;
+    for (std::int64_t lc = 0; lc < wanted.local_cols(); ++lc) {
+      for (std::int64_t lr = 0; lr < wanted.local_rows(); ++lr) {
+        const std::int64_t gr = wanted.ocla().global_row(lr);
+        const std::int64_t gc = wanted.ocla().global_col(lc);
+        if (mine[static_cast<std::size_t>(lc * wanted.local_rows() + lr)] !=
+            value(gr, gc)) {
+          ok = false;
+        }
+      }
+    }
+    const std::vector<std::uint8_t> flags{static_cast<std::uint8_t>(ok)};
+    std::vector<std::uint8_t> all = sim::gather<std::uint8_t>(
+        ctx, 0, std::span<const std::uint8_t>(flags.data(), flags.size()));
+    if (ctx.rank() == 0) {
+      for (std::uint8_t f : all) {
+        content_ok = content_ok && f != 0;
+      }
+    }
+    // Demonstrate the payoff: a full row-slab sweep in each layout.
+    io::Section row_slab{0, std::min<std::int64_t>(wanted.local_rows(), 8),
+                         0, wanted.local_cols()};
+    std::printf("rank %d: row slab costs %llu request(s) column-major vs "
+                "%llu row-major\n",
+                ctx.rank(),
+                static_cast<unsigned long long>(
+                    wanted.laf().section_request_count(row_slab)),
+                static_cast<unsigned long long>(
+                    reorganized.section_request_count(row_slab)));
+
+    // Stage 4: an actual out-of-core global transpose (dst = arrived^T),
+    // spot-verified.
+    runtime::OutOfCoreArray transposed(
+        ctx, dir.path(), "transposed", hpf::column_block(n, n, p),
+        io::StorageOrder::kColumnMajor, io::DiskModel::touchstone_delta_cfs());
+    runtime::transpose(ctx, arrived, transposed, budget);
+    std::vector<double> spot(static_cast<std::size_t>(
+        transposed.local_rows()));
+    transposed.laf().read_section(ctx,
+                                  io::Section{0, transposed.local_rows(), 0, 1},
+                                  std::span<double>(spot.data(), spot.size()));
+    const std::int64_t gc = transposed.ocla().global_col(0);
+    for (std::int64_t lr = 0; lr < transposed.local_rows(); ++lr) {
+      // transposed(r, c) == value(c, r)
+      if (spot[static_cast<std::size_t>(lr)] !=
+          value(gc, transposed.ocla().global_row(lr))) {
+        std::printf("rank %d: TRANSPOSE MISMATCH at row %lld\n", ctx.rank(),
+                    static_cast<long long>(lr));
+      }
+    }
+  });
+
+  std::printf("\nredistribution (column-block -> row-block): %.2f s\n",
+              redist_time);
+  std::printf("storage reorganization (column-major -> row-major): %.2f s, "
+              "%llu requests\n",
+              reorg_time, static_cast<unsigned long long>(reorg_requests));
+  std::printf("total simulated time: %.2f s; content %s\n",
+              report.max_sim_time_s(), content_ok ? "PRESERVED" : "CORRUPTED");
+  std::printf("\nBoth costs are one-time; the paper's §2.3 argues they are "
+              "amortized when the array is used over many iterations.\n");
+  return content_ok ? 0 : 1;
+}

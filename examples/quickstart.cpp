@@ -1,0 +1,101 @@
+// Quickstart: compile the paper's Figure 3 HPF program from source text,
+// run it out-of-core on a simulated 4-processor machine, and verify the
+// product against a serial reference.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the whole pipeline: parse -> analyze -> two-phase
+// out-of-core compilation (with the Figure 14 access reorganization) ->
+// plan execution with explicit I/O and message passing -> verification.
+#include <cstdio>
+
+#include "oocc/compiler/lower.hpp"
+#include "oocc/compiler/pretty.hpp"
+#include "oocc/exec/interp.hpp"
+#include "oocc/gaxpy/gaxpy.hpp"
+#include "oocc/hpf/programs.hpp"
+#include "oocc/sim/collectives.hpp"
+
+int main() {
+  using namespace oocc;
+
+  constexpr std::int64_t kN = 64;
+  constexpr int kProcs = 4;
+
+  // 1. The HPF source program (the paper's Figure 3).
+  const std::string source = hpf::gaxpy_source(kN, kProcs);
+  std::printf("HPF source:\n%s\n", source.c_str());
+
+  // 2. Compile with a deliberately small memory budget (1/4 of the local
+  //    array) so the program is genuinely out of core.
+  compiler::CompileOptions options;
+  options.memory_budget_elements = kN * (kN / kProcs) / 4 + 4 * kN;
+  options.disk = io::DiskModel::touchstone_delta_cfs();
+  const compiler::NodeProgram plan =
+      compiler::compile_source(source, options);
+
+  std::printf("=== compilation decisions ===\n%s\n",
+              compiler::decision_report(plan).c_str());
+  std::printf("=== generated node program ===\n%s\n",
+              compiler::pseudo_code(plan).c_str());
+
+  // 3. Execute on the simulated machine. Arrays live in Local Array Files
+  //    on each processor's logical disk; values come from generators.
+  auto gen_a = [](std::int64_t r, std::int64_t c) {
+    return static_cast<double>((r * 7 + c * 3) % 11) - 5.0;
+  };
+  auto gen_b = [](std::int64_t r, std::int64_t c) {
+    return static_cast<double>((r + c * 13) % 7) * 0.5;
+  };
+
+  io::TempDir dir("oocc-quickstart");
+  sim::Machine machine(kProcs, sim::MachineCostModel::touchstone_delta());
+  std::vector<double> result;
+  sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
+    auto arrays = exec::create_plan_arrays(ctx, plan, dir.path(),
+                                           options.disk);
+    arrays.at("a")->initialize(ctx, gen_a, options.memory_budget_elements);
+    arrays.at("b")->initialize(ctx, gen_b, options.memory_budget_elements);
+    sim::barrier(ctx);
+    ctx.reset_accounting();
+
+    exec::ArrayBindings bindings;
+    for (auto& [name, arr] : arrays) {
+      bindings[name] = arr.get();
+    }
+    exec::execute(ctx, plan, bindings);
+
+    std::vector<double> c =
+        arrays.at("c")->gather_global(ctx, options.memory_budget_elements);
+    if (ctx.rank() == 0) {
+      result = std::move(c);
+    }
+  });
+
+  // 4. Verify against the serial reference.
+  std::vector<double> dense_a(kN * kN);
+  std::vector<double> dense_b(kN * kN);
+  for (std::int64_t c = 0; c < kN; ++c) {
+    for (std::int64_t r = 0; r < kN; ++r) {
+      dense_a[static_cast<std::size_t>(c * kN + r)] = gen_a(r, c);
+      dense_b[static_cast<std::size_t>(c * kN + r)] = gen_b(r, c);
+    }
+  }
+  const std::vector<double> want =
+      gaxpy::serial_matmul(dense_a, dense_b, kN);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    max_err = std::max(max_err, std::abs(want[i] - result[i]));
+  }
+
+  std::printf("=== execution ===\n");
+  std::printf("simulated time: %.3f s (Touchstone Delta calibration)\n",
+              report.max_sim_time_s());
+  std::printf("I/O: %llu requests, %.2f MB moved; %llu messages\n",
+              static_cast<unsigned long long>(report.total_io_requests()),
+              static_cast<double>(report.total_io_bytes()) / 1e6,
+              static_cast<unsigned long long>(report.total_messages()));
+  std::printf("max |C - A*B| = %.3g -> %s\n", max_err,
+              max_err < 1e-9 ? "CORRECT" : "WRONG");
+  return max_err < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,149 @@
+#include "oocc/apps/jacobi.hpp"
+
+#include <algorithm>
+
+#include "oocc/runtime/slab_iter.hpp"
+#include "oocc/sim/collectives.hpp"
+#include "oocc/util/error.hpp"
+
+namespace oocc::apps {
+
+namespace {
+constexpr int kTagLeft = 101;   // carries a processor's leftmost column
+constexpr int kTagRight = 102;  // carries a processor's rightmost column
+}  // namespace
+
+void ooc_jacobi_iteration(sim::SpmdContext& ctx, runtime::OutOfCoreArray& cur,
+                          runtime::OutOfCoreArray& next,
+                          std::int64_t slab_elements) {
+  OOCC_REQUIRE(cur.dist() == next.dist(),
+               "jacobi state arrays must share a distribution; got "
+                   << cur.dist().to_string() << " vs "
+                   << next.dist().to_string());
+  OOCC_REQUIRE(cur.dist().axis() == hpf::DistAxis::kCols ||
+                   ctx.nprocs() == 1,
+               "jacobi expects column-block panels, got "
+                   << cur.dist().to_string());
+  const std::int64_t n = cur.dist().global_rows();
+  const std::int64_t nlc = cur.local_cols();
+  const int rank = ctx.rank();
+  const int p = ctx.nprocs();
+
+  // 1. Ghost exchange. Edge-column reads are single contiguous requests
+  //    in the column-major LAF.
+  std::vector<double> left_ghost;   // neighbour-to-the-right's column 0
+  std::vector<double> right_ghost;  // neighbour-to-the-left's last column
+  {
+    std::vector<double> edge(static_cast<std::size_t>(n));
+    if (rank > 0) {
+      cur.laf().read_section(ctx, io::Section{0, n, 0, 1},
+                             std::span<double>(edge.data(), edge.size()));
+      ctx.send<double>(rank - 1, kTagLeft,
+                       std::span<const double>(edge.data(), edge.size()));
+    }
+    if (rank < p - 1) {
+      cur.laf().read_section(ctx, io::Section{0, n, nlc - 1, nlc},
+                             std::span<double>(edge.data(), edge.size()));
+      ctx.send<double>(rank + 1, kTagRight,
+                       std::span<const double>(edge.data(), edge.size()));
+    }
+    if (rank < p - 1) {
+      left_ghost = ctx.recv<double>(rank + 1, kTagLeft);
+    }
+    if (rank > 0) {
+      right_ghost = ctx.recv<double>(rank - 1, kTagRight);
+    }
+  }
+
+  // 2-4. Slab sweep with a one-column halo.
+  runtime::SlabIterator slabs(n, nlc, runtime::SlabOrientation::kColumnSlabs,
+                              slab_elements);
+  std::vector<double> halo;
+  std::vector<double> out;
+  for (std::int64_t s = 0; s < slabs.count(); ++s) {
+    const io::Section sec = slabs.section(s);
+    const std::int64_t lo = std::max<std::int64_t>(0, sec.col0 - 1);
+    const std::int64_t hi = std::min<std::int64_t>(nlc, sec.col1 + 1);
+    const io::Section halo_sec{0, n, lo, hi};
+    halo.resize(static_cast<std::size_t>(halo_sec.elements()));
+    cur.laf().read_section(ctx, halo_sec,
+                           std::span<double>(halo.data(), halo.size()));
+    out.resize(static_cast<std::size_t>(sec.elements()));
+
+    auto col_at = [&](std::int64_t lc) -> const double* {
+      if (lc < 0) {
+        return right_ghost.data();
+      }
+      if (lc >= nlc) {
+        return left_ghost.data();
+      }
+      return halo.data() + static_cast<std::size_t>((lc - lo) * n);
+    };
+
+    for (std::int64_t lc = sec.col0; lc < sec.col1; ++lc) {
+      const std::int64_t gc = cur.dist().local_to_global_col(rank, lc);
+      const double* center = col_at(lc);
+      double* result =
+          out.data() + static_cast<std::size_t>((lc - sec.col0) * n);
+      if (gc == 0 || gc == n - 1) {
+        std::copy(center, center + n, result);  // fixed boundary column
+        continue;
+      }
+      const double* west = col_at(lc - 1);
+      const double* east = col_at(lc + 1);
+      result[0] = center[0];          // fixed boundary rows
+      result[n - 1] = center[n - 1];
+      for (std::int64_t r = 1; r < n - 1; ++r) {
+        result[r] =
+            0.25 * (center[r - 1] + center[r + 1] + west[r] + east[r]);
+      }
+      ctx.charge_flops(4.0 * static_cast<double>(n - 2));
+    }
+    next.laf().write_section(ctx, sec,
+                             std::span<const double>(out.data(), out.size()));
+  }
+}
+
+runtime::OutOfCoreArray& ooc_jacobi(sim::SpmdContext& ctx,
+                                    runtime::OutOfCoreArray& a,
+                                    runtime::OutOfCoreArray& b,
+                                    int iterations,
+                                    std::int64_t slab_elements) {
+  runtime::OutOfCoreArray* cur = &a;
+  runtime::OutOfCoreArray* next = &b;
+  for (int it = 0; it < iterations; ++it) {
+    ooc_jacobi_iteration(ctx, *cur, *next, slab_elements);
+    std::swap(cur, next);
+    // Neighbours must not race ahead and overwrite state another rank
+    // still needs for its ghost columns.
+    sim::barrier(ctx);
+  }
+  return *cur;
+}
+
+std::vector<double> serial_jacobi(
+    std::int64_t n, int iterations,
+    const std::function<double(std::int64_t, std::int64_t)>& initial) {
+  std::vector<double> cur(static_cast<std::size_t>(n * n));
+  for (std::int64_t c = 0; c < n; ++c) {
+    for (std::int64_t r = 0; r < n; ++r) {
+      cur[static_cast<std::size_t>(c * n + r)] = initial(r, c);
+    }
+  }
+  std::vector<double> next = cur;
+  for (int it = 0; it < iterations; ++it) {
+    for (std::int64_t c = 1; c < n - 1; ++c) {
+      for (std::int64_t r = 1; r < n - 1; ++r) {
+        next[static_cast<std::size_t>(c * n + r)] =
+            0.25 * (cur[static_cast<std::size_t>(c * n + r - 1)] +
+                    cur[static_cast<std::size_t>(c * n + r + 1)] +
+                    cur[static_cast<std::size_t>((c - 1) * n + r)] +
+                    cur[static_cast<std::size_t>((c + 1) * n + r)]);
+      }
+    }
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+}  // namespace oocc::apps

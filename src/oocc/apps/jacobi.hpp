@@ -1,0 +1,41 @@
+// Out-of-core 2-D Jacobi relaxation on the PASSION-style runtime.
+//
+// The class of loosely synchronous scientific application the paper's
+// introduction motivates: an N x N grid, column-block distributed, too
+// large for node memory. Each iteration exchanges one ghost column with
+// each neighbour, then sweeps the local panel in column slabs (read with
+// a one-column halo from the Local Array File), applies the 5-point
+// stencil to interior points, and writes the updated slab to the
+// next-state file. Global boundary rows/columns are held fixed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "oocc/runtime/ooc_array.hpp"
+#include "oocc/sim/machine.hpp"
+
+namespace oocc::apps {
+
+/// One Jacobi sweep: reads `cur`, writes `next` (both column-block over
+/// the same machine, same N x N shape, column-major storage). Collective.
+/// `slab_elements` bounds the in-core halo buffer.
+void ooc_jacobi_iteration(sim::SpmdContext& ctx, runtime::OutOfCoreArray& cur,
+                          runtime::OutOfCoreArray& next,
+                          std::int64_t slab_elements);
+
+/// Runs `iterations` sweeps, ping-ponging between `a` (initial state) and
+/// `b` (scratch). Returns the array holding the final state.
+runtime::OutOfCoreArray& ooc_jacobi(sim::SpmdContext& ctx,
+                                    runtime::OutOfCoreArray& a,
+                                    runtime::OutOfCoreArray& b,
+                                    int iterations,
+                                    std::int64_t slab_elements);
+
+/// Serial in-memory reference (column-major n x n), for verification.
+std::vector<double> serial_jacobi(
+    std::int64_t n, int iterations,
+    const std::function<double(std::int64_t, std::int64_t)>& initial);
+
+}  // namespace oocc::apps

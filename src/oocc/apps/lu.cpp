@@ -1,0 +1,171 @@
+#include "oocc/apps/lu.hpp"
+
+#include <algorithm>
+
+#include "oocc/util/error.hpp"
+
+namespace oocc::apps {
+
+namespace {
+
+constexpr int kTagPanel = 301;
+
+/// One factorization panel: a run of global columns owned by one proc.
+struct Panel {
+  std::int64_t gc0;  ///< global first column
+  std::int64_t gc1;  ///< global one-past-last column
+  int owner;
+  std::int64_t lc0;  ///< owner-local first column
+
+  std::int64_t width() const noexcept { return gc1 - gc0; }
+};
+
+/// Splits every processor's contiguous column block into panels of at
+/// most `panel_cols` columns. Deterministic: all ranks compute the same
+/// list.
+std::vector<Panel> make_panels(const hpf::ArrayDistribution& dist,
+                               std::int64_t panel_cols) {
+  std::vector<Panel> panels;
+  for (int p = 0; p < dist.nprocs(); ++p) {
+    const std::int64_t cols = dist.local_cols(p);
+    for (std::int64_t lc = 0; lc < cols; lc += panel_cols) {
+      Panel panel;
+      panel.lc0 = lc;
+      panel.gc0 = dist.local_to_global_col(p, lc);
+      panel.gc1 =
+          dist.local_to_global_col(p, std::min(cols, lc + panel_cols) - 1) +
+          1;
+      panel.owner = p;
+      panels.push_back(panel);
+    }
+  }
+  std::sort(panels.begin(), panels.end(),
+            [](const Panel& a, const Panel& b) { return a.gc0 < b.gc0; });
+  return panels;
+}
+
+/// Applies the eliminations of factored `panelk` to `panelj` (both
+/// column-major, full N rows).
+void apply_panel_update(sim::SpmdContext& ctx, const Panel& k,
+                        std::span<const double> panelk, const Panel& j,
+                        std::span<double> panelj, std::int64_t n) {
+  double flops = 0.0;
+  for (std::int64_t g = k.gc0; g < k.gc1; ++g) {
+    const double* lcol = panelk.data() + (g - k.gc0) * n;
+    for (std::int64_t c = 0; c < j.width(); ++c) {
+      double* target = panelj.data() + c * n;
+      const double u = target[g];
+      for (std::int64_t r = g + 1; r < n; ++r) {
+        target[r] -= lcol[r] * u;
+      }
+      flops += 2.0 * static_cast<double>(n - g - 1);
+    }
+  }
+  ctx.charge_flops(flops);
+}
+
+/// Right-looking factorization within one panel (updates from all earlier
+/// panels already applied).
+void factor_panel_in_core(sim::SpmdContext& ctx, const Panel& j,
+                          std::span<double> panel, std::int64_t n) {
+  double flops = 0.0;
+  for (std::int64_t g = j.gc0; g < j.gc1; ++g) {
+    double* gcol = panel.data() + (g - j.gc0) * n;
+    const double pivot = gcol[g];
+    OOCC_CHECK(pivot != 0.0, ErrorCode::kRuntimeError,
+               "zero pivot at column " << g
+                                       << " (LU without pivoting requires "
+                                          "nonzero leading minors)");
+    for (std::int64_t r = g + 1; r < n; ++r) {
+      gcol[r] /= pivot;
+    }
+    flops += static_cast<double>(n - g - 1);
+    for (std::int64_t c = g - j.gc0 + 1; c < j.width(); ++c) {
+      double* target = panel.data() + c * n;
+      const double u = target[g];
+      for (std::int64_t r = g + 1; r < n; ++r) {
+        target[r] -= gcol[r] * u;
+      }
+      flops += 2.0 * static_cast<double>(n - g - 1);
+    }
+  }
+  ctx.charge_flops(flops);
+}
+
+}  // namespace
+
+void ooc_lu_factor(sim::SpmdContext& ctx, runtime::OutOfCoreArray& a,
+                   runtime::MemoryBudget& budget, std::int64_t panel_cols) {
+  const hpf::ArrayDistribution& dist = a.dist();
+  OOCC_REQUIRE(dist.global_rows() == dist.global_cols(),
+               "LU requires a square matrix, got " << dist.to_string());
+  OOCC_REQUIRE(dist.axis() == hpf::DistAxis::kCols &&
+                   dist.col_dist().kind() == hpf::DistKind::kBlock,
+               "ooc_lu_factor requires a column-block matrix, got "
+                   << dist.to_string());
+  OOCC_REQUIRE(panel_cols >= 1, "panel width must be >= 1");
+  const std::int64_t n = dist.global_rows();
+  const int rank = ctx.rank();
+
+  const std::vector<Panel> panels = make_panels(dist, panel_cols);
+  const std::int64_t max_w = panel_cols;
+
+  // Working set: the panel being factored plus one incoming update panel.
+  runtime::IclaBuffer mine(budget, n * max_w, "lu_panel");
+  runtime::IclaBuffer incoming(budget, n * max_w, "lu_update");
+
+  for (std::size_t j = 0; j < panels.size(); ++j) {
+    const Panel& pj = panels[j];
+    if (rank == pj.owner) {
+      mine.load(ctx, a.laf(),
+                io::Section{0, n, pj.lc0, pj.lc0 + pj.width()});
+    }
+    for (std::size_t k = 0; k < j; ++k) {
+      const Panel& pk = panels[k];
+      if (rank == pk.owner && pk.owner != pj.owner) {
+        // Re-read the factored panel from disk and ship it (the OOC
+        // discipline: factored panels do not stay in memory).
+        incoming.load(ctx, a.laf(),
+                      io::Section{0, n, pk.lc0, pk.lc0 + pk.width()});
+        ctx.send<double>(pj.owner, kTagPanel, incoming.data());
+      }
+      if (rank == pj.owner) {
+        if (pk.owner == rank) {
+          incoming.load(ctx, a.laf(),
+                        io::Section{0, n, pk.lc0, pk.lc0 + pk.width()});
+        } else {
+          incoming.reset_section(io::Section{0, n, 0, pk.width()});
+          ctx.recv_into<double>(pk.owner, kTagPanel, incoming.data());
+        }
+        apply_panel_update(ctx, pk, incoming.data(), pj, mine.data(), n);
+      }
+    }
+    if (rank == pj.owner) {
+      factor_panel_in_core(ctx, pj, mine.data(), n);
+      mine.store_as(ctx, a.laf(),
+                    io::Section{0, n, pj.lc0, pj.lc0 + pj.width()});
+    }
+  }
+}
+
+void serial_lu(std::vector<double>& a, std::int64_t n) {
+  OOCC_REQUIRE(a.size() == static_cast<std::size_t>(n * n),
+               "serial_lu expects an n x n matrix");
+  for (std::int64_t g = 0; g < n; ++g) {
+    const double pivot = a[static_cast<std::size_t>(g * n + g)];
+    OOCC_CHECK(pivot != 0.0, ErrorCode::kRuntimeError,
+               "zero pivot at column " << g);
+    for (std::int64_t r = g + 1; r < n; ++r) {
+      a[static_cast<std::size_t>(g * n + r)] /= pivot;
+    }
+    for (std::int64_t c = g + 1; c < n; ++c) {
+      const double u = a[static_cast<std::size_t>(c * n + g)];
+      for (std::int64_t r = g + 1; r < n; ++r) {
+        a[static_cast<std::size_t>(c * n + r)] -=
+            a[static_cast<std::size_t>(g * n + r)] * u;
+      }
+    }
+  }
+}
+
+}  // namespace oocc::apps

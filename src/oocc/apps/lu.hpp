@@ -1,0 +1,38 @@
+// Out-of-core LU factorization (left-looking, column panels) — the other
+// canonical out-of-core dense kernel of the PASSION era.
+//
+// The N x N matrix is column-block distributed; each processor's piece is
+// divided into *panels* of at most `panel_cols` columns that fit in
+// memory. Panels are factored left to right: before panel j is factored
+// in core by its owner, every previously factored panel k < j is shipped
+// from its owner and applied as an update (the access pattern that makes
+// this out-of-core friendly: each factored panel is read from disk once
+// per later panel — the same reuse structure the paper's cost model
+// reasons about).
+//
+// No pivoting (the standard simplification for regular OOC factorization;
+// callers must supply a matrix with nonzero leading minors, e.g.
+// diagonally dominant). The factorization is in place: on return the LAFs
+// hold L (unit lower, below the diagonal) and U (upper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oocc/runtime/icla.hpp"
+#include "oocc/runtime/ooc_array.hpp"
+
+namespace oocc::apps {
+
+/// Factors `a` in place. `panel_cols` bounds the panel width (the in-core
+/// working set is two panels: the one being factored plus one incoming
+/// update panel). Collective. Throws Error(kInvalidArgument) for
+/// non-column-block layouts and Error(kRuntimeError) on a zero pivot.
+void ooc_lu_factor(sim::SpmdContext& ctx, runtime::OutOfCoreArray& a,
+                   runtime::MemoryBudget& budget, std::int64_t panel_cols);
+
+/// Serial in-place reference LU without pivoting on a column-major n x n
+/// matrix (L unit-lower + U packed together, like the OOC result).
+void serial_lu(std::vector<double>& a, std::int64_t n);
+
+}  // namespace oocc::apps

@@ -1,0 +1,132 @@
+#include "oocc/compiler/access.hpp"
+
+#include "oocc/util/error.hpp"
+
+namespace oocc::compiler {
+
+std::string_view subscript_class_name(SubscriptClass c) noexcept {
+  switch (c) {
+    case SubscriptClass::kFullRange:
+      return "full-range";
+    case SubscriptClass::kForallIndex:
+      return "forall-index";
+    case SubscriptClass::kOuterIndex:
+      return "outer-index";
+    case SubscriptClass::kConstant:
+      return "constant";
+    case SubscriptClass::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+namespace {
+
+/// True if `e` is exactly a reference to variable `name`.
+bool is_var(const hpf::Expr& e, const std::string& name) {
+  return e.kind == hpf::ExprKind::kVarRef && e.name == name;
+}
+
+/// True if `e` is a constant under the parameter bindings (no loop vars).
+bool is_parameter_constant(const hpf::Expr& e,
+                           const std::map<std::string, std::int64_t>& params) {
+  switch (e.kind) {
+    case hpf::ExprKind::kIntConst:
+      return true;
+    case hpf::ExprKind::kVarRef:
+      return params.contains(e.name);
+    case hpf::ExprKind::kBinary:
+      return is_parameter_constant(*e.lhs, params) &&
+             is_parameter_constant(*e.rhs, params);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+SubscriptClass classify_subscript(
+    const hpf::Subscript& sub, const hpf::ArrayInfo& info, int dim,
+    const LoopContext& loops,
+    const std::map<std::string, std::int64_t>& parameters) {
+  const std::int64_t extent = dim == 0 ? info.rows : info.cols;
+  switch (sub.kind) {
+    case hpf::SubscriptKind::kFull:
+      return SubscriptClass::kFullRange;
+    case hpf::SubscriptKind::kRange: {
+      // 1:N over the whole dimension is a full range; anything else is a
+      // partial section we treat as kOther (conservative).
+      if (is_parameter_constant(*sub.lo, parameters) &&
+          is_parameter_constant(*sub.hi, parameters)) {
+        const std::int64_t lo = hpf::evaluate_scalar(*sub.lo, parameters);
+        const std::int64_t hi = hpf::evaluate_scalar(*sub.hi, parameters);
+        if (lo == 1 && hi == extent) {
+          return SubscriptClass::kFullRange;
+        }
+        return SubscriptClass::kOther;
+      }
+      return SubscriptClass::kOther;
+    }
+    case hpf::SubscriptKind::kScalar: {
+      if (!loops.forall_var.empty() && is_var(*sub.scalar, loops.forall_var)) {
+        return SubscriptClass::kForallIndex;
+      }
+      if (!loops.outer_var.empty() && is_var(*sub.scalar, loops.outer_var)) {
+        return SubscriptClass::kOuterIndex;
+      }
+      if (is_parameter_constant(*sub.scalar, parameters)) {
+        return SubscriptClass::kConstant;
+      }
+      return SubscriptClass::kOther;
+    }
+  }
+  return SubscriptClass::kOther;
+}
+
+RefAccess classify_reference(
+    const hpf::Expr& ref, const hpf::ArrayInfo& info, const LoopContext& loops,
+    const std::map<std::string, std::int64_t>& parameters, bool is_lhs) {
+  OOCC_REQUIRE(ref.kind == hpf::ExprKind::kArrayRef,
+               "classify_reference expects an array reference");
+  RefAccess out;
+  out.array = ref.name;
+  out.is_lhs = is_lhs;
+  out.row_class =
+      classify_subscript(ref.subscripts[0], info, 0, loops, parameters);
+  if (ref.subscripts.size() > 1) {
+    out.col_class =
+        classify_subscript(ref.subscripts[1], info, 1, loops, parameters);
+  } else {
+    out.col_class = SubscriptClass::kConstant;  // rank-1: single column
+  }
+  return out;
+}
+
+void collect_references(const hpf::Expr& expr,
+                        const hpf::BoundProgram& program,
+                        const LoopContext& loops, bool is_lhs,
+                        std::vector<RefAccess>& out) {
+  switch (expr.kind) {
+    case hpf::ExprKind::kArrayRef:
+      out.push_back(classify_reference(expr, program.array(expr.name), loops,
+                                       program.parameters, is_lhs));
+      return;
+    case hpf::ExprKind::kBinary:
+      collect_references(*expr.lhs, program, loops, is_lhs, out);
+      collect_references(*expr.rhs, program, loops, is_lhs, out);
+      return;
+    case hpf::ExprKind::kSumIntrinsic: {
+      RefAccess ref;
+      ref.array = expr.name;
+      ref.row_class = SubscriptClass::kFullRange;
+      ref.col_class = SubscriptClass::kFullRange;
+      ref.is_lhs = is_lhs;
+      out.push_back(ref);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace oocc::compiler

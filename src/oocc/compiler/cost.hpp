@@ -1,0 +1,100 @@
+// I/O cost estimation and access-reorganization selection (§4.1 of the
+// paper, Figure 14's algorithm, Equations 3-6 generalized to arbitrary
+// slab sizes).
+//
+// The estimator predicts, per processor, the paper's two metrics — number
+// of I/O requests (T_fetch) and data volume (T_data) — for each candidate
+// stripmining orientation of the GAXPY statement, by walking the exact
+// loop structures of Figures 9 and 12 symbolically (using the same
+// SlabIterator arithmetic the runtime kernels use, so predictions match
+// measured counters *exactly*; the tests assert this). Following
+// Figure 14, the array with the largest I/O requirement dominates the
+// decision and the orientation minimizing its cost is selected.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "oocc/io/disk_model.hpp"
+#include "oocc/runtime/slab_iter.hpp"
+#include "oocc/sim/cost_model.hpp"
+
+namespace oocc::compiler {
+
+/// Predicted per-processor I/O cost of one array under one candidate.
+struct ArrayCost {
+  std::string array;
+  double fetch_requests = 0.0;  ///< T_fetch: I/O requests per processor
+  double data_elements = 0.0;   ///< T_data: elements moved per processor
+};
+
+/// Full cost picture of one candidate orientation for the GAXPY statement.
+struct CandidateCost {
+  runtime::SlabOrientation a_orientation =
+      runtime::SlabOrientation::kColumnSlabs;
+  bool storage_reorganized = false;  ///< A/C stored contiguous for the slabs
+  std::vector<ArrayCost> arrays;     ///< a, b, c
+
+  double total_requests() const noexcept;
+  double total_elements() const noexcept;
+
+  /// Simulated seconds of disk service implied by the counts.
+  double estimated_io_time_s(const io::DiskModel& disk, int nprocs) const;
+
+  const ArrayCost& cost_of(const std::string& name) const;
+};
+
+/// Inputs to the GAXPY estimator.
+struct GaxpyCostQuery {
+  std::int64_t n = 0;           ///< global N (square arrays)
+  int nprocs = 1;
+  std::int64_t slab_a = 0;      ///< ICLA capacities in elements
+  std::int64_t slab_b = 0;
+  std::int64_t slab_c = 0;
+  bool storage_reorganized = true;  ///< slabs contiguous on disk
+};
+
+/// Predicts the cost of the Figure 9 (column-slab) or Figure 12 (row-slab)
+/// translation.
+CandidateCost estimate_gaxpy_cost(runtime::SlabOrientation orientation,
+                                  const GaxpyCostQuery& query);
+
+struct TotalCostEstimate;
+
+/// The outcome of Figure 14's algorithm.
+struct CostDecision {
+  CandidateCost chosen;
+  std::vector<CandidateCost> candidates;
+  /// End-to-end (io + compute + comm) predictions, parallel to
+  /// `candidates` when filled by the compiler (may be empty).
+  std::vector<double> candidate_total_s;
+  std::string dominant_array;  ///< array with the largest I/O requirement
+  std::string rationale;       ///< human-readable derivation
+};
+
+/// Runs Figure 14: estimate each candidate, find the dominant array, pick
+/// the orientation with the lowest cost for it (ties: total estimated
+/// time under `disk`).
+CostDecision choose_access_reorganization(const GaxpyCostQuery& query,
+                                          const io::DiskModel& disk);
+
+/// End-to-end time prediction for a GAXPY candidate: disk service (from
+/// the request/byte counts), computation (2N^3/P flops) and the global-sum
+/// communication (one tree reduction per output (sub)column). The paper
+/// decides orientation on I/O alone because disk costs dominate by an
+/// order of magnitude; this predictor lets the decision report show the
+/// whole picture and lets tests check the model's ordering against
+/// measured makespans.
+struct TotalCostEstimate {
+  double io_s = 0.0;
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double total_s() const noexcept { return io_s + compute_s + comm_s; }
+};
+
+TotalCostEstimate estimate_gaxpy_total(runtime::SlabOrientation orientation,
+                                       const GaxpyCostQuery& query,
+                                       const io::DiskModel& disk,
+                                       const sim::MachineCostModel& machine);
+
+}  // namespace oocc::compiler

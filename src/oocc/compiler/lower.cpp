@@ -1,0 +1,547 @@
+#include "oocc/compiler/lower.hpp"
+
+#include <functional>
+#include <optional>
+
+#include "oocc/compiler/access.hpp"
+#include "oocc/compiler/pretty.hpp"
+#include "oocc/hpf/parser.hpp"
+#include "oocc/util/error.hpp"
+
+namespace oocc::compiler {
+
+namespace {
+
+using hpf::ArrayInfo;
+using hpf::BoundProgram;
+using hpf::Expr;
+using hpf::ExprKind;
+using hpf::Stmt;
+using hpf::StmtKind;
+
+/// Result of recognizing the Figure 3 GAXPY pattern.
+struct GaxpyMatch {
+  std::string a;
+  std::string b;
+  std::string c;
+  std::string temp;  ///< reduction temporary (elided from the plan)
+  std::string outer_var;
+  std::string forall_var;
+  std::int64_t n = 0;
+};
+
+/// Result of recognizing a communication-free elementwise FORALL.
+struct ElementwiseMatch {
+  std::string lhs;
+  const Expr* rhs = nullptr;
+  std::string forall_var;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+};
+
+std::optional<std::int64_t> const_bound(
+    const Expr& e, const std::map<std::string, std::int64_t>& params) {
+  try {
+    return hpf::evaluate_scalar(e, params);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+/// Matches `do j=1,n { forall(k=1:n) temp(:,k)=b(k,j)*a(:,k); c(:,j)=SUM(temp,2) }`.
+std::optional<GaxpyMatch> match_gaxpy(const BoundProgram& program) {
+  if (program.stmts.size() != 1 ||
+      program.stmts[0]->kind != StmtKind::kDo) {
+    return std::nullopt;
+  }
+  const Stmt& outer = *program.stmts[0];
+  const auto lo = const_bound(*outer.lo, program.parameters);
+  const auto hi = const_bound(*outer.hi, program.parameters);
+  if (!lo || *lo != 1 || !hi || outer.body.size() != 2) {
+    return std::nullopt;
+  }
+  const Stmt& forall = *outer.body[0];
+  const Stmt& sum_assign = *outer.body[1];
+  if (forall.kind != StmtKind::kForall || forall.body.size() != 1 ||
+      sum_assign.kind != StmtKind::kAssign) {
+    return std::nullopt;
+  }
+  const auto flo = const_bound(*forall.lo, program.parameters);
+  const auto fhi = const_bound(*forall.hi, program.parameters);
+  if (!flo || *flo != 1 || !fhi || *fhi != *hi) {
+    return std::nullopt;
+  }
+
+  GaxpyMatch match;
+  match.outer_var = outer.loop_var;
+  match.forall_var = forall.loop_var;
+  match.n = *hi;
+  const LoopContext loops{match.outer_var, match.forall_var};
+
+  // Inner statement: temp(1:n, k) = <scalar B ref> * <column A ref>.
+  const Stmt& inner = *forall.body[0];
+  if (inner.kind != StmtKind::kAssign ||
+      inner.lhs->kind != ExprKind::kArrayRef ||
+      inner.rhs->kind != ExprKind::kBinary ||
+      inner.rhs->op != hpf::BinOp::kMul) {
+    return std::nullopt;
+  }
+  match.temp = inner.lhs->name;
+  const RefAccess temp_ref =
+      classify_reference(*inner.lhs, program.array(match.temp), loops,
+                         program.parameters, /*is_lhs=*/true);
+  if (temp_ref.row_class != SubscriptClass::kFullRange ||
+      temp_ref.col_class != SubscriptClass::kForallIndex) {
+    return std::nullopt;
+  }
+
+  // The multiplication's operands: one b(k,j)-shaped, one a(1:n,k)-shaped,
+  // in either order.
+  const Expr* operands[2] = {inner.rhs->lhs.get(), inner.rhs->rhs.get()};
+  for (const Expr* op : operands) {
+    if (op->kind != ExprKind::kArrayRef) {
+      return std::nullopt;
+    }
+    const RefAccess ref = classify_reference(
+        *op, program.array(op->name), loops, program.parameters, false);
+    if (ref.row_class == SubscriptClass::kForallIndex &&
+        ref.col_class == SubscriptClass::kOuterIndex) {
+      match.b = op->name;
+    } else if (ref.row_class == SubscriptClass::kFullRange &&
+               ref.col_class == SubscriptClass::kForallIndex) {
+      match.a = op->name;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (match.a.empty() || match.b.empty()) {
+    return std::nullopt;
+  }
+
+  // Reduction statement: c(1:n, j) = SUM(temp, 2).
+  if (sum_assign.lhs->kind != ExprKind::kArrayRef ||
+      sum_assign.rhs->kind != ExprKind::kSumIntrinsic ||
+      sum_assign.rhs->name != match.temp || sum_assign.rhs->int_value != 2) {
+    return std::nullopt;
+  }
+  match.c = sum_assign.lhs->name;
+  const RefAccess c_ref =
+      classify_reference(*sum_assign.lhs, program.array(match.c), loops,
+                         program.parameters, /*is_lhs=*/true);
+  if (c_ref.row_class != SubscriptClass::kFullRange ||
+      c_ref.col_class != SubscriptClass::kOuterIndex) {
+    return std::nullopt;
+  }
+  return match;
+}
+
+/// Validates the GAXPY match's shapes and distributions; throws
+/// kCompileError with a specific diagnostic on violation.
+void check_gaxpy_layout(const BoundProgram& program, const GaxpyMatch& m) {
+  const ArrayInfo& a = program.array(m.a);
+  const ArrayInfo& b = program.array(m.b);
+  const ArrayInfo& c = program.array(m.c);
+  for (const ArrayInfo* info : {&a, &b, &c}) {
+    OOCC_CHECK(info->rows == m.n && info->cols == m.n,
+               ErrorCode::kCompileError,
+               "GAXPY pattern requires " << m.n << "x" << m.n << " arrays; '"
+                                         << info->name << "' is "
+                                         << info->rows << "x" << info->cols);
+  }
+  OOCC_CHECK(a.dist.axis() == hpf::DistAxis::kCols &&
+                 c.dist.axis() == hpf::DistAxis::kCols,
+             ErrorCode::kCompileError,
+             "GAXPY pattern requires '" << m.a << "' and '" << m.c
+                                        << "' column-distributed");
+  OOCC_CHECK(b.dist.axis() == hpf::DistAxis::kRows, ErrorCode::kCompileError,
+             "GAXPY pattern requires '" << m.b << "' row-distributed");
+  // The kernels' index correspondence (local column k of A pairs with
+  // local row k of B) holds whenever A's columns, B's rows and C's columns
+  // share one distribution — BLOCK (the paper's case), CYCLIC and
+  // BLOCK-CYCLIC all qualify, because global_to_local is monotonic on each
+  // processor's owned set for every kind.
+  const hpf::DistKind kind = a.dist.col_dist().kind();
+  OOCC_CHECK(b.dist.row_dist().kind() == kind &&
+                 c.dist.col_dist().kind() == kind &&
+                 b.dist.row_dist().block() == a.dist.col_dist().block(),
+             ErrorCode::kCompileError,
+             "GAXPY lowering requires A's columns, B's rows and C's columns "
+             "to share one distribution; got "
+                 << a.dist.to_string() << ", " << b.dist.to_string() << ", "
+                 << c.dist.to_string());
+  // Every processor must own at least one column/row.
+  for (int proc = 0; proc < program.nprocs; ++proc) {
+    OOCC_CHECK(a.dist.local_cols(proc) >= 1, ErrorCode::kCompileError,
+               "N=" << m.n << " over P=" << program.nprocs
+                    << " leaves processor " << proc << " without data");
+  }
+}
+
+/// HPF array-assignment statements are equivalent to FORALLs (the paper's
+/// §3.2 footnote). `lhs(1:m,1:n) = expr` over full sections normalizes to
+/// `forall (k=1:n) lhs(1:m,k) = expr[second subscript := k]`, letting one
+/// lowering path serve both spellings.
+hpf::StmtPtr normalize_assignment_to_forall(const Stmt& assign,
+                                       const BoundProgram& program) {
+  OOCC_ASSERT(assign.kind == StmtKind::kAssign, "expected assignment");
+  const hpf::ArrayInfo& lhs_info = program.array(assign.lhs->name);
+
+  // Rewrites every array reference's column subscript (which must be a
+  // full range) into the synthesized FORALL index.
+  constexpr const char* kVar = "forall_col__";
+  std::function<void(hpf::Expr&)> rewrite = [&](hpf::Expr& e) {
+    if (e.kind == ExprKind::kArrayRef) {
+      OOCC_CHECK(e.subscripts.size() == 2, ErrorCode::kCompileError,
+                 "array assignment normalization requires rank-2 "
+                 "references; '"
+                     << e.name << "' at line " << e.line << " has rank "
+                     << e.subscripts.size());
+      hpf::Subscript& col = e.subscripts[1];
+      const bool full =
+          col.kind == hpf::SubscriptKind::kFull ||
+          (col.kind == hpf::SubscriptKind::kRange &&
+           hpf::evaluate_scalar(*col.lo, program.parameters) == 1 &&
+           hpf::evaluate_scalar(*col.hi, program.parameters) ==
+               program.array(e.name).cols);
+      OOCC_CHECK(full, ErrorCode::kCompileError,
+                 "array assignment normalization requires full column "
+                 "sections; '"
+                     << e.name << "' at line " << e.line
+                     << " uses a partial section");
+      col.kind = hpf::SubscriptKind::kScalar;
+      col.scalar = hpf::make_var(kVar, e.line);
+      col.lo.reset();
+      col.hi.reset();
+      return;
+    }
+    if (e.lhs) rewrite(*e.lhs);
+    if (e.rhs) rewrite(*e.rhs);
+  };
+
+  auto forall = std::make_unique<Stmt>();
+  forall->kind = StmtKind::kForall;
+  forall->line = assign.line;
+  forall->loop_var = kVar;
+  forall->lo = hpf::make_int(1, assign.line);
+  forall->hi = hpf::make_int(lhs_info.cols, assign.line);
+
+  auto body = std::make_unique<Stmt>();
+  body->kind = StmtKind::kAssign;
+  body->line = assign.line;
+  body->lhs = hpf::clone_expr(*assign.lhs);
+  body->rhs = hpf::clone_expr(*assign.rhs);
+  rewrite(*body->lhs);
+  rewrite(*body->rhs);
+  forall->body.push_back(std::move(body));
+  return forall;
+}
+
+/// Matches `forall (k=1:cols) lhs(1:rows,k) = expr` where every array
+/// reference in expr has the (full-range, forall-index) shape. A bare
+/// array assignment over full sections is normalized to that form first.
+std::optional<ElementwiseMatch> match_elementwise(
+    const BoundProgram& program, hpf::StmtPtr& normalized_storage) {
+  if (program.stmts.size() != 1) {
+    return std::nullopt;
+  }
+  const Stmt* top = program.stmts[0].get();
+  if (top->kind == StmtKind::kAssign &&
+      top->lhs->kind == ExprKind::kArrayRef &&
+      top->rhs->kind != ExprKind::kSumIntrinsic) {
+    try {
+      normalized_storage = normalize_assignment_to_forall(*top, program);
+    } catch (const Error&) {
+      return std::nullopt;  // not normalizable: fall through to diagnostics
+    }
+    top = normalized_storage.get();
+  }
+  if (top->kind != StmtKind::kForall || top->body.size() != 1) {
+    return std::nullopt;
+  }
+  const Stmt& forall = *top;
+  const Stmt& assign = *forall.body[0];
+  if (assign.kind != StmtKind::kAssign ||
+      assign.lhs->kind != ExprKind::kArrayRef) {
+    return std::nullopt;
+  }
+  const auto flo = const_bound(*forall.lo, program.parameters);
+  const auto fhi = const_bound(*forall.hi, program.parameters);
+  if (!flo || *flo != 1 || !fhi) {
+    return std::nullopt;
+  }
+
+  ElementwiseMatch match;
+  match.forall_var = forall.loop_var;
+  match.lhs = assign.lhs->name;
+  match.rhs = assign.rhs.get();
+  const ArrayInfo& lhs_info = program.array(match.lhs);
+  match.rows = lhs_info.rows;
+  match.cols = lhs_info.cols;
+  if (*fhi != match.cols) {
+    return std::nullopt;
+  }
+
+  const LoopContext loops{"", match.forall_var};
+  std::vector<RefAccess> refs;
+  refs.push_back(classify_reference(*assign.lhs, lhs_info, loops,
+                                    program.parameters, true));
+  collect_references(*assign.rhs, program, loops, false, refs);
+  for (const RefAccess& ref : refs) {
+    if (ref.row_class != SubscriptClass::kFullRange ||
+        ref.col_class != SubscriptClass::kForallIndex) {
+      return std::nullopt;
+    }
+  }
+  return match;
+}
+
+void check_elementwise_layout(const BoundProgram& program,
+                              const ElementwiseMatch& m) {
+  const ArrayInfo& lhs = program.array(m.lhs);
+  std::vector<RefAccess> refs;
+  const LoopContext loops{"", m.forall_var};
+  collect_references(*m.rhs, program, loops, false, refs);
+  for (const RefAccess& ref : refs) {
+    const ArrayInfo& info = program.array(ref.array);
+    OOCC_CHECK(info.dist == lhs.dist, ErrorCode::kCompileError,
+               "elementwise lowering requires identically distributed "
+               "operands; '"
+                   << ref.array << "' (" << info.dist.to_string()
+                   << ") differs from '" << m.lhs << "' ("
+                   << lhs.dist.to_string() << ")");
+  }
+}
+
+NodeProgram lower_gaxpy(const BoundProgram& program, const GaxpyMatch& match,
+                        const CompileOptions& options) {
+  check_gaxpy_layout(program, match);
+  NodeProgram plan;
+  plan.kind = ProgramKind::kGaxpy;
+  plan.nprocs = program.nprocs;
+  plan.n = match.n;
+  plan.a = match.a;
+  plan.b = match.b;
+  plan.c = match.c;
+  plan.memory_budget_elements = options.memory_budget_elements;
+
+  // Out-of-core phase step 2 (Figure 14): estimate each candidate with a
+  // memory plan computed for that orientation, then decide.
+  auto query_for = [&](runtime::SlabOrientation orient) {
+    const MemoryPlan mem = plan_memory(options.memory_strategy,
+                                       options.memory_budget_elements,
+                                       match.n, program.nprocs, orient);
+    GaxpyCostQuery q;
+    q.n = match.n;
+    q.nprocs = program.nprocs;
+    q.slab_a = mem.slab_a;
+    q.slab_b = mem.slab_b;
+    q.slab_c = mem.slab_c;
+    q.storage_reorganized = options.enable_storage_reorganization;
+    return std::pair<GaxpyCostQuery, MemoryPlan>(q, mem);
+  };
+
+  const auto [col_query, col_mem] =
+      query_for(runtime::SlabOrientation::kColumnSlabs);
+  const auto [row_query, row_mem] =
+      query_for(runtime::SlabOrientation::kRowSlabs);
+
+  if (options.enable_access_reorganization) {
+    // The decision uses the column-orientation memory plan for the column
+    // candidate and the row plan for the row candidate.
+    CostDecision decision;
+    decision.candidates.push_back(estimate_gaxpy_cost(
+        runtime::SlabOrientation::kColumnSlabs, col_query));
+    decision.candidates.push_back(
+        estimate_gaxpy_cost(runtime::SlabOrientation::kRowSlabs, row_query));
+    // Reuse the Figure 14 logic for the pick.
+    CostDecision canonical =
+        choose_access_reorganization(col_query, options.disk);
+    // Recompute the pick against the per-orientation plans' candidates.
+    const std::string dominant = canonical.dominant_array;
+    const CandidateCost* best = nullptr;
+    for (const CandidateCost& cand : decision.candidates) {
+      if (best == nullptr ||
+          cand.cost_of(dominant).data_elements <
+              best->cost_of(dominant).data_elements ||
+          (cand.cost_of(dominant).data_elements ==
+               best->cost_of(dominant).data_elements &&
+           cand.estimated_io_time_s(options.disk, program.nprocs) <
+               best->estimated_io_time_s(options.disk, program.nprocs))) {
+        best = &cand;
+      }
+    }
+    decision.chosen = *best;
+    decision.dominant_array = dominant;
+    decision.rationale = canonical.rationale;
+    decision.candidate_total_s.push_back(
+        estimate_gaxpy_total(runtime::SlabOrientation::kColumnSlabs,
+                             col_query, options.disk, options.machine)
+            .total_s());
+    decision.candidate_total_s.push_back(
+        estimate_gaxpy_total(runtime::SlabOrientation::kRowSlabs, row_query,
+                             options.disk, options.machine)
+            .total_s());
+    plan.cost = std::move(decision);
+    plan.a_orientation = plan.cost.chosen.a_orientation;
+  } else {
+    // Ablation: behave like the straightforward in-core extension.
+    CostDecision decision;
+    decision.candidates.push_back(estimate_gaxpy_cost(
+        runtime::SlabOrientation::kColumnSlabs, col_query));
+    decision.chosen = decision.candidates.front();
+    decision.dominant_array = match.a;
+    decision.rationale =
+        "access reorganization disabled: column slabs forced";
+    plan.cost = std::move(decision);
+    plan.a_orientation = runtime::SlabOrientation::kColumnSlabs;
+  }
+
+  plan.memory = plan.a_orientation == runtime::SlabOrientation::kColumnSlabs
+                    ? col_mem
+                    : row_mem;
+
+  // Prefetch double-buffers A: halve its slab so two buffers fit.
+  plan.prefetch = options.prefetch &&
+                  plan.a_orientation == runtime::SlabOrientation::kRowSlabs;
+  if (plan.prefetch) {
+    const std::int64_t nlc = (match.n + program.nprocs - 1) / program.nprocs;
+    plan.memory.slab_a = std::max<std::int64_t>(nlc, plan.memory.slab_a / 2);
+  }
+
+  // Out-of-core phase step 3: storage orders. A and C follow the chosen
+  // orientation when storage reorganization is enabled; B's column slabs
+  // are always contiguous in column-major order.
+  const io::StorageOrder ac_order =
+      options.enable_storage_reorganization
+          ? runtime::contiguous_order_for(plan.a_orientation)
+          : io::StorageOrder::kColumnMajor;
+
+  const ArrayInfo& a_info = program.array(match.a);
+  const ArrayInfo& b_info = program.array(match.b);
+  const ArrayInfo& c_info = program.array(match.c);
+  plan.arrays[match.a] =
+      PlanArray{match.a, a_info.dist, ac_order, plan.a_orientation,
+                plan.memory.slab_a, false,
+                ac_order != io::StorageOrder::kColumnMajor};
+  plan.arrays[match.b] =
+      PlanArray{match.b, b_info.dist, io::StorageOrder::kColumnMajor,
+                runtime::SlabOrientation::kColumnSlabs, plan.memory.slab_b,
+                false, false};
+  plan.arrays[match.c] =
+      PlanArray{match.c, c_info.dist, ac_order, plan.a_orientation,
+                plan.memory.slab_c, true,
+                ac_order != io::StorageOrder::kColumnMajor};
+  return plan;
+}
+
+NodeProgram lower_elementwise(const BoundProgram& program,
+                              const ElementwiseMatch& match,
+                              const CompileOptions& options) {
+  check_elementwise_layout(program, match);
+  NodeProgram plan;
+  plan.kind = ProgramKind::kElementwise;
+  plan.nprocs = program.nprocs;
+  plan.n = match.rows;
+  plan.elementwise_cols = match.cols;
+  plan.lhs = match.lhs;
+  plan.rhs = hpf::clone_expr(*match.rhs);
+  plan.forall_var = match.forall_var;
+  plan.memory_budget_elements = options.memory_budget_elements;
+
+  // Collect distinct arrays (lhs + rhs references).
+  std::vector<RefAccess> refs;
+  const LoopContext loops{"", match.forall_var};
+  collect_references(*match.rhs, program, loops, false, refs);
+  std::map<std::string, PlanArray> arrays;
+  const ArrayInfo& lhs_info = program.array(match.lhs);
+  arrays[match.lhs] = PlanArray{match.lhs, lhs_info.dist,
+                                io::StorageOrder::kColumnMajor,
+                                runtime::SlabOrientation::kColumnSlabs,
+                                0, true, false};
+  for (const RefAccess& ref : refs) {
+    if (!arrays.contains(ref.array)) {
+      const ArrayInfo& info = program.array(ref.array);
+      arrays[ref.array] = PlanArray{ref.array, info.dist,
+                                    io::StorageOrder::kColumnMajor,
+                                    runtime::SlabOrientation::kColumnSlabs,
+                                    0, false, false};
+    }
+  }
+
+  // Memory: equal slabs over the distinct arrays, floored at one column.
+  const std::int64_t local_rows = lhs_info.dist.local_rows(0);
+  const std::int64_t share = options.memory_budget_elements /
+                             static_cast<std::int64_t>(arrays.size());
+  OOCC_CHECK(share >= local_rows, ErrorCode::kResourceExhausted,
+             "memory budget of " << options.memory_budget_elements
+                                 << " elements cannot hold one column ("
+                                 << local_rows << " elements) per array for "
+                                 << arrays.size() << " arrays");
+  for (auto& [name, pa] : arrays) {
+    pa.slab_elements = share;
+  }
+  plan.arrays = std::move(arrays);
+  plan.memory.strategy = options.memory_strategy;
+  plan.memory.slab_a = share;
+  plan.memory.slab_b = share;
+  plan.memory.slab_c = share;
+  plan.memory.temp_elements = 0;
+  return plan;
+}
+
+}  // namespace
+
+NodeProgram compile(const BoundProgram& program,
+                    const CompileOptions& options) {
+  OOCC_REQUIRE(options.memory_budget_elements >= 1,
+               "memory budget must be positive");
+  if (auto gaxpy = match_gaxpy(program)) {
+    return lower_gaxpy(program, *gaxpy, options);
+  }
+  hpf::StmtPtr normalized;  // keeps a synthesized FORALL alive through lowering
+  if (auto elementwise = match_elementwise(program, normalized)) {
+    return lower_elementwise(program, *elementwise, options);
+  }
+  OOCC_THROW(ErrorCode::kCompileError,
+             "no supported statement pattern: expected the GAXPY reduction "
+             "nest (do/forall/SUM) or a single elementwise FORALL over "
+             "aligned sections");
+}
+
+NodeProgram compile_source(std::string_view source,
+                           const CompileOptions& options) {
+  return compile(hpf::analyze(hpf::parse(source)), options);
+}
+
+std::vector<NodeProgram> compile_sequence(const BoundProgram& program,
+                                          const CompileOptions& options) {
+  // A single statement (including the GAXPY nest) goes through compile();
+  // statement dependencies in longer sequences flow through the arrays'
+  // Local Array Files, so every statement lowers independently.
+  std::vector<NodeProgram> plans;
+  if (program.stmts.size() <= 1) {
+    plans.push_back(compile(program, options));
+    return plans;
+  }
+  for (std::size_t i = 0; i < program.stmts.size(); ++i) {
+    BoundProgram view;
+    view.nprocs = program.nprocs;
+    view.parameters = program.parameters;
+    view.arrays = program.arrays;
+    view.stmts.push_back(hpf::clone_stmt(*program.stmts[i]));
+    try {
+      plans.push_back(compile(view, options));
+    } catch (const Error& e) {
+      OOCC_THROW(ErrorCode::kCompileError,
+                 "statement " << i + 1 << " of the sequence: " << e.what());
+    }
+  }
+  return plans;
+}
+
+std::vector<NodeProgram> compile_sequence_source(
+    std::string_view source, const CompileOptions& options) {
+  return compile_sequence(hpf::analyze(hpf::parse(source)), options);
+}
+
+}  // namespace oocc::compiler

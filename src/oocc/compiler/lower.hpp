@@ -1,0 +1,70 @@
+// Lowering: the two-phase out-of-core compilation pipeline (Figure 7).
+//
+// In-core phase (done by hpf::analyze + the pattern matchers here):
+//   1. partition computation via the distribution directives,
+//   2. determine communication (the GAXPY pattern needs a global sum; the
+//      elementwise pattern is communication-free),
+//   3. local bounds come from ArrayDistribution.
+// Out-of-core phase (done here):
+//   1. stripmine the local iteration space by the ICLA sizes,
+//   2. estimate I/O costs per candidate orientation and *reorganize data
+//      accesses* (§4.1, Figure 14) — unless disabled for ablation,
+//   3. pick storage orders so the chosen slabs are contiguous on disk,
+//   4. divide node memory among the competing arrays (§4.2.1),
+//   5. emit the NodeProgram with I/O, compute and communication structure.
+#pragma once
+
+#include "oocc/compiler/plan.hpp"
+#include "oocc/hpf/sema.hpp"
+#include "oocc/io/disk_model.hpp"
+
+namespace oocc::compiler {
+
+struct CompileOptions {
+  /// Per-processor node memory available for ICLAs, in elements.
+  std::int64_t memory_budget_elements = 1 << 20;
+
+  MemoryStrategy memory_strategy = MemoryStrategy::kAccessWeighted;
+
+  /// §4.1 optimization switches (ablation study knobs):
+  /// when false, the compiler behaves like the straightforward extension
+  /// of the in-core compiler — column slabs, no storage reorganization.
+  bool enable_access_reorganization = true;
+  bool enable_storage_reorganization = true;
+
+  /// Double-buffer the dominant array's slabs (halves its slab size).
+  bool prefetch = false;
+
+  /// Disk model used for cost estimation (should match the machine the
+  /// plan will run on).
+  io::DiskModel disk = io::DiskModel::touchstone_delta_cfs();
+
+  /// Machine model for the end-to-end (compute + communication) time
+  /// predictions recorded in the decision report.
+  sim::MachineCostModel machine = sim::MachineCostModel::touchstone_delta();
+};
+
+/// Compiles the analyzed program to a node-program plan. Throws
+/// Error(kCompileError) when the statement list matches no supported
+/// pattern, with a diagnostic naming the obstacle.
+NodeProgram compile(const hpf::BoundProgram& program,
+                    const CompileOptions& options);
+
+/// Convenience: parse + analyze + compile HPF source text.
+NodeProgram compile_source(std::string_view source,
+                           const CompileOptions& options);
+
+/// Compiles a program whose top level is a *sequence* of supported
+/// statements (each an elementwise FORALL / array assignment, or the
+/// whole program being one GAXPY nest) into one plan per statement,
+/// executed in order by exec::execute_sequence. Dependencies between
+/// statements flow through the out-of-core arrays on disk, so no extra
+/// analysis is needed: statement i+1 simply reads what statement i wrote.
+std::vector<NodeProgram> compile_sequence(const hpf::BoundProgram& program,
+                                          const CompileOptions& options);
+
+/// Convenience: parse + analyze + compile_sequence.
+std::vector<NodeProgram> compile_sequence_source(
+    std::string_view source, const CompileOptions& options);
+
+}  // namespace oocc::compiler

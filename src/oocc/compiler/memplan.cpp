@@ -1,0 +1,100 @@
+#include "oocc/compiler/memplan.hpp"
+
+#include <algorithm>
+
+#include "oocc/hpf/distribution.hpp"
+#include "oocc/util/error.hpp"
+
+namespace oocc::compiler {
+
+std::string_view memory_strategy_name(MemoryStrategy s) noexcept {
+  switch (s) {
+    case MemoryStrategy::kEqualSplit:
+      return "equal-split";
+    case MemoryStrategy::kAccessWeighted:
+      return "access-weighted";
+  }
+  return "?";
+}
+
+MemoryPlan plan_memory(MemoryStrategy strategy, std::int64_t budget_elements,
+                       std::int64_t n, int nprocs,
+                       runtime::SlabOrientation a_orientation,
+                       const io::DiskModel& disk) {
+  OOCC_REQUIRE(n >= 1 && nprocs >= 1, "plan_memory needs n >= 1, P >= 1");
+  const std::int64_t nlc = (n + nprocs - 1) / nprocs;
+
+  // Floors: each ICLA must hold one natural access unit. A column slab of
+  // A/C spans n rows; a row slab of A spans nlc columns; B's ICLA columns
+  // are nlc elements; the reduction temp needs up to one output column.
+  const std::int64_t floor_a =
+      a_orientation == runtime::SlabOrientation::kColumnSlabs ? n : nlc;
+  const std::int64_t floor_b = nlc;
+  const std::int64_t floor_c = n;
+  const std::int64_t floor_temp = n;
+  const std::int64_t floors = floor_a + floor_b + floor_c + floor_temp;
+  OOCC_CHECK(budget_elements >= floors, ErrorCode::kResourceExhausted,
+             "memory budget of " << budget_elements << " elements cannot "
+             "cover the minimum working set of " << floors
+             << " elements (N=" << n << ", P=" << nprocs << ")");
+
+  MemoryPlan plan;
+  plan.strategy = strategy;
+  plan.slab_a = floor_a;
+  plan.slab_b = floor_b;
+  plan.slab_c = floor_c;
+  plan.temp_elements = floor_temp;
+  std::int64_t remaining = budget_elements - floors;
+
+  if (strategy == MemoryStrategy::kEqualSplit) {
+    const std::int64_t share = remaining / 3;
+    plan.slab_a += share;
+    plan.slab_b += share;
+    plan.slab_c += share;
+    return plan;
+  }
+
+  // Access-weighted (§4.2.1): search over divisions of the spare memory,
+  // scoring each with the estimator's predicted disk time. A grid search
+  // is cheap (the estimator is closed-form) and handles the feedback
+  // between slab sizes and access counts that a one-shot proportional rule
+  // gets wrong: shrinking A's slab multiplies B's re-reads in the row
+  // version, and starving C forces strided partial-width flushes.
+  const std::int64_t local = n * nlc;  // OCLA size (cap for every slab)
+  MemoryPlan best = plan;
+  double best_time = -1.0;
+  auto consider = [&](std::int64_t extra_a, std::int64_t extra_b,
+                      std::int64_t extra_c) {
+    MemoryPlan cand = plan;
+    cand.slab_a = std::min(floor_a + extra_a, local);
+    cand.slab_b = std::min(floor_b + extra_b, local);
+    cand.slab_c = std::min(floor_c + extra_c, local);
+    GaxpyCostQuery q;
+    q.n = n;
+    q.nprocs = nprocs;
+    q.slab_a = cand.slab_a;
+    q.slab_b = cand.slab_b;
+    q.slab_c = cand.slab_c;
+    const double t = estimate_gaxpy_cost(a_orientation, q)
+                         .estimated_io_time_s(disk, nprocs);
+    if (best_time < 0 || t < best_time) {
+      best_time = t;
+      best = cand;
+    }
+  };
+  // Seed with the equal split (so access-weighted never predicts worse
+  // than kEqualSplit) and the maximal-A division.
+  consider(remaining / 3, remaining / 3, remaining / 3);
+  consider(remaining, 0, 0);
+  constexpr int kSteps = 16;
+  for (int ai = 0; ai <= kSteps; ++ai) {
+    for (int bi = 0; ai + bi <= kSteps; ++bi) {
+      const std::int64_t extra_a = remaining * ai / kSteps;
+      const std::int64_t extra_b = remaining * bi / kSteps;
+      consider(extra_a, extra_b, remaining - extra_a - extra_b);
+    }
+  }
+  return best;
+}
+
+}  // namespace oocc::compiler

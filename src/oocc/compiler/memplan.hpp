@@ -1,0 +1,57 @@
+// Memory allocation among competing out-of-core arrays (§4.2.1, Table 2).
+//
+// Given the per-processor memory budget, the compiler must choose a slab
+// size for every out-of-core array in the statement. The paper compares
+// two policies:
+//   * equal split — every array gets the same share;
+//   * access-weighted — the most frequently accessed array (largest
+//     estimated T_data) gets the larger slab. Table 2 shows weighted
+//     allocation beating equal split (452 s vs 493-827 s variants).
+// Both are implemented; bench/table2_memory_alloc reproduces the sweep and
+// bench/ablation_optimizer compares the policies end to end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "oocc/compiler/cost.hpp"
+
+namespace oocc::compiler {
+
+enum class MemoryStrategy { kEqualSplit, kAccessWeighted };
+
+std::string_view memory_strategy_name(MemoryStrategy s) noexcept;
+
+/// Slab sizes (elements) for the three GAXPY arrays plus the reduction
+/// temporary the lowered code keeps in memory.
+struct MemoryPlan {
+  MemoryStrategy strategy = MemoryStrategy::kAccessWeighted;
+  std::int64_t slab_a = 0;
+  std::int64_t slab_b = 0;
+  std::int64_t slab_c = 0;
+  std::int64_t temp_elements = 0;
+  std::int64_t total() const noexcept {
+    return slab_a + slab_b + slab_c + temp_elements;
+  }
+};
+
+/// Computes slab sizes for the GAXPY statement on N x N arrays over
+/// `nprocs` processors within `budget_elements` per processor.
+///
+/// kEqualSplit divides the spare memory evenly. kAccessWeighted performs a
+/// grid search over divisions of the spare memory, scoring each division
+/// with the cost estimator's predicted disk time under `disk` — the
+/// "allocate memory according to access cost" policy of §4.2.1 (a search
+/// rather than a one-shot proportional rule, because slab sizes feed back
+/// into access counts: a smaller A slab means more sweeps of B).
+///
+/// Floors guarantee each ICLA holds at least one natural unit (a column of
+/// A/C, an nlc-row column of B, the temp vector); throws
+/// Error(kResourceExhausted) if the budget cannot cover the floors.
+MemoryPlan plan_memory(MemoryStrategy strategy, std::int64_t budget_elements,
+                       std::int64_t n, int nprocs,
+                       runtime::SlabOrientation a_orientation,
+                       const io::DiskModel& disk =
+                           io::DiskModel::touchstone_delta_cfs());
+
+}  // namespace oocc::compiler

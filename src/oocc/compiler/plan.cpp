@@ -1,0 +1,24 @@
+#include "oocc/compiler/plan.hpp"
+
+#include "oocc/util/error.hpp"
+
+namespace oocc::compiler {
+
+std::string_view program_kind_name(ProgramKind k) noexcept {
+  switch (k) {
+    case ProgramKind::kGaxpy:
+      return "gaxpy-reduction";
+    case ProgramKind::kElementwise:
+      return "elementwise-forall";
+  }
+  return "?";
+}
+
+const PlanArray& NodeProgram::array(const std::string& name) const {
+  const auto it = arrays.find(name);
+  OOCC_CHECK(it != arrays.end(), ErrorCode::kInvalidArgument,
+             "plan has no array named '" << name << "'");
+  return it->second;
+}
+
+}  // namespace oocc::compiler

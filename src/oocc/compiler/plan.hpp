@@ -1,0 +1,74 @@
+// The node-program plan — output of the out-of-core compiler.
+//
+// The paper's compiler emits "Node + MP + I/O code" (Figures 9/12). Our
+// equivalent is a NodeProgram: a structured description of the selected
+// translation — which kernel schema (GAXPY reduction or elementwise
+// FORALL), the chosen slab orientation, per-array storage orders and slab
+// sizes, the cost decision that justified them, and the memory plan. The
+// plan is executed by oocc::exec::execute() on the simulated machine and
+// can be rendered as Figure 9/12-style pseudo-code by compiler/pretty.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "oocc/compiler/cost.hpp"
+#include "oocc/compiler/memplan.hpp"
+#include "oocc/hpf/ast.hpp"
+#include "oocc/hpf/distribution.hpp"
+#include "oocc/io/laf.hpp"
+#include "oocc/runtime/slab_iter.hpp"
+
+namespace oocc::compiler {
+
+enum class ProgramKind {
+  kGaxpy,       ///< DO/FORALL/SUM reduction (Figure 3's pattern)
+  kElementwise  ///< communication-free FORALL over aligned sections
+};
+
+std::string_view program_kind_name(ProgramKind k) noexcept;
+
+/// Per-array placement decisions.
+struct PlanArray {
+  std::string name;
+  hpf::ArrayDistribution dist;
+  io::StorageOrder storage = io::StorageOrder::kColumnMajor;
+  runtime::SlabOrientation orientation =
+      runtime::SlabOrientation::kColumnSlabs;
+  std::int64_t slab_elements = 0;
+  bool is_output = false;
+  /// True when `storage` differs from the canonical column-major layout
+  /// data arrives in, so the runtime must reorganize the LAF first (§4.1).
+  bool needs_storage_reorganization = false;
+};
+
+struct NodeProgram {
+  ProgramKind kind = ProgramKind::kGaxpy;
+  int nprocs = 1;
+  std::int64_t n = 0;  ///< global N for GAXPY; rows for elementwise
+
+  // GAXPY schema.
+  std::string a;
+  std::string b;
+  std::string c;
+  runtime::SlabOrientation a_orientation =
+      runtime::SlabOrientation::kColumnSlabs;
+  bool prefetch = false;
+
+  // Elementwise schema.
+  std::string lhs;
+  hpf::ExprPtr rhs;  ///< cloned expression tree (NodeProgram is move-only)
+  std::string forall_var;
+  std::int64_t elementwise_cols = 0;
+
+  // Shared decisions.
+  std::map<std::string, PlanArray> arrays;
+  CostDecision cost;
+  MemoryPlan memory;
+  std::int64_t memory_budget_elements = 0;
+
+  const PlanArray& array(const std::string& name) const;
+};
+
+}  // namespace oocc::compiler

@@ -1,0 +1,151 @@
+#include "oocc/compiler/pretty.hpp"
+
+#include <sstream>
+
+namespace oocc::compiler {
+
+namespace {
+
+void emit_gaxpy_column(std::ostringstream& oss, const NodeProgram& p) {
+  oss << "C  Column-slab translation (straightforward extension, Fig. 9)\n"
+      << "C  slabs: " << p.a << "=" << p.memory.slab_a << " elems, " << p.b
+      << "=" << p.memory.slab_b << " elems, " << p.c << "="
+      << p.memory.slab_c << " elems\n"
+      << "   global_index = 0\n"
+      << "   do l = 1, slabs_of(" << p.b << ")\n"
+      << "      call READ_ICLA(" << p.b << ", slab l)\n"
+      << "      do m = 1, columns_in_icla(" << p.b << ")\n"
+      << "         global_index = global_index + 1\n"
+      << "         temp(1:N) = 0\n"
+      << "         do n = 1, slabs_of(" << p.a << ")\n"
+      << "            call READ_ICLA(" << p.a << ", slab n)    ! re-read "
+      << "every output column\n"
+      << "            do i = 1, columns_in_icla(" << p.a << ")\n"
+      << "               do j = 1, N\n"
+      << "                  temp(j) = temp(j) + " << p.a << "(j,i)*" << p.b
+      << "(col(i),m)\n"
+      << "               end do\n"
+      << "            end do\n"
+      << "         end do\n"
+      << "         call GLOBAL_SUM(temp, owner(global_index))\n"
+      << "         if (mynode .eq. owner(global_index)) then\n"
+      << "            store temp into ICLA of " << p.c << "\n"
+      << "            if (ICLA full) call WRITE_ICLA(" << p.c << ")\n"
+      << "         end if\n"
+      << "      end do\n"
+      << "   end do\n";
+}
+
+void emit_gaxpy_row(std::ostringstream& oss, const NodeProgram& p) {
+  oss << "C  Row-slab translation (reorganized accesses, Fig. 12)\n"
+      << "C  slabs: " << p.a << "=" << p.memory.slab_a << " elems"
+      << (p.prefetch ? " (double-buffered)" : "") << ", " << p.b << "="
+      << p.memory.slab_b << " elems, " << p.c << "=" << p.memory.slab_c
+      << " elems\n";
+  if (p.array(p.a).needs_storage_reorganization) {
+    oss << "   call REORGANIZE_STORAGE(" << p.a
+        << ", row-major)        ! one-time, amortized\n";
+  }
+  oss << "   do l = 1, slabs_of(" << p.a << ")\n"
+      << "      call READ_ICLA(" << p.a << ", row slab l)   ! fetched "
+      << "exactly once\n"
+      << "      global_index = 0\n"
+      << "      do n = 1, slabs_of(" << p.b << ")\n"
+      << "         call READ_ICLA(" << p.b << ", slab n)\n"
+      << "         do m = 1, columns_in_icla(" << p.b << ")\n"
+      << "            global_index = global_index + 1\n"
+      << "            temp(1:rows_in_slab) = 0\n"
+      << "            do i = 1, local_columns(" << p.a << ")\n"
+      << "               do j = 1, rows_in_slab\n"
+      << "                  temp(j) = temp(j) + " << p.a << "(j,i)*" << p.b
+      << "(i,m)\n"
+      << "               end do\n"
+      << "            end do\n"
+      << "            call GLOBAL_SUM(temp, owner(global_index))\n"
+      << "            if (mynode .eq. owner(global_index)) then\n"
+      << "               store temp as subcolumn of " << p.c << " ICLA\n"
+      << "               if (ICLA full) call WRITE_ICLA(" << p.c << ")\n"
+      << "            end if\n"
+      << "         end do\n"
+      << "      end do\n"
+      << "   end do\n";
+}
+
+void emit_elementwise(std::ostringstream& oss, const NodeProgram& p) {
+  oss << "C  Elementwise FORALL translation (no communication)\n"
+      << "   do s = 1, slabs_of(" << p.lhs << ")\n";
+  for (const auto& [name, pa] : p.arrays) {
+    if (!pa.is_output) {
+      oss << "      call READ_ICLA(" << name << ", slab s)\n";
+    }
+  }
+  oss << "      do each element (j,i) in slab s\n"
+      << "         " << p.lhs << "(j,i) = " << hpf::to_string(*p.rhs) << "\n"
+      << "      end do\n"
+      << "      call WRITE_ICLA(" << p.lhs << ", slab s)\n"
+      << "   end do\n";
+}
+
+}  // namespace
+
+std::string pseudo_code(const NodeProgram& plan) {
+  std::ostringstream oss;
+  oss << "C  (N,N) arrays over " << plan.nprocs << " processors, N = "
+      << plan.n << "\n";
+  switch (plan.kind) {
+    case ProgramKind::kGaxpy:
+      if (plan.a_orientation == runtime::SlabOrientation::kColumnSlabs) {
+        emit_gaxpy_column(oss, plan);
+      } else {
+        emit_gaxpy_row(oss, plan);
+      }
+      break;
+    case ProgramKind::kElementwise:
+      emit_elementwise(oss, plan);
+      break;
+  }
+  return oss.str();
+}
+
+std::string decision_report(const NodeProgram& plan) {
+  std::ostringstream oss;
+  oss << "kind: " << program_kind_name(plan.kind) << "\n";
+  oss << "processors: " << plan.nprocs << ", N: " << plan.n << "\n";
+  oss << "memory budget: " << plan.memory_budget_elements << " elements, "
+      << "strategy: " << memory_strategy_name(plan.memory.strategy) << "\n";
+  if (plan.kind == ProgramKind::kGaxpy) {
+    oss << "chosen orientation for '" << plan.a << "': "
+        << runtime::slab_orientation_name(plan.a_orientation)
+        << (plan.prefetch ? " (prefetching)" : "") << "\n";
+    oss << "slab sizes: " << plan.a << "=" << plan.memory.slab_a << " "
+        << plan.b << "=" << plan.memory.slab_b << " " << plan.c << "="
+        << plan.memory.slab_c << " temp=" << plan.memory.temp_elements
+        << "\n";
+    for (const auto& [name, pa] : plan.arrays) {
+      oss << "array '" << name << "': " << pa.dist.to_string() << ", stored "
+          << io::storage_order_name(pa.storage)
+          << (pa.needs_storage_reorganization ? " (reorganized)" : "")
+          << "\n";
+    }
+    oss << "candidates:\n";
+    for (std::size_t i = 0; i < plan.cost.candidates.size(); ++i) {
+      const CandidateCost& cand = plan.cost.candidates[i];
+      oss << "  " << runtime::slab_orientation_name(cand.a_orientation)
+          << ":";
+      for (const ArrayCost& a : cand.arrays) {
+        oss << "  " << a.array << "{T_fetch=" << a.fetch_requests
+            << ", T_data=" << a.data_elements << "}";
+      }
+      if (i < plan.cost.candidate_total_s.size()) {
+        oss << "  predicted_total=" << plan.cost.candidate_total_s[i] << "s";
+      }
+      oss << "\n";
+    }
+    oss << "rationale: " << plan.cost.rationale << "\n";
+  } else {
+    oss << "lhs: " << plan.lhs << " = " << hpf::to_string(*plan.rhs) << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace oocc::compiler

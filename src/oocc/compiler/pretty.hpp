@@ -1,0 +1,20 @@
+// Pseudo-code rendering of a compiled node program, in the style of the
+// paper's Figure 9 (column-slab version) and Figure 12 (row-slab version).
+// Used by examples and documentation so a reader can see exactly which
+// translation the compiler chose and where the I/O calls were inserted.
+#pragma once
+
+#include <string>
+
+#include "oocc/compiler/plan.hpp"
+
+namespace oocc::compiler {
+
+/// Renders the node program (loops, I/O calls, communication) as text.
+std::string pseudo_code(const NodeProgram& plan);
+
+/// One-paragraph summary of the compilation decisions: chosen orientation,
+/// storage orders, slab sizes, estimated costs and the Figure 14 rationale.
+std::string decision_report(const NodeProgram& plan);
+
+}  // namespace oocc::compiler

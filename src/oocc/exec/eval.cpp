@@ -1,0 +1,45 @@
+#include "oocc/exec/eval.hpp"
+
+#include "oocc/util/error.hpp"
+
+namespace oocc::exec {
+
+double eval_element(const hpf::Expr& e, const EvalEnv& env) {
+  switch (e.kind) {
+    case hpf::ExprKind::kIntConst:
+      return static_cast<double>(e.int_value);
+    case hpf::ExprKind::kVarRef:
+      OOCC_CHECK(e.name == env.forall_var, ErrorCode::kRuntimeError,
+                 "unbound scalar '" << e.name << "' in compiled expression");
+      return static_cast<double>(env.forall_value);
+    case hpf::ExprKind::kBinary: {
+      const double a = eval_element(*e.lhs, env);
+      const double b = eval_element(*e.rhs, env);
+      switch (e.op) {
+        case hpf::BinOp::kAdd:
+          return a + b;
+        case hpf::BinOp::kSub:
+          return a - b;
+        case hpf::BinOp::kMul:
+          return a * b;
+        case hpf::BinOp::kDiv:
+          return a / b;
+      }
+      return 0.0;
+    }
+    case hpf::ExprKind::kArrayRef: {
+      OOCC_CHECK(env.buffers != nullptr, ErrorCode::kRuntimeError,
+                 "no slab buffers bound");
+      const auto it = env.buffers->find(e.name);
+      OOCC_CHECK(it != env.buffers->end(), ErrorCode::kRuntimeError,
+                 "array '" << e.name << "' has no bound slab");
+      return it->second->at(env.row, env.col_rel);
+    }
+    case hpf::ExprKind::kSumIntrinsic:
+      OOCC_THROW(ErrorCode::kRuntimeError,
+                 "SUM intrinsic cannot appear in an elementwise plan");
+  }
+  return 0.0;
+}
+
+}  // namespace oocc::exec

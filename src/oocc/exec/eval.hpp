@@ -1,0 +1,37 @@
+// Element-level expression evaluation for compiled elementwise FORALLs.
+//
+// The lowered elementwise plan keeps the right-hand side as an expression
+// tree; the interpreter evaluates it once per element with the referenced
+// arrays' slabs bound to ICLA buffers. Supported leaves: integer
+// constants, the FORALL index (its 1-based Fortran value), parameters
+// folded by sema, and array references of the (full-range, forall-index)
+// shape.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "oocc/hpf/ast.hpp"
+#include "oocc/runtime/icla.hpp"
+
+namespace oocc::exec {
+
+struct EvalEnv {
+  /// Row within the current slab section (0-based local).
+  std::int64_t row = 0;
+  /// Column within the current slab section (0-based, section-relative).
+  std::int64_t col_rel = 0;
+  /// Name and 1-based value of the FORALL index for this element.
+  std::string forall_var;
+  std::int64_t forall_value = 0;
+  /// Slab buffers for every referenced array (all aligned on the same
+  /// section because operands are identically distributed).
+  const std::map<std::string, const runtime::IclaBuffer*>* buffers = nullptr;
+};
+
+/// Evaluates `e` for one element. Throws Error(kRuntimeError) on
+/// unsupported node kinds (which lowering should have rejected).
+double eval_element(const hpf::Expr& e, const EvalEnv& env);
+
+}  // namespace oocc::exec

@@ -1,0 +1,215 @@
+#include "oocc/exec/interp.hpp"
+
+#include "oocc/exec/eval.hpp"
+#include "oocc/gaxpy/gaxpy.hpp"
+#include "oocc/runtime/slab_iter.hpp"
+#include "oocc/util/error.hpp"
+
+namespace oocc::exec {
+
+namespace {
+
+runtime::OutOfCoreArray& bound(const ArrayBindings& arrays,
+                               const std::string& name) {
+  const auto it = arrays.find(name);
+  OOCC_CHECK(it != arrays.end() && it->second != nullptr,
+             ErrorCode::kRuntimeError,
+             "plan array '" << name << "' is not bound");
+  return *it->second;
+}
+
+void check_binding(const compiler::NodeProgram& plan,
+                   const runtime::OutOfCoreArray& array) {
+  const compiler::PlanArray& pa = plan.array(array.name());
+  OOCC_CHECK(array.laf().order() == pa.storage, ErrorCode::kRuntimeError,
+             "array '" << array.name() << "' is stored "
+                       << io::storage_order_name(array.laf().order())
+                       << " but the plan requires "
+                       << io::storage_order_name(pa.storage)
+                       << " (create it with create_plan_arrays, or "
+                          "reorganize the LAF first)");
+  OOCC_CHECK(array.dist() == pa.dist, ErrorCode::kRuntimeError,
+             "array '" << array.name() << "' distribution "
+                       << array.dist().to_string()
+                       << " does not match the plan's "
+                       << pa.dist.to_string());
+}
+
+void execute_gaxpy(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
+                   const ArrayBindings& arrays) {
+  runtime::OutOfCoreArray& a = bound(arrays, plan.a);
+  runtime::OutOfCoreArray& b = bound(arrays, plan.b);
+  runtime::OutOfCoreArray& c = bound(arrays, plan.c);
+  check_binding(plan, a);
+  check_binding(plan, b);
+  check_binding(plan, c);
+
+  gaxpy::GaxpyConfig config;
+  config.slab_a_elements = plan.memory.slab_a;
+  config.slab_b_elements = plan.memory.slab_b;
+  config.slab_c_elements = plan.memory.slab_c;
+  config.prefetch = plan.prefetch;
+
+  runtime::MemoryBudget budget(plan.memory_budget_elements);
+  if (plan.a_orientation == runtime::SlabOrientation::kColumnSlabs) {
+    gaxpy::ooc_gaxpy_column_slabs(ctx, a, b, c, budget, config);
+  } else {
+    gaxpy::ooc_gaxpy_row_slabs(ctx, a, b, c, budget, config);
+  }
+}
+
+void execute_elementwise(sim::SpmdContext& ctx,
+                         const compiler::NodeProgram& plan,
+                         const ArrayBindings& arrays) {
+  runtime::OutOfCoreArray& lhs = bound(arrays, plan.lhs);
+  check_binding(plan, lhs);
+
+  // Inputs: every plan array except the output.
+  std::vector<runtime::OutOfCoreArray*> inputs;
+  for (const auto& [name, pa] : plan.arrays) {
+    if (!pa.is_output) {
+      runtime::OutOfCoreArray& in = bound(arrays, name);
+      check_binding(plan, in);
+      inputs.push_back(&in);
+    }
+  }
+
+  runtime::MemoryBudget budget(plan.memory_budget_elements);
+  const std::int64_t slab = plan.array(plan.lhs).slab_elements;
+  runtime::SlabIterator slabs(lhs.local_rows(), lhs.local_cols(),
+                              runtime::SlabOrientation::kColumnSlabs, slab);
+
+  runtime::IclaBuffer out(budget, slabs.slab_elements(), "icla_" + plan.lhs);
+  std::map<std::string, std::unique_ptr<runtime::IclaBuffer>> in_bufs;
+  std::map<std::string, const runtime::IclaBuffer*> buffer_view;
+  for (runtime::OutOfCoreArray* in : inputs) {
+    auto buf = std::make_unique<runtime::IclaBuffer>(
+        budget, slabs.slab_elements(), "icla_" + in->name());
+    buffer_view[in->name()] = buf.get();
+    in_bufs[in->name()] = std::move(buf);
+  }
+  // The output's own slab participates too when the lhs array also appears
+  // on the rhs (e.g. x = x * 2).
+  buffer_view[plan.lhs] = &out;
+
+  for (std::int64_t s = 0; s < slabs.count(); ++s) {
+    const io::Section sec = slabs.section(s);
+    for (runtime::OutOfCoreArray* in : inputs) {
+      in_bufs[in->name()]->load(ctx, in->laf(), sec);
+    }
+    // If lhs is read on the rhs, its current contents must be loaded; the
+    // copy-in/copy-out FORALL semantics then hold because each element is
+    // written exactly once from values read before any write.
+    bool lhs_on_rhs = false;
+    {
+      std::vector<const hpf::Expr*> stack{plan.rhs.get()};
+      while (!stack.empty()) {
+        const hpf::Expr* e = stack.back();
+        stack.pop_back();
+        if (e->kind == hpf::ExprKind::kArrayRef && e->name == plan.lhs) {
+          lhs_on_rhs = true;
+        }
+        if (e->lhs) stack.push_back(e->lhs.get());
+        if (e->rhs) stack.push_back(e->rhs.get());
+      }
+    }
+    if (lhs_on_rhs) {
+      out.load(ctx, lhs.laf(), sec);
+    } else {
+      out.reset_section(sec);
+    }
+
+    EvalEnv env;
+    env.forall_var = plan.forall_var;
+    env.buffers = &buffer_view;
+    for (std::int64_t c = 0; c < sec.cols(); ++c) {
+      // FORALL index is the 1-based global column number.
+      env.forall_value =
+          lhs.dist().local_to_global_col(ctx.rank(), sec.col0 + c) + 1;
+      env.col_rel = c;
+      for (std::int64_t r = 0; r < sec.rows(); ++r) {
+        env.row = r;
+        out.at(r, c) = eval_element(*plan.rhs, env);
+      }
+    }
+    ctx.charge_flops(static_cast<double>(sec.elements()));
+    out.store_as(ctx, lhs.laf(), sec);
+  }
+}
+
+}  // namespace
+
+std::map<std::string, std::unique_ptr<runtime::OutOfCoreArray>>
+create_plan_arrays(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
+                   const std::filesystem::path& dir,
+                   const io::DiskModel& disk) {
+  std::map<std::string, std::unique_ptr<runtime::OutOfCoreArray>> out;
+  for (const auto& [name, pa] : plan.arrays) {
+    out[name] = std::make_unique<runtime::OutOfCoreArray>(
+        ctx, dir, name, pa.dist, pa.storage, disk);
+  }
+  return out;
+}
+
+void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
+             const ArrayBindings& arrays) {
+  OOCC_CHECK(ctx.nprocs() == plan.nprocs, ErrorCode::kRuntimeError,
+             "plan was compiled for " << plan.nprocs
+                                      << " processors but the machine has "
+                                      << ctx.nprocs());
+  switch (plan.kind) {
+    case compiler::ProgramKind::kGaxpy:
+      execute_gaxpy(ctx, plan, arrays);
+      return;
+    case compiler::ProgramKind::kElementwise:
+      execute_elementwise(ctx, plan, arrays);
+      return;
+  }
+}
+
+std::map<std::string, std::unique_ptr<runtime::OutOfCoreArray>>
+create_sequence_arrays(sim::SpmdContext& ctx,
+                       std::span<const compiler::NodeProgram> plans,
+                       const std::filesystem::path& dir,
+                       const io::DiskModel& disk) {
+  std::map<std::string, const compiler::PlanArray*> merged;
+  for (const compiler::NodeProgram& plan : plans) {
+    for (const auto& [name, pa] : plan.arrays) {
+      const auto it = merged.find(name);
+      if (it == merged.end()) {
+        merged[name] = &pa;
+        continue;
+      }
+      OOCC_CHECK(it->second->storage == pa.storage &&
+                     it->second->dist == pa.dist,
+                 ErrorCode::kCompileError,
+                 "array '" << name << "' is placed differently by two plans "
+                 "of the sequence (storage "
+                     << io::storage_order_name(it->second->storage) << " vs "
+                     << io::storage_order_name(pa.storage) << ")");
+    }
+  }
+  std::map<std::string, std::unique_ptr<runtime::OutOfCoreArray>> out;
+  for (const auto& [name, pa] : merged) {
+    out[name] = std::make_unique<runtime::OutOfCoreArray>(
+        ctx, dir, name, pa->dist, pa->storage, disk);
+  }
+  return out;
+}
+
+void execute_sequence(sim::SpmdContext& ctx,
+                      std::span<const compiler::NodeProgram> plans,
+                      const ArrayBindings& arrays) {
+  for (const compiler::NodeProgram& plan : plans) {
+    ArrayBindings subset;
+    for (const auto& [name, pa] : plan.arrays) {
+      const auto it = arrays.find(name);
+      OOCC_CHECK(it != arrays.end(), ErrorCode::kRuntimeError,
+                 "sequence binding is missing array '" << name << "'");
+      subset[name] = it->second;
+    }
+    execute(ctx, plan, subset);
+  }
+}
+
+}  // namespace oocc::exec

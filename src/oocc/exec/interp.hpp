@@ -1,0 +1,53 @@
+// Plan interpreter: runs a compiled NodeProgram on the simulated machine.
+//
+// This closes the loop the paper describes: HPF source -> two-phase
+// compilation -> node program with explicit I/O and message passing ->
+// execution on the distributed-memory machine. The GAXPY schema
+// dispatches to the Figure 9 / Figure 12 kernels per the plan's chosen
+// orientation; the elementwise schema streams aligned slabs and evaluates
+// the compiled expression per element.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <span>
+
+#include "oocc/compiler/plan.hpp"
+#include "oocc/runtime/ooc_array.hpp"
+
+namespace oocc::exec {
+
+/// Per-processor set of arrays bound to a plan.
+using ArrayBindings = std::map<std::string, runtime::OutOfCoreArray*>;
+
+/// Creates one OutOfCoreArray per plan array (with the plan's storage
+/// orders) under `dir`. Call inside the SPMD region.
+std::map<std::string, std::unique_ptr<runtime::OutOfCoreArray>>
+create_plan_arrays(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
+                   const std::filesystem::path& dir,
+                   const io::DiskModel& disk);
+
+/// Executes the plan. `arrays` must contain every plan array, created with
+/// the plan's storage orders (create_plan_arrays does this); a memory
+/// budget of plan.memory_budget_elements is enforced. Collective: every
+/// rank calls it. Throws Error(kRuntimeError) on binding mismatches.
+void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
+             const ArrayBindings& arrays);
+
+/// Creates the union of arrays across a compiled statement sequence.
+/// Throws Error(kCompileError) if two plans disagree about an array's
+/// storage order or distribution.
+std::map<std::string, std::unique_ptr<runtime::OutOfCoreArray>>
+create_sequence_arrays(sim::SpmdContext& ctx,
+                       std::span<const compiler::NodeProgram> plans,
+                       const std::filesystem::path& dir,
+                       const io::DiskModel& disk);
+
+/// Executes every plan of a compiled sequence in order; dependencies flow
+/// through the arrays' Local Array Files. Collective.
+void execute_sequence(sim::SpmdContext& ctx,
+                      std::span<const compiler::NodeProgram> plans,
+                      const ArrayBindings& arrays);
+
+}  // namespace oocc::exec

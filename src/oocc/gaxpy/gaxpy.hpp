@@ -1,0 +1,69 @@
+// Distributed GAXPY matrix multiplication kernels — the paper's running
+// example, in the three forms it analyzes:
+//
+//  * in_core_gaxpy         — Figure 5: the hand-coded in-core node program
+//                            (arrays read from disk once, then held in
+//                            memory). Table 1's "In-core" row.
+//  * ooc_gaxpy_column_slabs — Figure 9: the straightforward extension of
+//                            in-core compilation: A swept in column slabs
+//                            once per output column. T_fetch = N^3/(M*P).
+//  * ooc_gaxpy_row_slabs   — Figure 12: the reorganized access pattern:
+//                            A swept once in row slabs. T_fetch = N^2/(M*P).
+//
+// C = A * B with A, C column-block and B row-block distributed over P
+// processors (Figure 6), all three stored out of core in Local Array
+// Files. These kernels compute real results (validated against
+// serial_matmul in the tests) while charging simulated compute, I/O and
+// communication costs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oocc/runtime/icla.hpp"
+#include "oocc/runtime/ooc_array.hpp"
+#include "oocc/sim/machine.hpp"
+
+namespace oocc::gaxpy {
+
+/// Slab-size configuration (in elements) for the out-of-core kernels.
+/// §4.2.1: the compiler divides the node memory budget among the three
+/// competing arrays; Table 2 varies slab_a/slab_b independently.
+struct GaxpyConfig {
+  std::int64_t slab_a_elements = 0;
+  std::int64_t slab_b_elements = 0;
+  std::int64_t slab_c_elements = 0;
+  bool prefetch = false;  ///< double-buffer A's slabs (row-slab kernel only)
+};
+
+/// Figure 9 (column-slab version). Expects A, C column-block and B
+/// row-block over ctx.nprocs() processors, square N x N. Works with any
+/// LAF storage orders; requests are charged per contiguous extent, so
+/// column-major A/B/C is the natural (cheapest) layout here.
+void ooc_gaxpy_column_slabs(sim::SpmdContext& ctx,
+                            runtime::OutOfCoreArray& a,
+                            runtime::OutOfCoreArray& b,
+                            runtime::OutOfCoreArray& c,
+                            runtime::MemoryBudget& budget,
+                            const GaxpyConfig& config);
+
+/// Figure 12 (row-slab version). Same distributions; A is swept once in
+/// row slabs (cheapest when A's LAF is row-major — the compiler pairs this
+/// kernel with storage reorganization), B is re-read once per A slab.
+void ooc_gaxpy_row_slabs(sim::SpmdContext& ctx, runtime::OutOfCoreArray& a,
+                         runtime::OutOfCoreArray& b,
+                         runtime::OutOfCoreArray& c,
+                         runtime::MemoryBudget& budget,
+                         const GaxpyConfig& config);
+
+/// Figure 5 baseline: one initial read of the full local arrays, all
+/// compute in memory, one final write of local C.
+void in_core_gaxpy(sim::SpmdContext& ctx, runtime::OutOfCoreArray& a,
+                   runtime::OutOfCoreArray& b, runtime::OutOfCoreArray& c);
+
+/// Serial reference multiply of column-major n x n globals (for tests).
+std::vector<double> serial_matmul(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  std::int64_t n);
+
+}  // namespace oocc::gaxpy

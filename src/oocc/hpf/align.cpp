@@ -1,0 +1,44 @@
+#include "oocc/hpf/align.hpp"
+
+#include "oocc/util/error.hpp"
+
+namespace oocc::hpf {
+
+ArrayDistribution resolve_alignment(const std::vector<AlignDim>& dims,
+                                    const TemplateInfo& tmpl,
+                                    std::int64_t rows, std::int64_t cols,
+                                    const std::string& array_name) {
+  const int rank = cols == 1 && dims.size() == 1 ? 1 : 2;
+  OOCC_CHECK(dims.size() == static_cast<std::size_t>(rank),
+             ErrorCode::kSemanticError,
+             "align spec for '" << array_name << "' has " << dims.size()
+                                << " positions but the array has rank "
+                                << rank);
+
+  int aligned_dim = -1;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i] == AlignDim::kColon) {
+      OOCC_CHECK(aligned_dim == -1, ErrorCode::kSemanticError,
+                 "align spec for '" << array_name
+                                    << "' aligns more than one dimension "
+                                       "with a 1-D template");
+      aligned_dim = static_cast<int>(i);
+    }
+  }
+  OOCC_CHECK(aligned_dim != -1, ErrorCode::kSemanticError,
+             "align spec for '" << array_name
+                                << "' aligns no dimension (all '*')");
+
+  const std::int64_t aligned_extent = aligned_dim == 0 ? rows : cols;
+  OOCC_CHECK(aligned_extent == tmpl.extent, ErrorCode::kSemanticError,
+             "dimension " << aligned_dim + 1 << " of '" << array_name
+                          << "' has extent " << aligned_extent
+                          << " but template '" << tmpl.name << "' has extent "
+                          << tmpl.extent);
+
+  const DistAxis axis = aligned_dim == 0 ? DistAxis::kRows : DistAxis::kCols;
+  return ArrayDistribution(rows, cols, axis, tmpl.kind, tmpl.nprocs,
+                           tmpl.block);
+}
+
+}  // namespace oocc::hpf

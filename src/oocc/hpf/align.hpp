@@ -1,0 +1,38 @@
+// Resolution of ALIGN directives onto distributed templates.
+//
+// The subset uses 1-D templates: `align (*,:) with d :: a` aligns a's
+// second dimension with template d, so d's DISTRIBUTE determines how a's
+// columns are divided among processors; '*' positions are collapsed (the
+// processor holds the full extent of that dimension). This is how the
+// paper obtains column-block A/C and row-block B from one BLOCK template.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oocc/hpf/ast.hpp"
+#include "oocc/hpf/distribution.hpp"
+
+namespace oocc::hpf {
+
+/// A template bound to its DISTRIBUTE directive.
+struct TemplateInfo {
+  std::string name;
+  std::int64_t extent = 0;
+  DistKind kind = DistKind::kBlock;
+  std::int64_t block = 0;  ///< block size for kBlockCyclic
+  int nprocs = 1;
+};
+
+/// Computes the distribution of a `rows` x `cols` array (rank 1 arrays use
+/// cols == 1 and a single align dim) from its align spec and the template.
+/// Throws Error(kSemanticError) when the spec arity mismatches the rank,
+/// more or fewer than one dimension is aligned, or the aligned extent does
+/// not match the template extent.
+ArrayDistribution resolve_alignment(const std::vector<AlignDim>& dims,
+                                    const TemplateInfo& tmpl,
+                                    std::int64_t rows, std::int64_t cols,
+                                    const std::string& array_name);
+
+}  // namespace oocc::hpf

@@ -1,0 +1,215 @@
+#include "oocc/hpf/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "oocc/util/error.hpp"
+
+namespace oocc::hpf {
+namespace {
+
+bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+char to_lower(char c) noexcept {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+bool iequals_prefix(std::string_view text, std::size_t pos,
+                    std::string_view prefix) noexcept {
+  if (pos + prefix.size() > text.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (to_lower(text[pos + i]) != prefix[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view source) : src_(source) {}
+
+  std::vector<Token> run() {
+    while (pos_ < src_.size()) {
+      lex_line();
+    }
+    push_simple(TokenKind::kEof, 0);
+    return std::move(tokens_);
+  }
+
+ private:
+  void lex_line() {
+    const std::size_t line_start = pos_;
+    line_no_++;
+    bool emitted_any = false;
+
+    // Classic comment line: first non-blank char is 'c'/'C' followed by
+    // whitespace (e.g. "C Partition the arrays ...").
+    std::size_t scan = pos_;
+    while (scan < src_.size() && (src_[scan] == ' ' || src_[scan] == '\t')) {
+      ++scan;
+    }
+    if (scan < src_.size() && to_lower(src_[scan]) == 'c' &&
+        (scan + 1 >= src_.size() || src_[scan + 1] == ' ' ||
+         src_[scan + 1] == '\t' || src_[scan + 1] == '\n')) {
+      skip_to_eol();
+      return;
+    }
+
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      const char c = src_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+        continue;
+      }
+      if (c == '!') {
+        if (iequals_prefix(src_, pos_, "!hpf$")) {
+          push_simple(TokenKind::kDirective, column_of(line_start));
+          pos_ += 5;
+          emitted_any = true;
+          continue;
+        }
+        skip_to_eol_body();
+        break;
+      }
+      emitted_any = true;
+      if (is_ident_start(c)) {
+        lex_identifier(line_start);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        lex_integer(line_start);
+        continue;
+      }
+      lex_punct(line_start);
+    }
+    if (emitted_any) {
+      push_simple(TokenKind::kEol, column_of(line_start));
+    }
+    skip_to_eol();
+  }
+
+  void lex_identifier(std::size_t line_start) {
+    Token t;
+    t.kind = TokenKind::kIdentifier;
+    t.line = line_no_;
+    t.column = column_of(line_start);
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) {
+      t.text.push_back(to_lower(src_[pos_]));
+      ++pos_;
+    }
+    tokens_.push_back(std::move(t));
+  }
+
+  void lex_integer(std::size_t line_start) {
+    Token t;
+    t.kind = TokenKind::kInteger;
+    t.line = line_no_;
+    t.column = column_of(line_start);
+    while (pos_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_])) != 0) {
+      t.text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+    tokens_.push_back(std::move(t));
+  }
+
+  void lex_punct(std::size_t line_start) {
+    const int col = column_of(line_start);
+    const char c = src_[pos_];
+    switch (c) {
+      case '(':
+        ++pos_;
+        push_simple(TokenKind::kLParen, col);
+        return;
+      case ')':
+        ++pos_;
+        push_simple(TokenKind::kRParen, col);
+        return;
+      case ',':
+        ++pos_;
+        push_simple(TokenKind::kComma, col);
+        return;
+      case ':':
+        ++pos_;
+        if (pos_ < src_.size() && src_[pos_] == ':') {
+          ++pos_;
+          push_simple(TokenKind::kDoubleColon, col);
+        } else {
+          push_simple(TokenKind::kColon, col);
+        }
+        return;
+      case '=':
+        ++pos_;
+        push_simple(TokenKind::kAssign, col);
+        return;
+      case '+':
+        ++pos_;
+        push_simple(TokenKind::kPlus, col);
+        return;
+      case '-':
+        ++pos_;
+        push_simple(TokenKind::kMinus, col);
+        return;
+      case '*':
+        ++pos_;
+        push_simple(TokenKind::kStar, col);
+        return;
+      case '/':
+        ++pos_;
+        push_simple(TokenKind::kSlash, col);
+        return;
+      default:
+        OOCC_THROW(ErrorCode::kParseError,
+                   "illegal character '" << c << "' at line " << line_no_
+                                         << ", column " << col);
+    }
+  }
+
+  int column_of(std::size_t line_start) const noexcept {
+    return static_cast<int>(pos_ - line_start) + 1;
+  }
+
+  void push_simple(TokenKind kind, int column) {
+    Token t;
+    t.kind = kind;
+    t.line = line_no_;
+    t.column = column;
+    tokens_.push_back(std::move(t));
+  }
+
+  void skip_to_eol_body() {
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      ++pos_;
+    }
+  }
+
+  void skip_to_eol() {
+    skip_to_eol_body();
+    if (pos_ < src_.size()) {
+      ++pos_;  // consume '\n'
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_no_ = 0;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  return LexerImpl(source).run();
+}
+
+}  // namespace oocc::hpf

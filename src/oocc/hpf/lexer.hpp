@@ -1,0 +1,22 @@
+// Lexer for the HPF subset.
+//
+// Handling of Fortran-isms:
+//  - case-insensitive: identifiers/keywords are lower-cased;
+//  - `!` starts a comment to end of line, EXCEPT `!hpf$` which begins a
+//    directive line and is emitted as a kDirective token;
+//  - a line whose first non-blank character is `c` or `C` followed by a
+//    space is a classic comment line and is skipped entirely;
+//  - blank lines produce no tokens; lines with tokens end with kEol.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "oocc/hpf/token.hpp"
+
+namespace oocc::hpf {
+
+/// Tokenizes `source`; throws Error(kParseError) on illegal characters.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace oocc::hpf

@@ -1,0 +1,39 @@
+// Recursive-descent parser for the HPF subset.
+//
+// Grammar (EOL = end of source line; keywords case-insensitive):
+//   program    := line* 'end'
+//   line       := parameter | real_decl | directive | stmt
+//   parameter  := 'parameter' '(' ident '=' int {',' ident '=' int} ')'
+//   real_decl  := 'real' decl {',' decl}
+//   decl       := ident '(' expr [',' expr] ')'
+//   directive  := '!hpf$' (processors | template | distribute | align)
+//   processors := 'processors' ident '(' expr ')'
+//   template   := 'template' ident '(' expr ')'
+//   distribute := 'distribute' ident '(' distspec ')' ('onto'|'on') ident
+//   distspec   := 'block' | 'cyclic' ['(' expr ')']
+//   align      := 'align' '(' ('*'|':') {',' ('*'|':')} ')' 'with' ident
+//                 '::' ident {',' ident}
+//   stmt       := do | forall | assign
+//   do         := 'do' ident '=' expr ',' expr EOL stmt* 'end' 'do'
+//   forall     := 'forall' '(' ident '=' expr ':' expr ')' EOL stmt*
+//                 'end' 'forall'
+//   assign     := array_ref '=' (sum | expr)
+//   sum        := 'sum' '(' ident ',' int ')'
+//   expr       := term {('+'|'-') term}
+//   term       := factor {('*'|'/') factor}
+//   factor     := int | '-' factor | '(' expr ')'
+//               | ident ['(' subscript {',' subscript} ')']
+//   subscript  := ':' | expr [':' expr]
+#pragma once
+
+#include <string_view>
+
+#include "oocc/hpf/ast.hpp"
+
+namespace oocc::hpf {
+
+/// Parses HPF source text into an AST. Throws Error(kParseError) with a
+/// line/column diagnostic on malformed input.
+Program parse(std::string_view source);
+
+}  // namespace oocc::hpf

@@ -1,0 +1,20 @@
+// Canonical HPF source programs used by tests, examples and benches.
+//
+// gaxpy_source() reproduces the paper's Figure 3 (parameterized in N and
+// P); the others exercise the elementwise FORALL path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace oocc::hpf {
+
+/// The Figure 3 GAXPY matrix-multiplication program.
+std::string gaxpy_source(std::int64_t n, int nprocs);
+
+/// `y(1:n,k) = x(1:n,k)*alpha + k` — a communication-free elementwise
+/// FORALL over two column-block arrays.
+std::string elementwise_source(std::int64_t rows, std::int64_t cols,
+                               int nprocs, std::int64_t alpha);
+
+}  // namespace oocc::hpf

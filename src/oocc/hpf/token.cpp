@@ -1,0 +1,41 @@
+#include "oocc/hpf/token.hpp"
+
+namespace oocc::hpf {
+
+std::string_view token_kind_name(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kDirective:
+      return "!hpf$";
+    case TokenKind::kLParen:
+      return "(";
+    case TokenKind::kRParen:
+      return ")";
+    case TokenKind::kComma:
+      return ",";
+    case TokenKind::kColon:
+      return ":";
+    case TokenKind::kDoubleColon:
+      return "::";
+    case TokenKind::kAssign:
+      return "=";
+    case TokenKind::kPlus:
+      return "+";
+    case TokenKind::kMinus:
+      return "-";
+    case TokenKind::kStar:
+      return "*";
+    case TokenKind::kSlash:
+      return "/";
+    case TokenKind::kEol:
+      return "end-of-line";
+    case TokenKind::kEof:
+      return "end-of-file";
+  }
+  return "?";
+}
+
+}  // namespace oocc::hpf

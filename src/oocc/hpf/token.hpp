@@ -1,0 +1,48 @@
+// Tokens of the HPF subset accepted by the front end.
+//
+// The subset is line-oriented like Fortran: end-of-line terminates a
+// statement (kEol tokens are significant). Keywords are case-insensitive;
+// identifiers are normalized to lower case. HPF directives appear on lines
+// beginning with `!hpf$` and are lexed into the same token stream with a
+// leading kDirective marker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace oocc::hpf {
+
+enum class TokenKind {
+  kIdentifier,  ///< normalized to lower case
+  kInteger,     ///< 64-bit literal
+  kDirective,   ///< the `!hpf$` sentinel starting a directive line
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kDoubleColon,  ///< ::
+  kAssign,       ///< =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEol,  ///< end of a source line holding tokens
+  kEof
+};
+
+std::string_view token_kind_name(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;          ///< identifier text (lower-cased) or literal text
+  std::int64_t int_value = 0;  ///< value for kInteger
+  int line = 0;              ///< 1-based source line
+  int column = 0;            ///< 1-based source column
+
+  bool is_keyword(std::string_view kw) const noexcept {
+    return kind == TokenKind::kIdentifier && text == kw;
+  }
+};
+
+}  // namespace oocc::hpf

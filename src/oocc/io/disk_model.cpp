@@ -1,0 +1,2 @@
+// disk_model.hpp is header-only; this TU anchors the module in the build.
+#include "oocc/io/disk_model.hpp"

@@ -1,0 +1,87 @@
+// POSIX-file backend for Local Array Files, plus a RAII temporary directory.
+//
+// The simulated "disks" are backed by real host files: all data written by a
+// simulated program physically round-trips through the file system, so
+// functional correctness of the out-of-core runtime is genuinely exercised.
+// Only the *cost* is modelled (by DiskModel); host speed is irrelevant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+namespace oocc::io {
+
+/// Random-access file with pread/pwrite semantics. Movable, not copyable.
+/// Supports deterministic fault injection for failure-path tests.
+class FileBackend {
+ public:
+  /// Opens (creating if needed) the file at `path` for read/write.
+  explicit FileBackend(const std::filesystem::path& path);
+  ~FileBackend();
+
+  FileBackend(FileBackend&& other) noexcept;
+  FileBackend& operator=(FileBackend&& other) noexcept;
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+  /// Reads exactly `bytes` at `offset`; throws Error(kIoError) on short
+  /// reads (reading past EOF is a caller bug surfaced as an error).
+  void read_at(std::uint64_t offset, void* data, std::size_t bytes);
+
+  /// Writes exactly `bytes` at `offset`, extending the file as needed.
+  void write_at(std::uint64_t offset, const void* data, std::size_t bytes);
+
+  /// Current file size in bytes.
+  std::uint64_t size() const;
+
+  /// Pre-extends the file to `bytes` (zero-filled) so partial-slab reads of
+  /// a not-yet-written array are well defined.
+  void truncate(std::uint64_t bytes);
+
+  /// Fault injection: the n-th subsequent read (1 = next) fails with
+  /// Error(kIoError). Pass 0 to clear.
+  void inject_read_fault(std::uint64_t after_reads) noexcept {
+    read_fault_countdown_ = after_reads;
+  }
+  /// Same for writes.
+  void inject_write_fault(std::uint64_t after_writes) noexcept {
+    write_fault_countdown_ = after_writes;
+  }
+
+ private:
+  void close() noexcept;
+
+  std::filesystem::path path_;
+  int fd_ = -1;
+  std::uint64_t read_fault_countdown_ = 0;
+  std::uint64_t write_fault_countdown_ = 0;
+};
+
+/// Creates a unique directory under the system temp dir; removes it (and
+/// all contents) on destruction. Used for Local Array Files in tests,
+/// examples and benches.
+class TempDir {
+ public:
+  /// `prefix` appears in the directory name for debuggability.
+  explicit TempDir(const std::string& prefix = "oocc");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const noexcept { return path_; }
+
+  /// Path of a file inside the directory.
+  std::filesystem::path file(const std::string& name) const {
+    return path_ / name;
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace oocc::io

@@ -1,0 +1,62 @@
+#include "oocc/io/gaf.hpp"
+
+namespace oocc::io {
+
+GlobalArrayFile::GlobalArrayFile(const std::filesystem::path& path,
+                                 std::int64_t rows, std::int64_t cols,
+                                 StorageOrder order, DiskModel disk)
+    : file_(path, rows, cols, order, disk) {}
+
+std::vector<Extent> GlobalArrayFile::section_extents(const Section& s) const {
+  return file_.section_extents(s);
+}
+
+std::uint64_t GlobalArrayFile::section_request_count(const Section& s) const {
+  return file_.section_request_count(s);
+}
+
+void GlobalArrayFile::read_section(sim::SpmdContext& ctx, const Section& s,
+                                   std::span<double> out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  file_.read_section(ctx, s, out);
+}
+
+void GlobalArrayFile::write_section(sim::SpmdContext& ctx, const Section& s,
+                                    std::span<const double> in) {
+  std::lock_guard<std::mutex> lock(mu_);
+  file_.write_section(ctx, s, in);
+}
+
+void GlobalArrayFile::fill_host(
+    const std::function<double(std::int64_t, std::int64_t)>& f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t r_n = file_.rows();
+  const std::int64_t c_n = file_.cols();
+  std::vector<double> all(static_cast<std::size_t>(r_n * c_n));
+  if (file_.order() == StorageOrder::kColumnMajor) {
+    for (std::int64_t c = 0; c < c_n; ++c) {
+      for (std::int64_t r = 0; r < r_n; ++r) {
+        all[static_cast<std::size_t>(c * r_n + r)] = f(r, c);
+      }
+    }
+  } else {
+    for (std::int64_t r = 0; r < r_n; ++r) {
+      for (std::int64_t c = 0; c < c_n; ++c) {
+        all[static_cast<std::size_t>(r * c_n + c)] = f(r, c);
+      }
+    }
+  }
+  file_.backend().write_at(0, all.data(), all.size() * sizeof(double));
+}
+
+IoStats GlobalArrayFile::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_.stats();
+}
+
+void GlobalArrayFile::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  file_.reset_stats();
+}
+
+}  // namespace oocc::io

@@ -1,0 +1,62 @@
+// Global Array File — a single shared file holding an entire global array.
+//
+// This models the common parallel-file-system situation the PASSION
+// runtime (the paper's [TBC+94b]) addresses with *two-phase I/O*: data
+// arrives in one file in a canonical order (say column-major), and every
+// compute processor needs the piece its distribution assigns to it. A
+// processor reading its piece *directly* pays one request per contiguous
+// extent, which for non-conforming distributions is disastrous; reading
+// cooperatively in conforming chunks and redistributing in memory costs a
+// handful of requests plus cheap communication (runtime/twophase.hpp).
+//
+// Unlike a LocalArrayFile (private to one processor), a GlobalArrayFile is
+// shared: any simulated processor may read/write any section, and host-side
+// access is serialized internally. Costs are charged to the calling
+// processor's clock, exactly like the LAF.
+#pragma once
+
+#include <functional>
+#include <mutex>
+
+#include "oocc/io/laf.hpp"
+
+namespace oocc::io {
+
+class GlobalArrayFile {
+ public:
+  /// Creates (or opens) the shared file for a rows x cols global array.
+  /// Construct once, outside the SPMD region.
+  GlobalArrayFile(const std::filesystem::path& path, std::int64_t rows,
+                  std::int64_t cols, StorageOrder order, DiskModel disk);
+
+  std::int64_t rows() const noexcept { return file_.rows(); }
+  std::int64_t cols() const noexcept { return file_.cols(); }
+  StorageOrder order() const noexcept { return file_.order(); }
+
+  /// Extents / request count of a *global-coordinate* section.
+  std::vector<Extent> section_extents(const Section& s) const;
+  std::uint64_t section_request_count(const Section& s) const;
+
+  /// Reads/writes a global section (column-major section order buffer),
+  /// charging the calling processor. Thread-safe across simulated
+  /// processors.
+  void read_section(sim::SpmdContext& ctx, const Section& s,
+                    std::span<double> out);
+  void write_section(sim::SpmdContext& ctx, const Section& s,
+                     std::span<const double> in);
+
+  /// Fills the whole array from a generator (host-side helper for tests
+  /// and benches; call from one place before the SPMD region, with a
+  /// context from a staging machine, or use fill_host()).
+  void fill_host(const std::function<double(std::int64_t, std::int64_t)>& f);
+
+  /// Snapshot of the accumulated counters.
+  IoStats stats() const;
+  void reset_stats();
+
+ private:
+  mutable std::mutex mu_;
+  LocalArrayFile file_;
+};
+
+}  // namespace oocc::io

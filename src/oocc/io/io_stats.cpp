@@ -1,0 +1,15 @@
+#include "oocc/io/io_stats.hpp"
+
+#include <sstream>
+
+namespace oocc::io {
+
+std::string IoStats::summary() const {
+  std::ostringstream oss;
+  oss << "reads=" << read_requests << " writes=" << write_requests
+      << " bytes_read=" << bytes_read << " bytes_written=" << bytes_written
+      << " io_time=" << time_s << "s";
+  return oss.str();
+}
+
+}  // namespace oocc::io

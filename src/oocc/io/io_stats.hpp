@@ -1,0 +1,37 @@
+// Per-file I/O counters: the paper's two cost metrics (requests and bytes)
+// plus the simulated time they induced. LocalArrayFile maintains one of
+// these per array file and also mirrors the counts into the owning
+// processor's sim::ProcStats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace oocc::io {
+
+struct IoStats {
+  std::uint64_t read_requests = 0;   ///< contiguous extents read
+  std::uint64_t write_requests = 0;  ///< contiguous extents written
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  double time_s = 0.0;  ///< simulated disk service time charged
+
+  std::uint64_t total_requests() const noexcept {
+    return read_requests + write_requests;
+  }
+  std::uint64_t total_bytes() const noexcept {
+    return bytes_read + bytes_written;
+  }
+
+  void merge(const IoStats& other) noexcept {
+    read_requests += other.read_requests;
+    write_requests += other.write_requests;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    time_s += other.time_s;
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace oocc::io

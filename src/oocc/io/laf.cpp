@@ -1,0 +1,210 @@
+#include "oocc/io/laf.hpp"
+
+#include <cstring>
+
+namespace oocc::io {
+
+namespace {
+constexpr std::uint64_t kElem = sizeof(double);
+}
+
+std::string_view storage_order_name(StorageOrder order) noexcept {
+  switch (order) {
+    case StorageOrder::kColumnMajor:
+      return "column-major";
+    case StorageOrder::kRowMajor:
+      return "row-major";
+  }
+  return "?";
+}
+
+LocalArrayFile::LocalArrayFile(const std::filesystem::path& path,
+                               std::int64_t rows, std::int64_t cols,
+                               StorageOrder order, DiskModel disk)
+    : rows_(rows), cols_(cols), order_(order), disk_(disk), backend_(path) {
+  OOCC_REQUIRE(rows >= 1 && cols >= 1,
+               "local array must be non-empty, got " << rows << "x" << cols);
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols) *
+      kElem;
+  if (backend_.size() < bytes) {
+    backend_.truncate(bytes);
+  }
+}
+
+void LocalArrayFile::validate_section(const Section& s) const {
+  OOCC_CHECK(s.row0 >= 0 && s.row1 <= rows_ && s.col0 >= 0 && s.col1 <= cols_,
+             ErrorCode::kOutOfRange,
+             "section [" << s.row0 << "," << s.row1 << ")x[" << s.col0 << ","
+                         << s.col1 << ") outside local array " << rows_ << "x"
+                         << cols_);
+  OOCC_CHECK(!s.empty(), ErrorCode::kInvalidArgument,
+             "empty section [" << s.row0 << "," << s.row1 << ")x[" << s.col0
+                               << "," << s.col1 << ")");
+}
+
+std::vector<Extent> LocalArrayFile::section_extents(const Section& s) const {
+  validate_section(s);
+  std::vector<Extent> extents;
+  if (order_ == StorageOrder::kColumnMajor) {
+    if (s.row0 == 0 && s.row1 == rows_) {
+      // Full columns are adjacent in the file: one coalesced extent.
+      extents.push_back(Extent{element_offset(0, s.col0) * kElem,
+                               static_cast<std::uint64_t>(s.elements()) *
+                                   kElem});
+    } else {
+      extents.reserve(static_cast<std::size_t>(s.cols()));
+      for (std::int64_t c = s.col0; c < s.col1; ++c) {
+        extents.push_back(Extent{element_offset(s.row0, c) * kElem,
+                                 static_cast<std::uint64_t>(s.rows()) * kElem});
+      }
+    }
+  } else {
+    if (s.col0 == 0 && s.col1 == cols_) {
+      extents.push_back(Extent{element_offset(s.row0, 0) * kElem,
+                               static_cast<std::uint64_t>(s.elements()) *
+                                   kElem});
+    } else {
+      extents.reserve(static_cast<std::size_t>(s.rows()));
+      for (std::int64_t r = s.row0; r < s.row1; ++r) {
+        extents.push_back(Extent{element_offset(r, s.col0) * kElem,
+                                 static_cast<std::uint64_t>(s.cols()) * kElem});
+      }
+    }
+  }
+  return extents;
+}
+
+std::uint64_t LocalArrayFile::section_request_count(const Section& s) const {
+  return section_extents(s).size();
+}
+
+void LocalArrayFile::charge(sim::SpmdContext& ctx,
+                            const std::vector<Extent>& extents, bool is_read) {
+  double time = 0.0;
+  std::uint64_t bytes = 0;
+  for (const Extent& e : extents) {
+    time += disk_.request_time(static_cast<double>(e.length_bytes),
+                               ctx.nprocs());
+    bytes += e.length_bytes;
+  }
+  ctx.charge_io_time(time);
+  stats_.time_s += time;
+  auto& ps = ctx.stats();
+  ps.io_requests += extents.size();
+  if (is_read) {
+    stats_.read_requests += extents.size();
+    stats_.bytes_read += bytes;
+    ps.io_bytes_read += bytes;
+  } else {
+    stats_.write_requests += extents.size();
+    stats_.bytes_written += bytes;
+    ps.io_bytes_written += bytes;
+  }
+}
+
+void LocalArrayFile::read_section(sim::SpmdContext& ctx, const Section& s,
+                                  std::span<double> out) {
+  validate_section(s);
+  OOCC_REQUIRE(out.size() == static_cast<std::size_t>(s.elements()),
+               "output buffer holds " << out.size() << " elements; section "
+                                      << "needs " << s.elements());
+  const std::vector<Extent> extents = section_extents(s);
+  charge(ctx, extents, /*is_read=*/true);
+
+  const std::int64_t srows = s.rows();
+  if (order_ == StorageOrder::kColumnMajor) {
+    if (extents.size() == 1 && s.row0 == 0 && s.row1 == rows_) {
+      backend_.read_at(extents[0].offset_bytes, out.data(),
+                       extents[0].length_bytes);
+      return;
+    }
+    // One extent per column; each maps to a contiguous run of `out`.
+    std::size_t off = 0;
+    for (const Extent& e : extents) {
+      backend_.read_at(e.offset_bytes, out.data() + off, e.length_bytes);
+      off += static_cast<std::size_t>(srows);
+    }
+    return;
+  }
+
+  // Row-major storage: each extent is one row segment (or the whole
+  // section when it spans all columns); scatter into column-major `out`.
+  if (extents.size() == 1 && s.col0 == 0 && s.col1 == cols_) {
+    scratch_.resize(static_cast<std::size_t>(s.elements()));
+    backend_.read_at(extents[0].offset_bytes, scratch_.data(),
+                     extents[0].length_bytes);
+    for (std::int64_t r = 0; r < s.rows(); ++r) {
+      for (std::int64_t c = 0; c < s.cols(); ++c) {
+        out[static_cast<std::size_t>(c * srows + r)] =
+            scratch_[static_cast<std::size_t>(r * s.cols() + c)];
+      }
+    }
+    return;
+  }
+  scratch_.resize(static_cast<std::size_t>(s.cols()));
+  std::int64_t r = s.row0;
+  for (const Extent& e : extents) {
+    backend_.read_at(e.offset_bytes, scratch_.data(), e.length_bytes);
+    for (std::int64_t c = 0; c < s.cols(); ++c) {
+      out[static_cast<std::size_t>(c * srows + (r - s.row0))] =
+          scratch_[static_cast<std::size_t>(c)];
+    }
+    ++r;
+  }
+}
+
+void LocalArrayFile::write_section(sim::SpmdContext& ctx, const Section& s,
+                                   std::span<const double> in) {
+  validate_section(s);
+  OOCC_REQUIRE(in.size() == static_cast<std::size_t>(s.elements()),
+               "input buffer holds " << in.size() << " elements; section "
+                                     << "needs " << s.elements());
+  const std::vector<Extent> extents = section_extents(s);
+  charge(ctx, extents, /*is_read=*/false);
+
+  const std::int64_t srows = s.rows();
+  if (order_ == StorageOrder::kColumnMajor) {
+    if (extents.size() == 1 && s.row0 == 0 && s.row1 == rows_) {
+      backend_.write_at(extents[0].offset_bytes, in.data(),
+                        extents[0].length_bytes);
+      return;
+    }
+    std::size_t off = 0;
+    for (const Extent& e : extents) {
+      backend_.write_at(e.offset_bytes, in.data() + off, e.length_bytes);
+      off += static_cast<std::size_t>(srows);
+    }
+    return;
+  }
+
+  if (extents.size() == 1 && s.col0 == 0 && s.col1 == cols_) {
+    scratch_.resize(static_cast<std::size_t>(s.elements()));
+    for (std::int64_t r = 0; r < s.rows(); ++r) {
+      for (std::int64_t c = 0; c < s.cols(); ++c) {
+        scratch_[static_cast<std::size_t>(r * s.cols() + c)] =
+            in[static_cast<std::size_t>(c * srows + r)];
+      }
+    }
+    backend_.write_at(extents[0].offset_bytes, scratch_.data(),
+                      extents[0].length_bytes);
+    return;
+  }
+  scratch_.resize(static_cast<std::size_t>(s.cols()));
+  std::int64_t r = s.row0;
+  for (const Extent& e : extents) {
+    for (std::int64_t c = 0; c < s.cols(); ++c) {
+      scratch_[static_cast<std::size_t>(c)] =
+          in[static_cast<std::size_t>(c * srows + (r - s.row0))];
+    }
+    backend_.write_at(e.offset_bytes, scratch_.data(), e.length_bytes);
+    ++r;
+  }
+}
+
+void LocalArrayFile::fill(sim::SpmdContext& ctx, double value) {
+  std::vector<double> buf(static_cast<std::size_t>(rows_ * cols_), value);
+  write_full(ctx, std::span<const double>(buf));
+}
+
+}  // namespace oocc::io

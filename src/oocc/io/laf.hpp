@@ -1,0 +1,124 @@
+// Local Array File (LAF) — §2.3 of the paper.
+//
+// Each processor's out-of-core local array (OCLA) lives in its own file on
+// that processor's logical disk. The node program explicitly reads
+// rectangular *sections* of the local array into in-core buffers (ICLAs)
+// and writes them back. A section that is contiguous in the file's storage
+// order costs one I/O request; a strided section costs one request per
+// contiguous extent — this is exactly the distinction that makes the
+// paper's row-slab / column-slab reorganization matter, and why the
+// compiler also reorganizes on-disk storage (reorganize.hpp).
+//
+// Element type is double throughout the library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "oocc/io/disk_model.hpp"
+#include "oocc/io/file_backend.hpp"
+#include "oocc/io/io_stats.hpp"
+#include "oocc/sim/machine.hpp"
+
+namespace oocc::io {
+
+/// On-disk layout of the 2-D local array.
+enum class StorageOrder {
+  kColumnMajor,  ///< Fortran order: column slabs are contiguous
+  kRowMajor      ///< transposed order: row slabs are contiguous
+};
+
+std::string_view storage_order_name(StorageOrder order) noexcept;
+
+/// Half-open rectangular section [row0,row1) x [col0,col1) of a local array.
+struct Section {
+  std::int64_t row0 = 0;
+  std::int64_t row1 = 0;
+  std::int64_t col0 = 0;
+  std::int64_t col1 = 0;
+
+  std::int64_t rows() const noexcept { return row1 - row0; }
+  std::int64_t cols() const noexcept { return col1 - col0; }
+  std::int64_t elements() const noexcept { return rows() * cols(); }
+  bool empty() const noexcept { return rows() <= 0 || cols() <= 0; }
+};
+
+/// One contiguous byte range of the file backing part of a section.
+struct Extent {
+  std::uint64_t offset_bytes = 0;
+  std::uint64_t length_bytes = 0;
+};
+
+/// A 2-D out-of-core local array stored in a host file with simulated disk
+/// costs. All data operations take the owning processor's SpmdContext so
+/// simulated time and the paper's request/byte metrics are charged to the
+/// right processor.
+class LocalArrayFile {
+ public:
+  /// Creates (or opens) the LAF at `path` for a `rows` x `cols` local
+  /// array in `order`, pre-extended so every section read is defined.
+  LocalArrayFile(const std::filesystem::path& path, std::int64_t rows,
+                 std::int64_t cols, StorageOrder order, DiskModel disk);
+
+  std::int64_t rows() const noexcept { return rows_; }
+  std::int64_t cols() const noexcept { return cols_; }
+  StorageOrder order() const noexcept { return order_; }
+  const DiskModel& disk() const noexcept { return disk_; }
+  const IoStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = IoStats{}; }
+  FileBackend& backend() noexcept { return backend_; }
+
+  /// Whole-array section.
+  Section full() const noexcept { return Section{0, rows_, 0, cols_}; }
+
+  /// The contiguous extents a section occupies in this storage order
+  /// (already coalesced). Exposed so the compiler's cost estimator and the
+  /// tests can reason about request counts without doing I/O.
+  std::vector<Extent> section_extents(const Section& s) const;
+
+  /// Number of I/O requests a section transfer costs (== extent count).
+  std::uint64_t section_request_count(const Section& s) const;
+
+  /// Reads the section into `out`, which receives the data in
+  /// *column-major section order*: out[(c-col0)*section_rows + (r-row0)].
+  /// Charges one request per extent to the simulated clock.
+  void read_section(sim::SpmdContext& ctx, const Section& s,
+                    std::span<double> out);
+
+  /// Writes the section from `in` (same column-major section order).
+  void write_section(sim::SpmdContext& ctx, const Section& s,
+                     std::span<const double> in);
+
+  /// Fills the whole array with `value` (one streaming request).
+  void fill(sim::SpmdContext& ctx, double value);
+
+  /// Convenience: read/write the whole local array.
+  void read_full(sim::SpmdContext& ctx, std::span<double> out) {
+    read_section(ctx, full(), out);
+  }
+  void write_full(sim::SpmdContext& ctx, std::span<const double> in) {
+    write_section(ctx, full(), in);
+  }
+
+ private:
+  void validate_section(const Section& s) const;
+  void charge(sim::SpmdContext& ctx, const std::vector<Extent>& extents,
+              bool is_read);
+  std::uint64_t element_offset(std::int64_t r, std::int64_t c) const noexcept {
+    if (order_ == StorageOrder::kColumnMajor) {
+      return static_cast<std::uint64_t>(c * rows_ + r);
+    }
+    return static_cast<std::uint64_t>(r * cols_ + c);
+  }
+
+  std::int64_t rows_;
+  std::int64_t cols_;
+  StorageOrder order_;
+  DiskModel disk_;
+  FileBackend backend_;
+  IoStats stats_;
+  std::vector<double> scratch_;
+};
+
+}  // namespace oocc::io

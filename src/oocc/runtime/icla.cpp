@@ -1,0 +1,75 @@
+#include "oocc/runtime/icla.hpp"
+
+#include <algorithm>
+
+namespace oocc::runtime {
+
+MemoryBudget::MemoryBudget(std::int64_t total_elements)
+    : total_(total_elements) {
+  OOCC_REQUIRE(total_elements >= 1,
+               "memory budget must be positive, got " << total_elements);
+}
+
+void MemoryBudget::reserve(std::int64_t elements, const std::string& what) {
+  OOCC_REQUIRE(elements >= 0, "cannot reserve " << elements << " elements");
+  OOCC_CHECK(used_ + elements <= total_, ErrorCode::kResourceExhausted,
+             "allocating " << elements << " elements for " << what
+                           << " exceeds the node memory budget (" << used_
+                           << " of " << total_ << " already in use)");
+  used_ += elements;
+}
+
+void MemoryBudget::release(std::int64_t elements) noexcept {
+  used_ = std::max<std::int64_t>(0, used_ - elements);
+}
+
+IclaBuffer::IclaBuffer(MemoryBudget& budget, std::int64_t capacity_elements,
+                       std::string name)
+    : budget_(budget), capacity_(capacity_elements), name_(std::move(name)) {
+  budget_.reserve(capacity_, name_);
+  data_.resize(static_cast<std::size_t>(capacity_));
+}
+
+IclaBuffer::~IclaBuffer() { budget_.release(capacity_); }
+
+void IclaBuffer::load(sim::SpmdContext& ctx, io::LocalArrayFile& laf,
+                      const io::Section& s) {
+  OOCC_CHECK(s.elements() <= capacity_, ErrorCode::kResourceExhausted,
+             "section of " << s.elements() << " elements does not fit ICLA '"
+                           << name_ << "' of capacity " << capacity_);
+  section_ = s;
+  laf.read_section(ctx, s,
+                   std::span<double>(data_.data(),
+                                     static_cast<std::size_t>(s.elements())));
+}
+
+void IclaBuffer::store(sim::SpmdContext& ctx, io::LocalArrayFile& laf) const {
+  store_as(ctx, laf, section_);
+}
+
+void IclaBuffer::store_as(sim::SpmdContext& ctx, io::LocalArrayFile& laf,
+                          const io::Section& s) const {
+  OOCC_REQUIRE(s.elements() == section_.elements(),
+               "buffer '" << name_ << "' holds " << section_.elements()
+                          << " elements; cannot store section of "
+                          << s.elements());
+  laf.write_section(
+      ctx, s,
+      std::span<const double>(data_.data(),
+                              static_cast<std::size_t>(s.elements())));
+}
+
+void IclaBuffer::reset_section(const io::Section& s) {
+  OOCC_CHECK(s.elements() <= capacity_, ErrorCode::kResourceExhausted,
+             "section of " << s.elements() << " elements does not fit ICLA '"
+                           << name_ << "' of capacity " << capacity_);
+  section_ = s;
+}
+
+void IclaBuffer::fill(double value) noexcept {
+  std::fill(data_.begin(),
+            data_.begin() + static_cast<std::ptrdiff_t>(section_.elements()),
+            value);
+}
+
+}  // namespace oocc::runtime

@@ -1,0 +1,19 @@
+#include "oocc/runtime/ocla.hpp"
+
+namespace oocc::runtime {
+
+OclaDescriptor::OclaDescriptor(std::string name, int proc_id,
+                               const hpf::ArrayDistribution& distribution,
+                               io::StorageOrder storage_order)
+    : array_name(std::move(name)),
+      proc(proc_id),
+      dist(distribution),
+      local_rows(distribution.local_rows(proc_id)),
+      local_cols(distribution.local_cols(proc_id)),
+      order(storage_order) {}
+
+std::string OclaDescriptor::laf_filename() const {
+  return array_name + "_p" + std::to_string(proc) + ".laf";
+}
+
+}  // namespace oocc::runtime

@@ -1,0 +1,47 @@
+// Out-of-Core Local Array (OCLA) descriptor — §2.1/§2.3 of the paper.
+//
+// The OCLA is a processor's share of a distributed global array, too large
+// for memory, living in that processor's Local Array File. The descriptor
+// carries everything needed to map between global indices, local indices
+// and file sections; the data itself is accessed through
+// runtime::OutOfCoreArray.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "oocc/hpf/distribution.hpp"
+#include "oocc/io/laf.hpp"
+
+namespace oocc::runtime {
+
+struct OclaDescriptor {
+  std::string array_name;
+  int proc = 0;
+  hpf::ArrayDistribution dist;
+  std::int64_t local_rows = 0;
+  std::int64_t local_cols = 0;
+  io::StorageOrder order = io::StorageOrder::kColumnMajor;
+
+  OclaDescriptor() = default;
+  OclaDescriptor(std::string name, int proc_id,
+                 const hpf::ArrayDistribution& distribution,
+                 io::StorageOrder storage_order);
+
+  std::int64_t local_elements() const noexcept {
+    return local_rows * local_cols;
+  }
+
+  /// Global row/col index of a local position on this processor.
+  std::int64_t global_row(std::int64_t lr) const {
+    return dist.local_to_global_row(proc, lr);
+  }
+  std::int64_t global_col(std::int64_t lc) const {
+    return dist.local_to_global_col(proc, lc);
+  }
+
+  /// Name of the LAF file for this processor ("a_p3.laf").
+  std::string laf_filename() const;
+};
+
+}  // namespace oocc::runtime

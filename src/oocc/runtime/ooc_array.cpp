@@ -1,0 +1,125 @@
+#include "oocc/runtime/ooc_array.hpp"
+
+namespace oocc::runtime {
+
+namespace {
+/// Tag for gather_global traffic (user-tag space).
+constexpr int kTagGatherGlobal = 9001;
+}  // namespace
+
+OutOfCoreArray::OutOfCoreArray(sim::SpmdContext& ctx,
+                               const std::filesystem::path& dir,
+                               std::string name,
+                               const hpf::ArrayDistribution& dist,
+                               io::StorageOrder order,
+                               const io::DiskModel& disk)
+    : ocla_(std::move(name), ctx.rank(), dist, order),
+      laf_(dir / ocla_.laf_filename(), std::max<std::int64_t>(1, ocla_.local_rows),
+           std::max<std::int64_t>(1, ocla_.local_cols), order, disk) {
+  OOCC_CHECK(ocla_.local_rows >= 1 && ocla_.local_cols >= 1,
+             ErrorCode::kInvalidArgument,
+             "processor " << ctx.rank() << " owns no elements of '"
+                          << ocla_.array_name << "' (" << dist.to_string()
+                          << "); the runtime requires every processor to own "
+                             "a non-empty local array");
+}
+
+void OutOfCoreArray::initialize(
+    sim::SpmdContext& ctx,
+    const std::function<double(std::int64_t, std::int64_t)>& f,
+    std::int64_t budget_elements) {
+  // Iterate in the orientation that is contiguous in this LAF's storage
+  // order so initialization costs one request per slab.
+  const SlabOrientation orient =
+      ocla_.order == io::StorageOrder::kColumnMajor
+          ? SlabOrientation::kColumnSlabs
+          : SlabOrientation::kRowSlabs;
+  SlabIterator slabs(ocla_.local_rows, ocla_.local_cols, orient,
+                     budget_elements);
+  std::vector<double> buf(
+      static_cast<std::size_t>(slabs.slab_elements()));
+  for (std::int64_t s = 0; s < slabs.count(); ++s) {
+    const io::Section sec = slabs.section(s);
+    const std::int64_t srows = sec.rows();
+    for (std::int64_t lc = sec.col0; lc < sec.col1; ++lc) {
+      const std::int64_t gc = ocla_.global_col(lc);
+      for (std::int64_t lr = sec.row0; lr < sec.row1; ++lr) {
+        buf[static_cast<std::size_t>((lc - sec.col0) * srows +
+                                     (lr - sec.row0))] =
+            f(ocla_.global_row(lr), gc);
+      }
+    }
+    laf_.write_section(ctx, sec,
+                       std::span<const double>(
+                           buf.data(),
+                           static_cast<std::size_t>(sec.elements())));
+  }
+}
+
+std::vector<double> OutOfCoreArray::gather_global(
+    sim::SpmdContext& ctx, std::int64_t budget_elements) {
+  const int p = ctx.nprocs();
+  const int rank = ctx.rank();
+  const hpf::ArrayDistribution& d = ocla_.dist;
+
+  // Every rank streams its local slabs; rank 0 places them into the global
+  // buffer. All ranks pass the same budget (SPMD), so rank 0 can recompute
+  // every sender's slab sections deterministically.
+  auto slab_iter_for = [&](int proc) {
+    return SlabIterator(d.local_rows(proc), d.local_cols(proc),
+                        SlabOrientation::kColumnSlabs, budget_elements);
+  };
+
+  if (rank != 0) {
+    SlabIterator slabs = slab_iter_for(rank);
+    std::vector<double> buf(
+        static_cast<std::size_t>(slabs.slab_elements()));
+    for (std::int64_t s = 0; s < slabs.count(); ++s) {
+      const io::Section sec = slabs.section(s);
+      std::span<double> view(buf.data(),
+                             static_cast<std::size_t>(sec.elements()));
+      laf_.read_section(ctx, sec, view);
+      ctx.send<double>(0, kTagGatherGlobal,
+                       std::span<const double>(view.data(), view.size()));
+    }
+    return {};
+  }
+
+  std::vector<double> global(static_cast<std::size_t>(d.global_rows() *
+                                                      d.global_cols()));
+  std::vector<double> buf;
+  for (int proc = 0; proc < p; ++proc) {
+    SlabIterator slabs = slab_iter_for(proc);
+    for (std::int64_t s = 0; s < slabs.count(); ++s) {
+      const io::Section sec = slabs.section(s);
+      std::span<const double> view;
+      if (proc == 0) {
+        buf.resize(static_cast<std::size_t>(sec.elements()));
+        std::span<double> mut(buf.data(), buf.size());
+        laf_.read_section(ctx, sec, mut);
+        view = std::span<const double>(buf.data(), buf.size());
+      } else {
+        buf = ctx.recv<double>(proc, kTagGatherGlobal);
+        OOCC_CHECK(buf.size() == static_cast<std::size_t>(sec.elements()),
+                   ErrorCode::kRuntimeError,
+                   "gather_global: slab from proc "
+                       << proc << " has " << buf.size() << " elements, "
+                       << "expected " << sec.elements());
+        view = std::span<const double>(buf.data(), buf.size());
+      }
+      const std::int64_t srows = sec.rows();
+      for (std::int64_t lc = sec.col0; lc < sec.col1; ++lc) {
+        const std::int64_t gc = d.local_to_global_col(proc, lc);
+        for (std::int64_t lr = sec.row0; lr < sec.row1; ++lr) {
+          const std::int64_t gr = d.local_to_global_row(proc, lr);
+          global[static_cast<std::size_t>(gc * d.global_rows() + gr)] =
+              view[static_cast<std::size_t>((lc - sec.col0) * srows +
+                                            (lr - sec.row0))];
+        }
+      }
+    }
+  }
+  return global;
+}
+
+}  // namespace oocc::runtime

@@ -1,0 +1,66 @@
+#include "oocc/runtime/prefetch.hpp"
+
+namespace oocc::runtime {
+
+PrefetchingSlabReader::PrefetchingSlabReader(sim::SpmdContext& ctx,
+                                             io::LocalArrayFile& laf,
+                                             const SlabIterator& slabs,
+                                             MemoryBudget& budget,
+                                             const std::string& name,
+                                             bool enable_prefetch)
+    : laf_(laf), slabs_(slabs), prefetch_(enable_prefetch) {
+  (void)ctx;
+  bufs_[0].buffer = std::make_unique<IclaBuffer>(
+      budget, slabs_.slab_elements(), name + "[buf0]");
+  if (prefetch_) {
+    bufs_[1].buffer = std::make_unique<IclaBuffer>(
+        budget, slabs_.slab_elements(), name + "[buf1]");
+  }
+}
+
+void PrefetchingSlabReader::issue(sim::SpmdContext& ctx, std::int64_t i,
+                                  BufferState& state) {
+  const double t_issue = ctx.clock().now();
+  state.buffer->load(ctx, laf_, slabs_.section(i));
+  const double service = ctx.clock().now() - t_issue;
+  const double start = std::max(t_issue, disk_free_time_s_);
+  state.ready_time_s = start + service;
+  disk_free_time_s_ = state.ready_time_s;
+  state.slab = i;
+  if (prefetch_) {
+    // Model asynchrony: the CPU resumes at the issue point; the data
+    // becomes usable at ready_time_s.
+    ctx.clock().rewind_to(t_issue);
+  } else {
+    // Synchronous read: the CPU also waits for any queued earlier request.
+    ctx.clock().wait_until(state.ready_time_s);
+  }
+}
+
+const IclaBuffer& PrefetchingSlabReader::acquire(sim::SpmdContext& ctx,
+                                                 std::int64_t i) {
+  OOCC_REQUIRE(i == next_expected_,
+               "slabs must be acquired in order; expected "
+                   << next_expected_ << ", got " << i);
+  OOCC_CHECK(i < slabs_.count(), ErrorCode::kOutOfRange,
+             "slab " << i << " outside [0, " << slabs_.count() << ")");
+  ++next_expected_;
+
+  BufferState& current =
+      bufs_[prefetch_ ? static_cast<std::size_t>(i % 2) : 0];
+  if (current.slab != i) {
+    issue(ctx, i, current);
+  }
+  // Block until the (possibly prefetched) slab is complete.
+  ctx.clock().wait_until(current.ready_time_s);
+
+  if (prefetch_ && i + 1 < slabs_.count()) {
+    BufferState& next = bufs_[static_cast<std::size_t>((i + 1) % 2)];
+    if (next.slab != i + 1) {
+      issue(ctx, i + 1, next);
+    }
+  }
+  return *current.buffer;
+}
+
+}  // namespace oocc::runtime

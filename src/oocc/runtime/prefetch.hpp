@@ -1,0 +1,60 @@
+// Double-buffered slab prefetching (§3.3 mentions prefetching/caching
+// strategies as a compiler concern; PASSION provided asynchronous slab
+// reads).
+//
+// The simulator's I/O calls are synchronous, so asynchrony is *modelled*:
+// when a prefetch is issued at simulated time t, the read is performed
+// immediately (host-side) and its service time D is charged, then the
+// clock is rewound to t and the slab's ready-time is recorded as
+// max(t, disk_free) + D. A consumer that later acquires the slab waits
+// until the ready-time. One outstanding request is allowed (one disk per
+// processor), matching double-buffering on real hardware.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "oocc/io/laf.hpp"
+#include "oocc/runtime/icla.hpp"
+#include "oocc/runtime/slab_iter.hpp"
+#include "oocc/sim/machine.hpp"
+
+namespace oocc::runtime {
+
+/// Reads the slabs of one LAF sequentially with optional double-buffered
+/// prefetch. With prefetching disabled it degrades to plain synchronous
+/// slab reads (the ablation baseline).
+class PrefetchingSlabReader {
+ public:
+  /// Two ICLA buffers are reserved against `budget`, each of the iterator's
+  /// full slab size (with prefetching off, only one is reserved).
+  PrefetchingSlabReader(sim::SpmdContext& ctx, io::LocalArrayFile& laf,
+                        const SlabIterator& slabs, MemoryBudget& budget,
+                        const std::string& name, bool enable_prefetch);
+
+  std::int64_t slab_count() const noexcept { return slabs_.count(); }
+
+  /// Returns the buffer holding slab `i`, issuing the prefetch of slab
+  /// i+1. Slabs must be acquired in ascending order (0, 1, 2, ...).
+  const IclaBuffer& acquire(sim::SpmdContext& ctx, std::int64_t i);
+
+ private:
+  struct BufferState {
+    std::unique_ptr<IclaBuffer> buffer;
+    std::int64_t slab = -1;      ///< slab index held, -1 = empty
+    double ready_time_s = 0.0;   ///< simulated completion time
+  };
+
+  /// Performs the read of slab `i` into `state`, modelling async issue.
+  void issue(sim::SpmdContext& ctx, std::int64_t i, BufferState& state);
+
+  io::LocalArrayFile& laf_;
+  SlabIterator slabs_;
+  bool prefetch_;
+  double disk_free_time_s_ = 0.0;
+  std::int64_t next_expected_ = 0;
+  std::array<BufferState, 2> bufs_;
+};
+
+}  // namespace oocc::runtime

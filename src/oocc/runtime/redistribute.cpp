@@ -1,0 +1,174 @@
+#include "oocc/runtime/redistribute.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "oocc/runtime/slab_iter.hpp"
+#include "oocc/sim/collectives.hpp"
+#include "oocc/util/error.hpp"
+
+namespace oocc::runtime {
+
+void write_routed_elements(sim::SpmdContext& ctx, OutOfCoreArray& dst,
+                           std::vector<RoutedElement>& elems) {
+  if (elems.empty()) {
+    return;
+  }
+  const hpf::ArrayDistribution& d = dst.dist();
+  // Map to local coordinates, then sort column-major.
+  struct LocalElement {
+    std::int64_t lr;
+    std::int64_t lc;
+    double value;
+  };
+  std::vector<LocalElement> local;
+  local.reserve(elems.size());
+  for (const RoutedElement& e : elems) {
+    local.push_back(LocalElement{d.global_to_local_row(e.grow),
+                                 d.global_to_local_col(e.gcol), e.value});
+  }
+  std::sort(local.begin(), local.end(),
+            [](const LocalElement& a, const LocalElement& b) {
+              return a.lc != b.lc ? a.lc < b.lc : a.lr < b.lr;
+            });
+
+  // First pass: maximal per-column runs of consecutive local rows.
+  struct Run {
+    std::int64_t lc;
+    std::int64_t lr0;
+    std::size_t begin;  // index range into `local`
+    std::size_t end;
+  };
+  std::vector<Run> runs;
+  {
+    std::size_t i = 0;
+    while (i < local.size()) {
+      const std::int64_t lc = local[i].lc;
+      const std::int64_t lr0 = local[i].lr;
+      std::size_t j = i + 1;
+      while (j < local.size() && local[j].lc == lc &&
+             local[j].lr == lr0 + static_cast<std::int64_t>(j - i)) {
+        ++j;
+      }
+      runs.push_back(Run{lc, lr0, i, j});
+      i = j;
+    }
+  }
+
+  // Second pass: merge consecutive columns whose runs cover the same row
+  // range into one rectangular write. Bulk arrivals (whole local pieces
+  // from a redistribution round) then cost one section write — a single
+  // request when the row range spans the full local height.
+  std::vector<double> rect;
+  std::size_t r = 0;
+  while (r < runs.size()) {
+    const std::int64_t lr0 = runs[r].lr0;
+    const std::int64_t height =
+        static_cast<std::int64_t>(runs[r].end - runs[r].begin);
+    std::size_t s = r + 1;
+    while (s < runs.size() && runs[s].lc == runs[s - 1].lc + 1 &&
+           runs[s].lr0 == lr0 &&
+           static_cast<std::int64_t>(runs[s].end - runs[s].begin) == height) {
+      ++s;
+    }
+    const std::int64_t width = static_cast<std::int64_t>(s - r);
+    rect.resize(static_cast<std::size_t>(height * width));
+    for (std::size_t col = 0; col < static_cast<std::size_t>(width); ++col) {
+      const Run& run = runs[r + col];
+      for (std::size_t k = run.begin; k < run.end; ++k) {
+        rect[col * static_cast<std::size_t>(height) + (k - run.begin)] =
+            local[k].value;
+      }
+    }
+    const io::Section sec{lr0, lr0 + height, runs[r].lc,
+                          runs[r].lc + width};
+    dst.laf().write_section(ctx, sec,
+                            std::span<const double>(rect.data(), rect.size()));
+    r = s;
+  }
+}
+
+namespace {
+
+/// Shared sweep for redistribute and transpose: read src slab-wise, route
+/// every element to its destination owner (optionally swapping indices),
+/// exchange, write.
+void route_all(sim::SpmdContext& ctx, OutOfCoreArray& src,
+               OutOfCoreArray& dst, std::int64_t budget_elements,
+               bool swap_indices) {
+  const int p = ctx.nprocs();
+
+  // Slab sweep over the source in its contiguous orientation. Round count
+  // is the maximum over all processors so the all-to-all stays collective;
+  // it is computed locally from the (replicated) distribution metadata.
+  const SlabOrientation orient =
+      src.laf().order() == io::StorageOrder::kColumnMajor
+          ? SlabOrientation::kColumnSlabs
+          : SlabOrientation::kRowSlabs;
+  std::int64_t rounds = 0;
+  for (int proc = 0; proc < p; ++proc) {
+    const SlabIterator it(src.dist().local_rows(proc),
+                          src.dist().local_cols(proc), orient,
+                          budget_elements);
+    rounds = std::max(rounds, it.count());
+  }
+
+  const SlabIterator mine(src.local_rows(), src.local_cols(), orient,
+                          budget_elements);
+  std::vector<double> buf(static_cast<std::size_t>(mine.slab_elements()));
+  const OclaDescriptor& socla = src.ocla();
+
+  for (std::int64_t round = 0; round < rounds; ++round) {
+    std::vector<std::vector<RoutedElement>> outbound(
+        static_cast<std::size_t>(p));
+    if (round < mine.count()) {
+      const io::Section sec = mine.section(round);
+      std::span<double> view(buf.data(),
+                             static_cast<std::size_t>(sec.elements()));
+      src.laf().read_section(ctx, sec, view);
+      const std::int64_t srows = sec.rows();
+      for (std::int64_t lc = sec.col0; lc < sec.col1; ++lc) {
+        const std::int64_t gc = socla.global_col(lc);
+        for (std::int64_t lr = sec.row0; lr < sec.row1; ++lr) {
+          const std::int64_t gr = socla.global_row(lr);
+          const std::int64_t dr = swap_indices ? gc : gr;
+          const std::int64_t dc = swap_indices ? gr : gc;
+          const int owner = dst.dist().owner(dr, dc);
+          outbound[static_cast<std::size_t>(owner)].push_back(
+              RoutedElement{dr, dc,
+                            view[static_cast<std::size_t>(
+                                (lc - sec.col0) * srows + (lr - sec.row0))]});
+        }
+      }
+    }
+    std::vector<std::vector<RoutedElement>> inbound =
+        sim::alltoallv(ctx, outbound);
+    for (auto& from_proc : inbound) {
+      write_routed_elements(ctx, dst, from_proc);
+    }
+  }
+}
+
+}  // namespace
+
+void redistribute(sim::SpmdContext& ctx, OutOfCoreArray& src,
+                  OutOfCoreArray& dst, std::int64_t budget_elements) {
+  OOCC_REQUIRE(src.dist().global_rows() == dst.dist().global_rows() &&
+                   src.dist().global_cols() == dst.dist().global_cols(),
+               "redistribute requires identical global shapes; got "
+                   << src.dist().to_string() << " vs "
+                   << dst.dist().to_string());
+  route_all(ctx, src, dst, budget_elements, /*swap_indices=*/false);
+}
+
+void transpose(sim::SpmdContext& ctx, OutOfCoreArray& src,
+               OutOfCoreArray& dst, std::int64_t budget_elements) {
+  OOCC_REQUIRE(src.dist().global_rows() == dst.dist().global_cols() &&
+                   src.dist().global_cols() == dst.dist().global_rows(),
+               "transpose requires swapped global shapes; got "
+                   << src.dist().to_string() << " vs "
+                   << dst.dist().to_string());
+  route_all(ctx, src, dst, budget_elements, /*swap_indices=*/true);
+}
+
+}  // namespace oocc::runtime

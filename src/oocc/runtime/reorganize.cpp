@@ -1,0 +1,42 @@
+#include "oocc/runtime/reorganize.hpp"
+
+#include <vector>
+
+#include "oocc/runtime/slab_iter.hpp"
+#include "oocc/util/error.hpp"
+
+namespace oocc::runtime {
+
+std::uint64_t reorganize_storage(sim::SpmdContext& ctx,
+                                 io::LocalArrayFile& src,
+                                 io::LocalArrayFile& dst,
+                                 std::int64_t budget_elements) {
+  OOCC_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
+               "reorganize_storage requires equal shapes; got "
+                   << src.rows() << "x" << src.cols() << " vs " << dst.rows()
+                   << "x" << dst.cols());
+  const std::uint64_t before =
+      src.stats().total_requests() + dst.stats().total_requests();
+
+  // Sweep in the orientation contiguous for the *source* so reads are one
+  // request per slab; writes into the destination pay whatever striding
+  // its order imposes (1 request per slab if orders match, per-row/column
+  // extents otherwise). That asymmetry is the honest cost of conversion.
+  const SlabOrientation orient =
+      src.order() == io::StorageOrder::kColumnMajor
+          ? SlabOrientation::kColumnSlabs
+          : SlabOrientation::kRowSlabs;
+  SlabIterator slabs(src.rows(), src.cols(), orient, budget_elements);
+  std::vector<double> buf(static_cast<std::size_t>(slabs.slab_elements()));
+  for (std::int64_t s = 0; s < slabs.count(); ++s) {
+    const io::Section sec = slabs.section(s);
+    std::span<double> view(buf.data(),
+                           static_cast<std::size_t>(sec.elements()));
+    src.read_section(ctx, sec, view);
+    dst.write_section(ctx, sec,
+                      std::span<const double>(view.data(), view.size()));
+  }
+  return src.stats().total_requests() + dst.stats().total_requests() - before;
+}
+
+}  // namespace oocc::runtime

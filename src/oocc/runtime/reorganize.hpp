@@ -1,0 +1,29 @@
+// On-disk storage reorganization (§4.1: "how to reorganize data storage on
+// disks to reduce I/O costs").
+//
+// When the compiler selects a slab orientation that is strided in the
+// array's current storage order, it can either pay per-extent request
+// costs on every access or reorganize the LAF once so the chosen slabs
+// become contiguous. Reorganization itself is done out-of-core within the
+// memory budget: the source is swept in its own contiguous orientation and
+// the pieces are written (strided) into the destination order; the
+// one-time cost is amortized over the repeated accesses it saves — the
+// same amortization argument §2.3 makes for initial redistribution.
+#pragma once
+
+#include <cstdint>
+
+#include "oocc/io/laf.hpp"
+#include "oocc/sim/machine.hpp"
+
+namespace oocc::runtime {
+
+/// Copies `src` into `dst` (same local dimensions, any storage orders),
+/// staging at most `budget_elements` in memory. Returns the number of I/O
+/// requests spent, so callers can report the reorganization overhead.
+std::uint64_t reorganize_storage(sim::SpmdContext& ctx,
+                                 io::LocalArrayFile& src,
+                                 io::LocalArrayFile& dst,
+                                 std::int64_t budget_elements);
+
+}  // namespace oocc::runtime

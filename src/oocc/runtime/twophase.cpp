@@ -1,0 +1,133 @@
+#include "oocc/runtime/twophase.hpp"
+
+#include <algorithm>
+
+#include "oocc/runtime/redistribute.hpp"
+#include "oocc/runtime/slab_iter.hpp"
+#include "oocc/sim/collectives.hpp"
+#include "oocc/util/error.hpp"
+
+namespace oocc::runtime {
+
+namespace {
+
+/// True when a dimension's local indices map to one contiguous global run
+/// (BLOCK or collapsed), which direct_load requires.
+bool contiguous_dim(const hpf::DimDistribution& d) {
+  return d.kind() == hpf::DistKind::kBlock ||
+         d.kind() == hpf::DistKind::kCollapsed;
+}
+
+}  // namespace
+
+void direct_load(sim::SpmdContext& ctx, io::GlobalArrayFile& src,
+                 OutOfCoreArray& dst, std::int64_t budget_elements) {
+  OOCC_REQUIRE(src.rows() == dst.dist().global_rows() &&
+                   src.cols() == dst.dist().global_cols(),
+               "direct_load shape mismatch: file is "
+                   << src.rows() << "x" << src.cols() << ", array is "
+                   << dst.dist().to_string());
+  OOCC_REQUIRE(contiguous_dim(dst.dist().row_dist()) &&
+                   contiguous_dim(dst.dist().col_dist()),
+               "direct_load requires BLOCK/collapsed distributions (one "
+               "global rectangle per processor); got "
+                   << dst.dist().to_string());
+
+  const int rank = ctx.rank();
+  const std::int64_t gr0 = dst.dist().local_to_global_row(rank, 0);
+  const std::int64_t gc0 = dst.dist().local_to_global_col(rank, 0);
+
+  // Sweep the local piece in the LAF's contiguous orientation; each slab
+  // maps to one global sub-rectangle of the shared file (whose extent
+  // count depends on how well the distribution conforms to the file's
+  // storage order — that is the point of this function).
+  const SlabOrientation orient =
+      dst.laf().order() == io::StorageOrder::kColumnMajor
+          ? SlabOrientation::kColumnSlabs
+          : SlabOrientation::kRowSlabs;
+  SlabIterator slabs(dst.local_rows(), dst.local_cols(), orient,
+                     budget_elements);
+  std::vector<double> buf(static_cast<std::size_t>(slabs.slab_elements()));
+  for (std::int64_t s = 0; s < slabs.count(); ++s) {
+    const io::Section local = slabs.section(s);
+    const io::Section global{gr0 + local.row0, gr0 + local.row1,
+                             gc0 + local.col0, gc0 + local.col1};
+    std::span<double> view(buf.data(),
+                           static_cast<std::size_t>(local.elements()));
+    src.read_section(ctx, global, view);
+    dst.laf().write_section(
+        ctx, local, std::span<const double>(view.data(), view.size()));
+  }
+}
+
+void two_phase_load(sim::SpmdContext& ctx, io::GlobalArrayFile& src,
+                    OutOfCoreArray& dst, std::int64_t budget_elements) {
+  OOCC_REQUIRE(src.rows() == dst.dist().global_rows() &&
+                   src.cols() == dst.dist().global_cols(),
+               "two_phase_load shape mismatch: file is "
+                   << src.rows() << "x" << src.cols() << ", array is "
+                   << dst.dist().to_string());
+  OOCC_REQUIRE(src.order() == io::StorageOrder::kColumnMajor,
+               "two_phase_load's conforming chunks assume a column-major "
+               "global file");
+  const int p = ctx.nprocs();
+  const int rank = ctx.rank();
+
+  // Phase-one conforming distribution: contiguous column panels.
+  const hpf::DimDistribution panels(hpf::DistKind::kBlock, src.cols(), p);
+  const std::int64_t my_cols = panels.local_extent(rank);
+  const std::int64_t my_c0 =
+      my_cols > 0 ? panels.local_to_global(rank, 0) : 0;
+
+  // Round count: everyone must join every all-to-all.
+  std::int64_t rounds = 0;
+  for (int proc = 0; proc < p; ++proc) {
+    const std::int64_t cols_p = panels.local_extent(proc);
+    if (cols_p > 0) {
+      const SlabIterator it(src.rows(), cols_p,
+                            SlabOrientation::kColumnSlabs, budget_elements);
+      rounds = std::max(rounds, it.count());
+    }
+  }
+
+  std::vector<double> buf;
+  std::int64_t my_rounds = 0;
+  std::unique_ptr<SlabIterator> mine;
+  if (my_cols > 0) {
+    mine = std::make_unique<SlabIterator>(
+        src.rows(), my_cols, SlabOrientation::kColumnSlabs, budget_elements);
+    my_rounds = mine->count();
+    buf.resize(static_cast<std::size_t>(mine->slab_elements()));
+  }
+
+  for (std::int64_t round = 0; round < rounds; ++round) {
+    std::vector<std::vector<RoutedElement>> outbound(
+        static_cast<std::size_t>(p));
+    if (round < my_rounds) {
+      const io::Section panel_sec = mine->section(round);
+      // Panel-local columns offset into global columns.
+      const io::Section global{0, src.rows(), my_c0 + panel_sec.col0,
+                               my_c0 + panel_sec.col1};
+      std::span<double> view(buf.data(),
+                             static_cast<std::size_t>(global.elements()));
+      src.read_section(ctx, global, view);
+      const std::int64_t grows = global.rows();
+      for (std::int64_t gc = global.col0; gc < global.col1; ++gc) {
+        for (std::int64_t gr = 0; gr < grows; ++gr) {
+          const int owner = dst.dist().owner(gr, gc);
+          outbound[static_cast<std::size_t>(owner)].push_back(RoutedElement{
+              gr, gc,
+              view[static_cast<std::size_t>((gc - global.col0) * grows +
+                                            gr)]});
+        }
+      }
+    }
+    std::vector<std::vector<RoutedElement>> inbound =
+        sim::alltoallv(ctx, outbound);
+    for (auto& from_proc : inbound) {
+      write_routed_elements(ctx, dst, from_proc);
+    }
+  }
+}
+
+}  // namespace oocc::runtime

@@ -1,0 +1,41 @@
+// Two-phase collective I/O — the PASSION runtime technique ([TBC+94b],
+// the paper's §2.3 staging problem).
+//
+// A global array arrives in one shared file in canonical (column-major)
+// order; each processor needs the piece its distribution assigns to it.
+//
+//  * direct_load: every processor reads its own piece straight from the
+//    shared file. For a distribution that does not conform to the file's
+//    storage order (e.g. row-block from a column-major file), the piece is
+//    scattered across the file and costs one I/O request per contiguous
+//    extent — O(N) requests per processor.
+//
+//  * two_phase_load: phase one, processors cooperatively read *conforming*
+//    chunks (contiguous column panels of a column-major file — one request
+//    per slab); phase two, elements are routed to their owners with an
+//    all-to-all exchange and written locally. I/O requests drop by an
+//    order of magnitude at the cost of cheap communication — the same
+//    trade the paper's access reorganization makes on disk.
+//
+// bench/two_phase_io measures both against each other.
+#pragma once
+
+#include "oocc/io/gaf.hpp"
+#include "oocc/runtime/ooc_array.hpp"
+
+namespace oocc::runtime {
+
+/// Each processor reads its local piece of `src` directly. Requires BLOCK
+/// (or collapsed) distributions so the piece is one global rectangle;
+/// staging is bounded by `budget_elements`. Collective only in the sense
+/// that everyone participates; no communication happens.
+void direct_load(sim::SpmdContext& ctx, io::GlobalArrayFile& src,
+                 OutOfCoreArray& dst, std::int64_t budget_elements);
+
+/// Cooperative two-phase read: conforming contiguous phase-one chunks,
+/// all-to-all redistribution, local writes. Works for any destination
+/// distribution. Collective: every rank must call it.
+void two_phase_load(sim::SpmdContext& ctx, io::GlobalArrayFile& src,
+                    OutOfCoreArray& dst, std::int64_t budget_elements);
+
+}  // namespace oocc::runtime

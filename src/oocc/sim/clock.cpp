@@ -1,0 +1,3 @@
+// clock.hpp is header-only; this translation unit exists so the build lists
+// every module explicitly and future out-of-line additions have a home.
+#include "oocc/sim/clock.hpp"

@@ -1,0 +1,45 @@
+// Per-processor simulated clock.
+//
+// The simulator is *conservative*: each simulated processor advances its own
+// clock as it performs compute, communication and I/O, and receiving a
+// message pulls the receiver's clock forward to at least the message's
+// arrival time. Because every inter-processor dependency flows through a
+// message (or a collective built from messages), the resulting per-processor
+// times are exactly the times a real machine with the modelled costs would
+// produce, regardless of host-thread scheduling.
+#pragma once
+
+#include <algorithm>
+
+namespace oocc::sim {
+
+class Clock {
+ public:
+  /// Current simulated time in seconds since the start of the SPMD region.
+  double now() const noexcept { return now_s_; }
+
+  /// Advances the clock by `seconds` (>= 0).
+  void advance(double seconds) noexcept {
+    if (seconds > 0) now_s_ += seconds;
+  }
+
+  /// Pulls the clock forward to at least `time_s` (never moves backwards).
+  void wait_until(double time_s) noexcept { now_s_ = std::max(now_s_, time_s); }
+
+  /// Resets to time zero (used between SPMD phases in benches).
+  void reset() noexcept { now_s_ = 0.0; }
+
+  /// Rewinds to an earlier instant (no-op if `time_s` is in the future).
+  /// Reserved for the asynchronous-I/O overlap model in runtime/prefetch:
+  /// a synchronous read charges the clock with its service time, then the
+  /// prefetch engine rewinds to the issue point and remembers the
+  /// completion timestamp, so compute proceeds overlapped with the I/O.
+  void rewind_to(double time_s) noexcept {
+    now_s_ = std::min(now_s_, time_s);
+  }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace oocc::sim

@@ -1,0 +1,78 @@
+#include "oocc/sim/collectives.hpp"
+
+namespace oocc::sim {
+
+namespace detail {
+
+int virtual_rank(int rank, int root, int nprocs) noexcept {
+  return (rank - root + nprocs) % nprocs;
+}
+
+int real_rank(int vrank, int root, int nprocs) noexcept {
+  return (vrank + root) % nprocs;
+}
+
+void bcast_bytes(SpmdContext& ctx, int root, std::vector<std::byte>& data) {
+  const int p = ctx.nprocs();
+  if (p == 1) {
+    return;
+  }
+  const int vr = virtual_rank(ctx.rank(), root, p);
+
+  // Find the highest power of two <= p to bound the binomial tree.
+  int top = 1;
+  while ((top << 1) <= p && (top << 1) > top) {
+    top <<= 1;
+  }
+
+  // Receive phase: a non-root rank receives from the peer that clears its
+  // lowest set bit.
+  if (vr != 0) {
+    int mask = 1;
+    while ((vr & mask) == 0) {
+      mask <<= 1;
+    }
+    const int src = real_rank(vr - mask, root, p);
+    Message m = ctx.recv_message(src, kTagBcast);
+    data = std::move(m.payload);
+    // Forward phase below continues with `mask` already positioned past the
+    // receive bit.
+    for (int fwd = mask >> 1; fwd >= 1; fwd >>= 1) {
+      if (vr + fwd < p) {
+        ctx.send_bytes(real_rank(vr + fwd, root, p), kTagBcast, data.data(),
+                       data.size());
+      }
+    }
+    return;
+  }
+
+  // Root: send with halving stride, covering ranks top, top/2, ..., 1.
+  for (int fwd = top; fwd >= 1; fwd >>= 1) {
+    if (vr + fwd < p) {
+      ctx.send_bytes(real_rank(vr + fwd, root, p), kTagBcast, data.data(),
+                     data.size());
+    }
+  }
+}
+
+}  // namespace detail
+
+void barrier(SpmdContext& ctx) {
+  const int p = ctx.nprocs();
+  if (p == 1) {
+    return;
+  }
+  // Dissemination barrier: in round k, rank r signals (r + 2^k) mod p and
+  // waits for (r - 2^k) mod p. After ceil(log2 p) rounds every rank has a
+  // dependency chain from every other rank, so simulated clocks are
+  // correctly synchronized to at least the latest participant.
+  const std::byte token{0};
+  for (int dist = 1; dist < p; dist <<= 1) {
+    const int dest = (ctx.rank() + dist) % p;
+    const int src = (ctx.rank() - dist + p) % p;
+    ctx.send_bytes(dest, kTagBarrier, &token, 1);
+    (void)ctx.recv_message(src, kTagBarrier);
+  }
+}
+
+}  // namespace oocc::sim

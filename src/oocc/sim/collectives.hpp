@@ -1,0 +1,169 @@
+// Collective communication operations for the SPMD simulator.
+//
+// All collectives are built from point-to-point messages (binomial trees,
+// dissemination patterns), so their simulated cost falls out of the
+// Hockney per-message model rather than being asserted — the same way the
+// paper's node programs used NX library collectives built on sends.
+//
+// Every collective is *matched*: all ranks of the machine must call it with
+// compatible arguments. Collectives use reserved negative tags, so they can
+// be freely interleaved with user point-to-point traffic on tags >= 0.
+// Repeated collectives of the same kind are safe because per-(source, tag)
+// delivery is FIFO (non-overtaking).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "oocc/sim/machine.hpp"
+
+namespace oocc::sim {
+
+// Reserved internal tags (user tags are >= 0; kAbortTag is INT_MIN).
+inline constexpr int kTagBarrier = -2;
+inline constexpr int kTagBcast = -3;
+inline constexpr int kTagReduce = -4;
+inline constexpr int kTagGather = -5;
+inline constexpr int kTagScatter = -6;
+inline constexpr int kTagAlltoall = -7;
+
+/// Dissemination barrier: ceil(log2 P) rounds, correct for any P.
+void barrier(SpmdContext& ctx);
+
+namespace detail {
+void bcast_bytes(SpmdContext& ctx, int root, std::vector<std::byte>& data);
+int virtual_rank(int rank, int root, int nprocs) noexcept;
+int real_rank(int vrank, int root, int nprocs) noexcept;
+}  // namespace detail
+
+/// Binomial-tree broadcast of a trivially copyable vector. On non-root
+/// ranks, `data` is resized and overwritten with the root's contents.
+template <typename T>
+void broadcast(SpmdContext& ctx, int root, std::vector<T>& data) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> bytes(data.size() * sizeof(T));
+  if (ctx.rank() == root && !bytes.empty()) {
+    std::memcpy(bytes.data(), data.data(), bytes.size());
+  }
+  detail::bcast_bytes(ctx, root, bytes);
+  if (ctx.rank() != root) {
+    data.resize(bytes.size() / sizeof(T));
+    if (!bytes.empty()) {
+      std::memcpy(data.data(), bytes.data(), bytes.size());
+    }
+  }
+}
+
+/// Binomial-tree sum reduction to `root`. `in` must have the same extent on
+/// every rank. On the root, returns the elementwise sum; on other ranks the
+/// return value is empty. Addition is charged to the compute clock (one
+/// flop per added element), matching the paper's global-sum step.
+template <typename T>
+std::vector<T> reduce_sum(SpmdContext& ctx, int root, std::span<const T> in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.nprocs();
+  const int vr = detail::virtual_rank(ctx.rank(), root, p);
+  std::vector<T> acc(in.begin(), in.end());
+  std::vector<T> incoming(in.size());
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((vr & mask) != 0) {
+      const int dest = detail::real_rank(vr - mask, root, p);
+      ctx.send<T>(dest, kTagReduce, std::span<const T>(acc));
+      return {};
+    }
+    if (vr + mask < p) {
+      const int src = detail::real_rank(vr + mask, root, p);
+      ctx.recv_into<T>(src, kTagReduce, std::span<T>(incoming));
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] += incoming[i];
+      }
+      ctx.charge_flops(static_cast<double>(acc.size()));
+    }
+  }
+  return acc;
+}
+
+/// reduce_sum followed by broadcast; every rank gets the full sum.
+template <typename T>
+std::vector<T> allreduce_sum(SpmdContext& ctx, std::span<const T> in) {
+  std::vector<T> result = reduce_sum<T>(ctx, /*root=*/0, in);
+  broadcast(ctx, /*root=*/0, result);
+  return result;
+}
+
+/// Gathers equal-sized contributions to `root`, concatenated in rank order.
+/// Non-root ranks receive an empty vector.
+template <typename T>
+std::vector<T> gather(SpmdContext& ctx, int root, std::span<const T> in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.nprocs();
+  if (ctx.rank() != root) {
+    ctx.send<T>(root, kTagGather, in);
+    return {};
+  }
+  std::vector<T> out(in.size() * static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    std::span<T> slot(out.data() + static_cast<std::size_t>(r) * in.size(),
+                      in.size());
+    if (r == root) {
+      std::copy(in.begin(), in.end(), slot.begin());
+    } else {
+      ctx.recv_into<T>(r, kTagGather, slot);
+    }
+  }
+  return out;
+}
+
+/// Scatters `all` (meaningful on root only) in equal chunks of
+/// `per_rank` elements; every rank returns its chunk.
+template <typename T>
+std::vector<T> scatter(SpmdContext& ctx, int root, std::span<const T> all,
+                       std::size_t per_rank) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.nprocs();
+  if (ctx.rank() == root) {
+    OOCC_REQUIRE(all.size() == per_rank * static_cast<std::size_t>(p),
+                 "scatter buffer of " << all.size() << " elements cannot be "
+                 "split into " << p << " chunks of " << per_rank);
+    std::vector<T> mine;
+    for (int r = 0; r < p; ++r) {
+      std::span<const T> chunk(
+          all.data() + static_cast<std::size_t>(r) * per_rank, per_rank);
+      if (r == root) {
+        mine.assign(chunk.begin(), chunk.end());
+      } else {
+        ctx.send<T>(r, kTagScatter, chunk);
+      }
+    }
+    return mine;
+  }
+  return ctx.recv<T>(root, kTagScatter);
+}
+
+/// Personalized all-to-all with per-destination vectors of varying sizes
+/// (MPI_Alltoallv analogue, used by redistribution §2.3). `out[d]` is the
+/// data this rank sends to rank d; returns `in[s]` = data received from s.
+template <typename T>
+std::vector<std::vector<T>> alltoallv(SpmdContext& ctx,
+                                      const std::vector<std::vector<T>>& out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.nprocs();
+  OOCC_REQUIRE(static_cast<int>(out.size()) == p,
+               "alltoallv needs one outgoing vector per rank; got "
+                   << out.size() << " for " << p << " ranks");
+  std::vector<std::vector<T>> in(static_cast<std::size_t>(p));
+  in[static_cast<std::size_t>(ctx.rank())] =
+      out[static_cast<std::size_t>(ctx.rank())];
+  // Rotational pairwise exchange: step s sends to (rank+s) and receives
+  // from (rank-s); every pair of ranks communicates exactly once per step.
+  for (int s = 1; s < p; ++s) {
+    const int dest = (ctx.rank() + s) % p;
+    const int src = (ctx.rank() - s + p) % p;
+    ctx.send<T>(dest, kTagAlltoall,
+                std::span<const T>(out[static_cast<std::size_t>(dest)]));
+    in[static_cast<std::size_t>(src)] = ctx.recv<T>(src, kTagAlltoall);
+  }
+  return in;
+}
+
+}  // namespace oocc::sim

@@ -1,0 +1,2 @@
+// cost_model.hpp is header-only; see clock.cpp for rationale.
+#include "oocc/sim/cost_model.hpp"

@@ -1,0 +1,75 @@
+// Cost model for the simulated distributed-memory machine.
+//
+// Communication follows the Hockney model: a message of b bytes costs
+// `latency + b / bandwidth` end to end, plus a small CPU send overhead on
+// the sender. Compute is charged per floating point operation. The disk
+// model lives in oocc/io/disk_model.hpp.
+//
+// The `touchstone_delta()` preset is calibrated to Intel Touchstone
+// Delta-era magnitudes (i860 nodes running unoptimized Fortran inner loops,
+// mesh interconnect), so simulated times land in the same range as the
+// paper's Tables 1-2. The calibration rationale is documented in
+// EXPERIMENTS.md.
+#pragma once
+
+namespace oocc::sim {
+
+struct CommCostModel {
+  double send_overhead_s = 5e-6;   ///< CPU time consumed on the sender
+  double latency_s = 95e-6;        ///< wire latency per message
+  double bandwidth_Bps = 10e6;     ///< link bandwidth, bytes/second
+
+  /// Wire time for a message of `bytes` (excludes sender CPU overhead).
+  double transfer_time(double bytes) const noexcept {
+    return latency_s + bytes / bandwidth_Bps;
+  }
+};
+
+struct ComputeCostModel {
+  /// Seconds per floating point operation. The default corresponds to
+  /// ~4 Mflop/s, a realistic i860 rate for compiled Fortran loops.
+  double seconds_per_flop = 1.0 / 4.0e6;
+
+  double flops_time(double flops) const noexcept {
+    return flops * seconds_per_flop;
+  }
+};
+
+struct MachineCostModel {
+  CommCostModel comm;
+  ComputeCostModel compute;
+
+  /// Delta-era calibration used by the paper-reproduction benches.
+  static MachineCostModel touchstone_delta() noexcept {
+    MachineCostModel m;
+    m.comm.send_overhead_s = 5e-6;
+    m.comm.latency_s = 95e-6;       // NX message latency on the Delta
+    m.comm.bandwidth_Bps = 10e6;    // ~10 MB/s per mesh link
+    m.compute.seconds_per_flop = 1.0 / 4.0e6;
+    return m;
+  }
+
+  /// A fast model for unit tests where simulated time is checked
+  /// analytically: all constants are round numbers.
+  static MachineCostModel unit_test() noexcept {
+    MachineCostModel m;
+    m.comm.send_overhead_s = 1e-6;
+    m.comm.latency_s = 1e-4;
+    m.comm.bandwidth_Bps = 1e8;
+    m.compute.seconds_per_flop = 1e-9;
+    return m;
+  }
+
+  /// Zero-cost model: simulated time stays 0; used when only functional
+  /// behaviour matters.
+  static MachineCostModel zero() noexcept {
+    MachineCostModel m;
+    m.comm.send_overhead_s = 0;
+    m.comm.latency_s = 0;
+    m.comm.bandwidth_Bps = 1e30;
+    m.compute.seconds_per_flop = 0;
+    return m;
+  }
+};
+
+}  // namespace oocc::sim

@@ -1,0 +1,225 @@
+#include "oocc/sim/machine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "oocc/util/log.hpp"
+#include "oocc/util/table.hpp"
+
+#include <sstream>
+
+namespace oocc::sim {
+
+double RunReport::max_sim_time_s() const noexcept {
+  double m = 0.0;
+  for (const auto& p : procs) m = std::max(m, p.sim_time_s);
+  return m;
+}
+
+std::uint64_t RunReport::total_io_requests() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& p : procs) n += p.io_requests;
+  return n;
+}
+
+std::uint64_t RunReport::total_io_bytes() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& p : procs) n += p.io_bytes_read + p.io_bytes_written;
+  return n;
+}
+
+std::uint64_t RunReport::total_messages() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& p : procs) n += p.messages_sent;
+  return n;
+}
+
+std::uint64_t RunReport::total_bytes_sent() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& p : procs) n += p.bytes_sent;
+  return n;
+}
+
+double RunReport::max_io_requests_per_proc() const noexcept {
+  double m = 0.0;
+  for (const auto& p : procs) m = std::max(m, static_cast<double>(p.io_requests));
+  return m;
+}
+
+double RunReport::max_io_bytes_per_proc() const noexcept {
+  double m = 0.0;
+  for (const auto& p : procs) {
+    m = std::max(m, static_cast<double>(p.io_bytes_read + p.io_bytes_written));
+  }
+  return m;
+}
+
+std::string format_report(const RunReport& report) {
+  TextTable table({"proc", "sim time (s)", "compute (s)", "comm (s)",
+                   "io (s)", "io reqs", "io MB", "msgs sent", "MB sent",
+                   "Mflops"});
+  for (std::size_t r = 0; r < report.procs.size(); ++r) {
+    const ProcStats& p = report.procs[r];
+    table.add_row(
+        {std::to_string(r), format_fixed(p.sim_time_s, 3),
+         format_fixed(p.compute_time_s, 3), format_fixed(p.comm_time_s, 3),
+         format_fixed(p.io_time_s, 3), std::to_string(p.io_requests),
+         format_fixed(
+             static_cast<double>(p.io_bytes_read + p.io_bytes_written) / 1e6,
+             2),
+         std::to_string(p.messages_sent),
+         format_fixed(static_cast<double>(p.bytes_sent) / 1e6, 2),
+         format_fixed(p.flops / 1e6, 1)});
+  }
+  std::ostringstream oss;
+  oss << table.to_string() << "makespan: " << format_fixed(
+             report.max_sim_time_s(), 3)
+      << " s simulated, " << format_fixed(report.wall_time_s, 3)
+      << " s wall\n";
+  return oss.str();
+}
+
+int SpmdContext::nprocs() const noexcept { return machine_->nprocs(); }
+
+const MachineCostModel& SpmdContext::cost() const noexcept {
+  return machine_->cost();
+}
+
+void SpmdContext::send_bytes(int dest, int tag, const void* data,
+                             std::size_t bytes) {
+  OOCC_REQUIRE(dest >= 0 && dest < machine_->nprocs(),
+               "send destination " << dest << " outside [0, "
+                                   << machine_->nprocs() << ")");
+  OOCC_REQUIRE(tag != kAbortTag, "tag " << tag << " is reserved");
+
+  clock_.advance(cost().comm.send_overhead_s);
+  stats_.comm_time_s += cost().comm.send_overhead_s;
+
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.arrival_time_s =
+      clock_.now() + cost().comm.transfer_time(static_cast<double>(bytes));
+  m.payload.resize(bytes);
+  if (bytes > 0) {
+    std::memcpy(m.payload.data(), data, bytes);
+  }
+
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+  machine_->mailboxes_[static_cast<std::size_t>(dest)]->push(std::move(m));
+}
+
+Message SpmdContext::recv_message(int source, int tag) {
+  OOCC_REQUIRE(tag != kAbortTag, "tag " << tag << " is reserved");
+  auto& box = *machine_->mailboxes_[static_cast<std::size_t>(rank_)];
+  // The abort protocol: a failing rank pushes a kAbortTag message into every
+  // mailbox, so a blocked receiver wakes up and unwinds instead of hanging.
+  Mailbox::PopResult result = box.pop_matching_or_abort(source, tag, kAbortTag);
+  if (result.aborted) {
+    OOCC_THROW(ErrorCode::kRuntimeError,
+               "SPMD region aborted by another rank");
+  }
+  Message m = std::move(result.message);
+  const double before = clock_.now();
+  clock_.wait_until(m.arrival_time_s);
+  stats_.comm_time_s += clock_.now() - before;
+  ++stats_.messages_received;
+  stats_.bytes_received += m.payload.size();
+  return m;
+}
+
+bool SpmdContext::probe(int source, int tag) {
+  return machine_->mailboxes_[static_cast<std::size_t>(rank_)]->probe(source,
+                                                                      tag);
+}
+
+Machine::Machine(int nprocs, MachineCostModel cost_model)
+    : nprocs_(nprocs), cost_(cost_model) {
+  OOCC_REQUIRE(nprocs >= 1, "machine needs at least 1 processor, got "
+                                << nprocs);
+  mailboxes_.reserve(static_cast<std::size_t>(nprocs));
+  for (int i = 0; i < nprocs; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Machine::abort_all() {
+  for (auto& box : mailboxes_) {
+    Message m;
+    m.source = 0;
+    m.tag = kAbortTag;
+    box->push(std::move(m));
+  }
+}
+
+RunReport Machine::run(const std::function<void(SpmdContext&)>& body) {
+  // Drain any abort messages left over from a previous failed region so a
+  // machine can be reused after an expected failure in tests.
+  for (auto& box : mailboxes_) {
+    while (box->probe(kAnySource, kAbortTag)) {
+      box->pop_matching(kAnySource, kAbortTag);
+    }
+  }
+
+  std::vector<std::unique_ptr<SpmdContext>> contexts;
+  contexts.reserve(static_cast<std::size_t>(nprocs_));
+  for (int r = 0; r < nprocs_; ++r) {
+    contexts.push_back(
+        std::unique_ptr<SpmdContext>(new SpmdContext(this, r)));
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs_));
+  std::atomic<bool> aborted{false};
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nprocs_));
+  for (int r = 0; r < nprocs_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(*contexts[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        if (!aborted.exchange(true)) {
+          abort_all();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  for (auto& err : errors) {
+    if (err) {
+      std::rethrow_exception(err);
+    }
+  }
+
+  // A clean region must not leave unmatched messages behind (abort messages
+  // were consumed above on failure paths; here the region succeeded).
+  for (int r = 0; r < nprocs_; ++r) {
+    const std::size_t pending =
+        mailboxes_[static_cast<std::size_t>(r)]->pending();
+    if (pending != 0) {
+      OOCC_WARN("sim", "rank " << r << " finished with " << pending
+                               << " unconsumed message(s)");
+    }
+  }
+
+  RunReport report;
+  report.procs.reserve(static_cast<std::size_t>(nprocs_));
+  for (auto& ctx : contexts) {
+    ctx->stats_.sim_time_s = ctx->clock_.now();
+    report.procs.push_back(ctx->stats_);
+  }
+  report.wall_time_s =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  return report;
+}
+
+}  // namespace oocc::sim

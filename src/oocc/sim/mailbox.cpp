@@ -1,0 +1,62 @@
+#include "oocc/sim/mailbox.hpp"
+
+namespace oocc::sim {
+
+void Mailbox::push(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+Mailbox::PopResult Mailbox::pop_matching_or_abort(int source, int tag,
+                                                  int abort_tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    for (const auto& m : queue_) {
+      if (m.tag == abort_tag) {
+        return PopResult{true, Message{}};
+      }
+    }
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        PopResult out{false, std::move(*it)};
+        queue_.erase(it);
+        return out;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+Message Mailbox::pop_matching(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message out = std::move(*it);
+        queue_.erase(it);
+        return out;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& m : queue_) {
+    if (matches(m, source, tag)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Mailbox::pending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace oocc::sim

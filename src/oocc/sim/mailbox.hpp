@@ -1,0 +1,72 @@
+// Typed, timestamped message queues for the SPMD simulator.
+//
+// Each simulated processor owns one Mailbox. send() enqueues a byte payload
+// together with its simulated arrival time; recv() blocks the host thread
+// until a matching message is present, then pulls the receiver's simulated
+// clock forward to the arrival time (done by the caller in machine.hpp).
+//
+// Matching is MPI-like: (source, tag), where kAnySource / kAnyTag act as
+// wildcards. Messages from the same (source, tag) pair are delivered in
+// send order (non-overtaking), as MPI guarantees.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace oocc::sim {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = 0;
+  int tag = 0;
+  double arrival_time_s = 0.0;  ///< simulated time the message is available
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  /// Enqueues a message (called from the sender's thread).
+  void push(Message message);
+
+  /// Blocks until a message matching (source, tag) is available and removes
+  /// it from the queue. Wildcards: kAnySource, kAnyTag.
+  Message pop_matching(int source, int tag);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  bool probe(int source, int tag);
+
+  /// Result of pop_matching_or_abort: if `aborted` is true the abort
+  /// message was *left in the queue* (so every subsequent recv on this
+  /// mailbox also observes the abort) and `message` is empty.
+  struct PopResult {
+    bool aborted = false;
+    Message message;
+  };
+
+  /// Blocks until either a message matching (source, tag) or any message
+  /// with tag `abort_tag` is queued. The matching message is removed; an
+  /// abort message is only observed. This is the receive primitive used by
+  /// SpmdContext so a failing rank can never deadlock its peers.
+  PopResult pop_matching_or_abort(int source, int tag, int abort_tag);
+
+  /// Number of queued messages (for tests / leak detection at region end).
+  std::size_t pending();
+
+ private:
+  bool matches(const Message& m, int source, int tag) const noexcept {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace oocc::sim

@@ -1,0 +1,60 @@
+#include "oocc/util/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace oocc {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  return value;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) noexcept {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || (end != nullptr && *end != '\0')) {
+    return fallback;
+  }
+  return parsed;
+}
+
+bool env_flag(const char* name) noexcept {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return false;
+  }
+  return std::strcmp(value, "") != 0 && std::strcmp(value, "0") != 0 &&
+         std::strcmp(value, "false") != 0 && std::strcmp(value, "no") != 0 &&
+         std::strcmp(value, "off") != 0;
+}
+
+std::vector<int> env_int_list(const char* name,
+                              const std::vector<int>& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  std::vector<int> out;
+  std::stringstream ss{std::string(value)};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    try {
+      out.push_back(std::stoi(item));
+    } catch (...) {
+      return fallback;
+    }
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace oocc

@@ -1,0 +1,30 @@
+// Helpers for reading benchmark/test configuration from the environment.
+//
+// Bench binaries honour OOCC_N (global array extent), OOCC_PROCS
+// (comma-separated processor counts) and OOCC_FULL (run at full paper scale)
+// so the same binaries serve quick CI runs and paper-scale reproduction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oocc {
+
+/// Returns the environment variable value or `fallback` when unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Returns the integer value of an environment variable, or `fallback` when
+/// unset or unparsable. Throws nothing.
+std::int64_t env_int(const char* name, std::int64_t fallback) noexcept;
+
+/// Returns true when the variable is set to anything other than
+/// "", "0", "false", "no", "off".
+bool env_flag(const char* name) noexcept;
+
+/// Parses a comma-separated integer list ("4,16,32"); returns `fallback`
+/// when unset or empty after parsing.
+std::vector<int> env_int_list(const char* name,
+                              const std::vector<int>& fallback);
+
+}  // namespace oocc

@@ -1,0 +1,49 @@
+#include "oocc/util/error.hpp"
+
+namespace oocc {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "InvalidArgument";
+    case ErrorCode::kOutOfRange:
+      return "OutOfRange";
+    case ErrorCode::kIoError:
+      return "IoError";
+    case ErrorCode::kParseError:
+      return "ParseError";
+    case ErrorCode::kSemanticError:
+      return "SemanticError";
+    case ErrorCode::kCompileError:
+      return "CompileError";
+    case ErrorCode::kRuntimeError:
+      return "RuntimeError";
+    case ErrorCode::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+
+Error::Error(ErrorCode code, const std::string& message)
+    : std::runtime_error(std::string(error_code_name(code)) + ": " + message),
+      code_(code) {}
+
+namespace detail {
+
+void throw_error(ErrorCode code, const std::string& message) {
+  throw Error(code, message);
+}
+
+void assertion_failure(const char* expr, const char* file, int line,
+                       const std::string& message) {
+  std::ostringstream oss;
+  oss << "internal assertion `" << expr << "` failed at " << file << ":"
+      << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw Error(ErrorCode::kRuntimeError, oss.str());
+}
+
+}  // namespace detail
+}  // namespace oocc

@@ -1,0 +1,83 @@
+// Error handling for the oocc library.
+//
+// All library-detected failures are reported as oocc::Error (derived from
+// std::runtime_error) carrying an error category and a formatted message.
+// OOCC_CHECK / OOCC_REQUIRE are used for precondition validation on public
+// APIs; internal invariants use OOCC_ASSERT which additionally prints the
+// failing source location.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace oocc {
+
+/// Broad categories of library failure, used by tests (failure injection)
+/// and by callers that want to distinguish recoverable conditions.
+enum class ErrorCode {
+  kInvalidArgument,  ///< caller violated a documented precondition
+  kOutOfRange,       ///< index/section outside array or file bounds
+  kIoError,          ///< host file system operation failed
+  kParseError,       ///< HPF front end rejected the source program
+  kSemanticError,    ///< HPF semantic analysis rejected the program
+  kCompileError,     ///< out-of-core lowering cannot handle the program
+  kRuntimeError,     ///< execution-time failure (plan interpreter, runtime)
+  kResourceExhausted ///< memory budget cannot accommodate the request
+};
+
+/// Human-readable name of an ErrorCode ("InvalidArgument", ...).
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// Exception type thrown by every oocc component.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message);
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+namespace detail {
+[[noreturn]] void throw_error(ErrorCode code, const std::string& message);
+[[noreturn]] void assertion_failure(const char* expr, const char* file,
+                                    int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace oocc
+
+/// Throws oocc::Error with a stream-formatted message:
+///   OOCC_THROW(ErrorCode::kIoError, "cannot open " << path);
+#define OOCC_THROW(code, stream_expr)                  \
+  do {                                                 \
+    std::ostringstream oocc_throw_oss_;                \
+    oocc_throw_oss_ << stream_expr;                    \
+    ::oocc::detail::throw_error(code,                  \
+                                oocc_throw_oss_.str());\
+  } while (false)
+
+/// Validates a caller-visible precondition; throws Error on failure.
+#define OOCC_CHECK(cond, code, stream_expr) \
+  do {                                      \
+    if (!(cond)) {                          \
+      OOCC_THROW(code, stream_expr);        \
+    }                                       \
+  } while (false)
+
+/// Shorthand for argument validation.
+#define OOCC_REQUIRE(cond, stream_expr) \
+  OOCC_CHECK(cond, ::oocc::ErrorCode::kInvalidArgument, stream_expr)
+
+/// Internal invariant; failure indicates a bug in oocc itself.
+#define OOCC_ASSERT(cond, stream_expr)                                   \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream oocc_assert_oss_;                               \
+      oocc_assert_oss_ << stream_expr;                                   \
+      ::oocc::detail::assertion_failure(#cond, __FILE__, __LINE__,       \
+                                        oocc_assert_oss_.str());         \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,57 @@
+#include "oocc/util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace oocc {
+namespace {
+
+std::string_view level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view text) noexcept {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+Logger::Logger() : level_(LogLevel::kWarn) {
+  if (const char* env = std::getenv("OOCC_LOG")) {
+    level_ = parse_log_level(env);
+  }
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(level_tag(level).size()),
+               level_tag(level).data(), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace oocc

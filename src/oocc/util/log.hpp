@@ -1,0 +1,56 @@
+// Minimal thread-safe leveled logger.
+//
+// The simulator runs one thread per simulated processor, so log lines are
+// serialized under a mutex and tagged with the logical processor id when
+// emitted from inside an SPMD region (see sim::SpmdContext::log()).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace oocc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global logging configuration. Default level is kWarn; override with the
+/// OOCC_LOG environment variable (debug|info|warn|error|off).
+class Logger {
+ public:
+  static Logger& instance();
+
+  LogLevel level() const noexcept { return level_; }
+  void set_level(LogLevel level) noexcept { level_ = level; }
+
+  /// Writes one line (the newline is appended) if `level >= level()`.
+  void write(LogLevel level, std::string_view component,
+             std::string_view message);
+
+ private:
+  Logger();
+
+  std::mutex mu_;
+  LogLevel level_;
+};
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; returns kWarn on anything else.
+LogLevel parse_log_level(std::string_view text) noexcept;
+
+}  // namespace oocc
+
+#define OOCC_LOG(lvl, component, stream_expr)                              \
+  do {                                                                     \
+    if (static_cast<int>(lvl) >=                                           \
+        static_cast<int>(::oocc::Logger::instance().level())) {            \
+      std::ostringstream oocc_log_oss_;                                    \
+      oocc_log_oss_ << stream_expr;                                        \
+      ::oocc::Logger::instance().write(lvl, component,                     \
+                                       oocc_log_oss_.str());               \
+    }                                                                      \
+  } while (false)
+
+#define OOCC_DEBUG(component, s) OOCC_LOG(::oocc::LogLevel::kDebug, component, s)
+#define OOCC_INFO(component, s) OOCC_LOG(::oocc::LogLevel::kInfo, component, s)
+#define OOCC_WARN(component, s) OOCC_LOG(::oocc::LogLevel::kWarn, component, s)
+#define OOCC_ERROR(component, s) OOCC_LOG(::oocc::LogLevel::kError, component, s)

@@ -1,0 +1,61 @@
+#include "oocc/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace oocc {
+
+void RunningStats::add(double value) noexcept {
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double RunningStats::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::string RunningStats::summary(int precision) const {
+  std::ostringstream oss;
+  oss.precision(precision);
+  oss << "n=" << count_ << " mean=" << mean() << " min=" << min()
+      << " max=" << max() << " sd=" << stddev();
+  return oss.str();
+}
+
+}  // namespace oocc

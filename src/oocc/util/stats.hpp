@@ -1,0 +1,40 @@
+// Small running-statistics accumulator used by benches and the simulator's
+// per-processor counters.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace oocc {
+
+/// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  /// "n=4 mean=1.25 min=1 max=2 sd=0.43"
+  std::string summary(int precision = 3) const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace oocc

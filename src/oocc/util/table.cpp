@@ -1,0 +1,98 @@
+#include "oocc/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "oocc/util/error.hpp"
+
+namespace oocc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  OOCC_REQUIRE(!header_.empty(), "table must have at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  OOCC_REQUIRE(row.size() == header_.size(),
+               "row arity " << row.size() << " does not match header arity "
+                            << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_numeric_row(const std::string& label,
+                                const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) {
+    row.push_back(format_fixed(v, precision));
+  }
+  add_row(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) oss << " | ";
+      oss << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    oss << "\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) oss << "-+-";
+    oss << std::string(widths[c], '-');
+  }
+  oss << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return oss.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) oss << ",";
+      std::string cell = row[c];
+      std::replace(cell.begin(), cell.end(), ',', ';');
+      oss << cell;
+    }
+    oss << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return oss.str();
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string format_ratio(int num, int den) {
+  OOCC_REQUIRE(den != 0, "ratio denominator must be nonzero");
+  if (den == 1) {
+    return std::to_string(num);
+  }
+  return std::to_string(num) + "/" + std::to_string(den);
+}
+
+}  // namespace oocc

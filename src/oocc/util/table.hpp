@@ -1,0 +1,46 @@
+// ASCII table / CSV rendering used by the benchmark harness to print rows in
+// the same layout as the paper's tables (Table 1, Table 2) and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace oocc {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// a fixed precision so bench output lines up with the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each double with `precision` decimal digits.
+  void add_numeric_row(const std::string& label,
+                       const std::vector<double>& values, int precision = 2);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   Slab Ratio | 4 Procs | 16 Procs
+  ///   -----------+---------+---------
+  ///   1/8        | 1045.84 | 897.59
+  std::string to_string() const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting of embedded commas needed for
+  /// our numeric content; commas in cells are replaced by ';').
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing spaces).
+std::string format_fixed(double value, int precision);
+
+/// Formats a ratio like 1/8 as "1/8" (denominator 1 prints "1").
+std::string format_ratio(int num, int den);
+
+}  // namespace oocc

@@ -1,0 +1,213 @@
+// Tests for the tree-based collectives, including non-power-of-two
+// processor counts and simulated-clock synchronization semantics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "oocc/sim/collectives.hpp"
+
+namespace oocc::sim {
+namespace {
+
+class CollectivesTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, CollectivesTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST_P(CollectivesTest, BarrierCompletes) {
+  Machine machine(GetParam(), MachineCostModel::unit_test());
+  machine.run([](SpmdContext& ctx) {
+    for (int i = 0; i < 3; ++i) {
+      barrier(ctx);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, BarrierSynchronizesClocks) {
+  const int p = GetParam();
+  Machine machine(p, MachineCostModel::unit_test());
+  machine.run([&](SpmdContext& ctx) {
+    // One rank is 1 simulated second ahead; after the barrier, everyone
+    // must be at least that far.
+    if (ctx.rank() == p / 2) {
+      ctx.charge_flops(1e9);
+    }
+    barrier(ctx);
+    EXPECT_GE(ctx.clock().now(), 1.0);
+  });
+}
+
+TEST_P(CollectivesTest, BroadcastDeliversRootData) {
+  const int p = GetParam();
+  for (int root = 0; root < p; root += std::max(1, p - 1)) {
+    Machine machine(p, MachineCostModel::unit_test());
+    machine.run([&](SpmdContext& ctx) {
+      std::vector<std::int64_t> data;
+      if (ctx.rank() == root) {
+        data = {10, 20, 30, 40};
+      }
+      broadcast(ctx, root, data);
+      ASSERT_EQ(data.size(), 4u);
+      EXPECT_EQ(data[2], 30);
+    });
+  }
+}
+
+TEST_P(CollectivesTest, ReduceSumToRoot) {
+  const int p = GetParam();
+  Machine machine(p, MachineCostModel::unit_test());
+  machine.run([&](SpmdContext& ctx) {
+    const std::vector<double> mine{static_cast<double>(ctx.rank()), 1.0};
+    std::vector<double> out = reduce_sum<double>(
+        ctx, 0, std::span<const double>(mine.data(), mine.size()));
+    if (ctx.rank() == 0) {
+      ASSERT_EQ(out.size(), 2u);
+      EXPECT_DOUBLE_EQ(out[0], p * (p - 1) / 2.0);
+      EXPECT_DOUBLE_EQ(out[1], static_cast<double>(p));
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesTest, ReduceSumToNonzeroRoot) {
+  const int p = GetParam();
+  const int root = p - 1;
+  Machine machine(p, MachineCostModel::unit_test());
+  machine.run([&](SpmdContext& ctx) {
+    const std::vector<double> mine{1.0};
+    std::vector<double> out = reduce_sum<double>(
+        ctx, root, std::span<const double>(mine.data(), mine.size()));
+    if (ctx.rank() == root) {
+      ASSERT_EQ(out.size(), 1u);
+      EXPECT_DOUBLE_EQ(out[0], static_cast<double>(p));
+    }
+  });
+}
+
+TEST_P(CollectivesTest, AllreduceGivesEveryoneTheSum) {
+  const int p = GetParam();
+  Machine machine(p, MachineCostModel::unit_test());
+  machine.run([&](SpmdContext& ctx) {
+    const std::vector<double> mine{static_cast<double>(1 + ctx.rank())};
+    std::vector<double> out = allreduce_sum<double>(
+        ctx, std::span<const double>(mine.data(), mine.size()));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_DOUBLE_EQ(out[0], p * (p + 1) / 2.0);
+  });
+}
+
+TEST_P(CollectivesTest, GatherConcatenatesInRankOrder) {
+  const int p = GetParam();
+  Machine machine(p, MachineCostModel::unit_test());
+  machine.run([&](SpmdContext& ctx) {
+    const std::vector<int> mine{ctx.rank() * 2, ctx.rank() * 2 + 1};
+    std::vector<int> out =
+        gather<int>(ctx, 0, std::span<const int>(mine.data(), mine.size()));
+    if (ctx.rank() == 0) {
+      ASSERT_EQ(out.size(), static_cast<std::size_t>(2 * p));
+      for (int i = 0; i < 2 * p; ++i) {
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+      }
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesTest, ScatterDealsChunks) {
+  const int p = GetParam();
+  Machine machine(p, MachineCostModel::unit_test());
+  machine.run([&](SpmdContext& ctx) {
+    std::vector<int> all;
+    if (ctx.rank() == 0) {
+      all.resize(static_cast<std::size_t>(3 * p));
+      std::iota(all.begin(), all.end(), 0);
+    }
+    std::vector<int> mine =
+        scatter<int>(ctx, 0, std::span<const int>(all.data(), all.size()), 3);
+    ASSERT_EQ(mine.size(), 3u);
+    EXPECT_EQ(mine[0], ctx.rank() * 3);
+    EXPECT_EQ(mine[2], ctx.rank() * 3 + 2);
+  });
+}
+
+TEST_P(CollectivesTest, AlltoallvRoutesPersonalizedData) {
+  const int p = GetParam();
+  Machine machine(p, MachineCostModel::unit_test());
+  machine.run([&](SpmdContext& ctx) {
+    // Rank r sends to rank d a vector of d+1 copies of (100*r + d).
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      out[static_cast<std::size_t>(d)].assign(static_cast<std::size_t>(d + 1),
+                                              100 * ctx.rank() + d);
+    }
+    std::vector<std::vector<int>> in = alltoallv(ctx, out);
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      const auto& v = in[static_cast<std::size_t>(s)];
+      ASSERT_EQ(v.size(), static_cast<std::size_t>(ctx.rank() + 1));
+      for (int x : v) {
+        EXPECT_EQ(x, 100 * s + ctx.rank());
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesTest, ZeroLengthPayloadsAreLegal) {
+  const int p = GetParam();
+  Machine machine(p, MachineCostModel::unit_test());
+  machine.run([&](SpmdContext& ctx) {
+    std::vector<double> empty;
+    broadcast(ctx, 0, empty);
+    EXPECT_TRUE(empty.empty());
+    std::vector<double> summed = reduce_sum<double>(
+        ctx, 0, std::span<const double>(empty.data(), empty.size()));
+    if (ctx.rank() == 0) {
+      EXPECT_TRUE(summed.empty());
+    }
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(p));
+    auto in = alltoallv(ctx, out);  // all-empty exchange
+    for (const auto& v : in) {
+      EXPECT_TRUE(v.empty());
+    }
+  });
+}
+
+TEST(CollectivesCostTest, ReduceChargesAdditionFlops) {
+  Machine machine(4, MachineCostModel::unit_test());
+  RunReport report = machine.run([](SpmdContext& ctx) {
+    const std::vector<double> mine(100, 1.0);
+    (void)reduce_sum<double>(ctx, 0,
+                             std::span<const double>(mine.data(), mine.size()));
+  });
+  // Binomial tree on 4 ranks: rank 0 adds twice (from 1 and 2), rank 2
+  // adds once (from 3); total 300 additions.
+  double flops = 0.0;
+  for (const auto& pstats : report.procs) {
+    flops += pstats.flops;
+  }
+  EXPECT_DOUBLE_EQ(flops, 300.0);
+}
+
+TEST(CollectivesCostTest, BroadcastUsesLogarithmicRounds) {
+  // With 8 ranks a binomial broadcast completes in 3 message generations;
+  // the last receiver's clock must be >= 3 transfer times and the total
+  // message count must be p-1.
+  MachineCostModel cost = MachineCostModel::unit_test();
+  Machine machine(8, cost);
+  RunReport report = machine.run([&](SpmdContext& ctx) {
+    std::vector<double> data;
+    if (ctx.rank() == 0) {
+      data.assign(10, 3.0);
+    }
+    broadcast(ctx, 0, data);
+  });
+  EXPECT_EQ(report.total_messages(), 7u);
+  const double one_hop = cost.comm.latency_s + 80.0 / cost.comm.bandwidth_Bps;
+  EXPECT_GE(report.max_sim_time_s(), 3 * one_hop);
+  EXPECT_LT(report.max_sim_time_s(), 6 * one_hop);
+}
+
+}  // namespace
+}  // namespace oocc::sim

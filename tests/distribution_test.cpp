@@ -1,0 +1,262 @@
+// Tests for the HPF distribution algebra, including property-style checks
+// over randomized BLOCK / CYCLIC / BLOCK-CYCLIC configurations.
+#include <gtest/gtest.h>
+
+#include "oocc/hpf/distribution.hpp"
+#include "oocc/util/error.hpp"
+#include "oocc/util/rng.hpp"
+
+namespace oocc::hpf {
+namespace {
+
+TEST(DimDistributionTest, BlockBasics) {
+  // 64 elements over 4 procs: blocks of 16.
+  DimDistribution d(DistKind::kBlock, 64, 4);
+  EXPECT_EQ(d.block(), 16);
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(15), 0);
+  EXPECT_EQ(d.owner(16), 1);
+  EXPECT_EQ(d.owner(63), 3);
+  EXPECT_EQ(d.global_to_local(17), 1);
+  EXPECT_EQ(d.local_to_global(2, 3), 35);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(d.local_extent(p), 16);
+  }
+}
+
+TEST(DimDistributionTest, BlockUneven) {
+  // 10 over 4: ceil = 3 -> extents 3,3,3,1.
+  DimDistribution d(DistKind::kBlock, 10, 4);
+  EXPECT_EQ(d.local_extent(0), 3);
+  EXPECT_EQ(d.local_extent(3), 1);
+  EXPECT_EQ(d.owner(9), 3);
+  EXPECT_EQ(d.global_to_local(9), 0);
+}
+
+TEST(DimDistributionTest, CyclicBasics) {
+  DimDistribution d(DistKind::kCyclic, 10, 3);
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(4), 1);
+  EXPECT_EQ(d.global_to_local(7), 2);  // 7 = 2*3 + 1 -> local 2 on proc 1
+  EXPECT_EQ(d.local_to_global(1, 2), 7);
+  EXPECT_EQ(d.local_extent(0), 4);  // 0,3,6,9
+  EXPECT_EQ(d.local_extent(1), 3);  // 1,4,7
+  EXPECT_EQ(d.local_extent(2), 3);  // 2,5,8
+}
+
+TEST(DimDistributionTest, BlockCyclicBasics) {
+  // Blocks of 2 over 2 procs, extent 10:
+  // p0: 0,1, 4,5, 8,9 ; p1: 2,3, 6,7.
+  DimDistribution d(DistKind::kBlockCyclic, 10, 2, 2);
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(3), 1);
+  EXPECT_EQ(d.owner(4), 0);
+  EXPECT_EQ(d.local_extent(0), 6);
+  EXPECT_EQ(d.local_extent(1), 4);
+  EXPECT_EQ(d.global_to_local(6), 2);
+  EXPECT_EQ(d.local_to_global(1, 3), 7);
+}
+
+TEST(DimDistributionTest, CollapsedIsUniversal) {
+  DimDistribution d(DistKind::kCollapsed, 12, 4);
+  EXPECT_FALSE(d.distributed());
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(d.local_extent(p), 12);
+    EXPECT_TRUE(d.owns(p, 11));
+  }
+  EXPECT_EQ(d.global_to_local(7), 7);
+  EXPECT_EQ(d.local_to_global(2, 7), 7);
+}
+
+TEST(DimDistributionTest, BoundsChecked) {
+  DimDistribution d(DistKind::kBlock, 8, 2);
+  EXPECT_THROW(d.owner(8), Error);
+  EXPECT_THROW(d.owner(-1), Error);
+  EXPECT_THROW(d.local_extent(2), Error);
+  EXPECT_THROW(d.local_to_global(0, 4), Error);
+  EXPECT_THROW(DimDistribution(DistKind::kBlock, 0, 2), Error);
+  EXPECT_THROW(DimDistribution(DistKind::kBlockCyclic, 8, 2, 0), Error);
+}
+
+struct DistCase {
+  DistKind kind;
+  std::int64_t extent;
+  int nprocs;
+  std::int64_t block;
+};
+
+class DimDistributionProperty : public ::testing::TestWithParam<DistCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DimDistributionProperty,
+    ::testing::Values(DistCase{DistKind::kBlock, 64, 4, 0},
+                      DistCase{DistKind::kBlock, 100, 7, 0},
+                      DistCase{DistKind::kBlock, 5, 5, 0},
+                      DistCase{DistKind::kCyclic, 64, 4, 0},
+                      DistCase{DistKind::kCyclic, 101, 8, 0},
+                      DistCase{DistKind::kBlockCyclic, 64, 4, 4},
+                      DistCase{DistKind::kBlockCyclic, 97, 5, 3},
+                      DistCase{DistKind::kBlockCyclic, 32, 2, 32},
+                      DistCase{DistKind::kCollapsed, 50, 6, 0}));
+
+TEST_P(DimDistributionProperty, RoundTripAndPartition) {
+  const DistCase c = GetParam();
+  DimDistribution d(c.kind, c.extent, c.nprocs, c.block);
+
+  // (1) Every global index round-trips through (owner, local).
+  for (std::int64_t g = 0; g < c.extent; ++g) {
+    const int p = d.owner(g);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, c.nprocs);
+    EXPECT_TRUE(d.owns(p, g));
+    const std::int64_t l = d.global_to_local(g);
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, d.local_extent(p));
+    EXPECT_EQ(d.local_to_global(p, l), g);
+  }
+
+  // (2) Local extents sum to the global extent (for distributed kinds) —
+  // the local pieces tile the dimension exactly.
+  if (c.kind != DistKind::kCollapsed) {
+    std::int64_t total = 0;
+    for (int p = 0; p < c.nprocs; ++p) {
+      total += d.local_extent(p);
+    }
+    EXPECT_EQ(total, c.extent);
+  }
+
+  // (3) local_to_global is injective across (proc, local).
+  if (c.kind != DistKind::kCollapsed) {
+    std::vector<bool> seen(static_cast<std::size_t>(c.extent), false);
+    for (int p = 0; p < c.nprocs; ++p) {
+      for (std::int64_t l = 0; l < d.local_extent(p); ++l) {
+        const std::int64_t g = d.local_to_global(p, l);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(g)]);
+        seen[static_cast<std::size_t>(g)] = true;
+      }
+    }
+  }
+}
+
+TEST(DimDistributionProperty, RandomizedConfigurations) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t extent = rng.next_int(1, 300);
+    const int nprocs = static_cast<int>(rng.next_int(1, 16));
+    const int kind_pick = static_cast<int>(rng.next_int(0, 2));
+    DistKind kind = kind_pick == 0   ? DistKind::kBlock
+                    : kind_pick == 1 ? DistKind::kCyclic
+                                     : DistKind::kBlockCyclic;
+    const std::int64_t block = rng.next_int(1, 8);
+    DimDistribution d(kind, extent, nprocs, block);
+    std::int64_t total = 0;
+    for (int p = 0; p < nprocs; ++p) {
+      total += d.local_extent(p);
+    }
+    ASSERT_EQ(total, extent) << "kind=" << static_cast<int>(kind)
+                             << " extent=" << extent << " P=" << nprocs;
+    for (int probe = 0; probe < 20; ++probe) {
+      const std::int64_t g = rng.next_int(0, extent - 1);
+      const int p = d.owner(g);
+      ASSERT_EQ(d.local_to_global(p, d.global_to_local(g)), g);
+    }
+  }
+}
+
+TEST(DimDistributionProperty, BlockCyclicDegeneratesToBlockAndCyclic) {
+  // CYCLIC(1) == CYCLIC and CYCLIC(ceil(N/P)) == BLOCK, elementwise.
+  for (const auto& [extent, nprocs] :
+       std::vector<std::pair<std::int64_t, int>>{
+           {64, 4}, {100, 7}, {13, 13}, {96, 5}}) {
+    const DimDistribution cyclic(DistKind::kCyclic, extent, nprocs);
+    const DimDistribution bc1(DistKind::kBlockCyclic, extent, nprocs, 1);
+    const std::int64_t ceil_block = (extent + nprocs - 1) / nprocs;
+    const DimDistribution block(DistKind::kBlock, extent, nprocs);
+    const DimDistribution bcb(DistKind::kBlockCyclic, extent, nprocs,
+                              ceil_block);
+    for (std::int64_t g = 0; g < extent; ++g) {
+      ASSERT_EQ(bc1.owner(g), cyclic.owner(g)) << "g=" << g;
+      ASSERT_EQ(bc1.global_to_local(g), cyclic.global_to_local(g));
+      ASSERT_EQ(bcb.owner(g), block.owner(g)) << "g=" << g;
+      ASSERT_EQ(bcb.global_to_local(g), block.global_to_local(g));
+    }
+    for (int proc = 0; proc < nprocs; ++proc) {
+      ASSERT_EQ(bc1.local_extent(proc), cyclic.local_extent(proc));
+      ASSERT_EQ(bcb.local_extent(proc), block.local_extent(proc));
+    }
+  }
+}
+
+TEST(DimDistributionProperty, GlobalToLocalIsMonotonicOnOwnedSets) {
+  // The GAXPY kernels' OwnedColumnWriter relies on this: a processor's
+  // owned global indices, taken in increasing order, map to consecutive
+  // local indices 0, 1, 2, ...
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::int64_t extent = rng.next_int(1, 200);
+    const int nprocs = static_cast<int>(rng.next_int(1, 9));
+    const int kind_pick = static_cast<int>(rng.next_int(0, 2));
+    const DistKind kind = kind_pick == 0   ? DistKind::kBlock
+                          : kind_pick == 1 ? DistKind::kCyclic
+                                           : DistKind::kBlockCyclic;
+    const DimDistribution d(kind, extent, nprocs, rng.next_int(1, 6));
+    std::vector<std::int64_t> next_local(static_cast<std::size_t>(nprocs),
+                                         0);
+    for (std::int64_t g = 0; g < extent; ++g) {
+      const int owner = d.owner(g);
+      ASSERT_EQ(d.global_to_local(g),
+                next_local[static_cast<std::size_t>(owner)]++)
+          << "kind=" << static_cast<int>(kind) << " g=" << g;
+    }
+  }
+}
+
+TEST(ArrayDistributionTest, ColumnBlockMatchesPaperExample) {
+  // Figure 8: 8x8 array over 4 processors, column-block.
+  ArrayDistribution d = column_block(8, 8, 4);
+  EXPECT_EQ(d.axis(), DistAxis::kCols);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(d.local_rows(p), 8);
+    EXPECT_EQ(d.local_cols(p), 2);
+    EXPECT_EQ(d.local_elements(p), 16);
+  }
+  EXPECT_EQ(d.owner_of_col(0), 0);
+  EXPECT_EQ(d.owner_of_col(5), 2);
+  EXPECT_EQ(d.owner(3, 5), 2);
+  EXPECT_EQ(d.global_to_local_col(5), 1);
+  EXPECT_EQ(d.local_to_global_col(2, 1), 5);
+  EXPECT_EQ(d.global_to_local_row(3), 3);
+}
+
+TEST(ArrayDistributionTest, RowBlockMatchesPaperExample) {
+  ArrayDistribution d = row_block(8, 8, 4);
+  EXPECT_EQ(d.axis(), DistAxis::kRows);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(d.local_rows(p), 2);
+    EXPECT_EQ(d.local_cols(p), 8);
+  }
+  EXPECT_EQ(d.owner_of_row(7), 3);
+  EXPECT_EQ(d.owner(7, 0), 3);
+}
+
+TEST(ArrayDistributionTest, ReplicatedOwnsEverywhere) {
+  ArrayDistribution d(4, 4, DistAxis::kNone, DistKind::kCollapsed, 3);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_TRUE(d.owns(p, 2, 3));
+    EXPECT_EQ(d.local_elements(p), 16);
+  }
+  EXPECT_EQ(d.owner(2, 3), 0);
+}
+
+TEST(ArrayDistributionTest, EqualityAndToString) {
+  ArrayDistribution a = column_block(16, 16, 4);
+  ArrayDistribution b = column_block(16, 16, 4);
+  ArrayDistribution c = row_block(16, 16, 4);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_NE(a.to_string().find("BLOCK"), std::string::npos);
+  EXPECT_NE(a.to_string().find("cols"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oocc::hpf

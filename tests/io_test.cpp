@@ -1,0 +1,149 @@
+// Tests for the I/O substrate: disk cost model, file backend, temp dirs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "oocc/io/disk_model.hpp"
+#include "oocc/io/file_backend.hpp"
+#include "oocc/io/io_stats.hpp"
+#include "oocc/util/error.hpp"
+
+namespace oocc::io {
+namespace {
+
+TEST(DiskModelTest, RequestTimeIsOverheadPlusTransfer) {
+  DiskModel d = DiskModel::unit_test();
+  EXPECT_DOUBLE_EQ(d.request_time(0.0, 1), d.request_overhead_s);
+  EXPECT_DOUBLE_EQ(d.request_time(1e6, 1),
+                   d.request_overhead_s + 1.0);  // 1 MB at 1 MB/s
+}
+
+TEST(DiskModelTest, ContentionCapsBandwidth) {
+  DiskModel d;
+  d.request_overhead_s = 0.0;
+  d.per_proc_bandwidth_Bps = 2e6;
+  d.aggregate_bandwidth_Bps = 8e6;
+  // Up to 4 processors, each gets its full 2 MB/s; beyond that the shared
+  // subsystem is the bottleneck.
+  EXPECT_DOUBLE_EQ(d.effective_bandwidth(1), 2e6);
+  EXPECT_DOUBLE_EQ(d.effective_bandwidth(4), 2e6);
+  EXPECT_DOUBLE_EQ(d.effective_bandwidth(8), 1e6);
+  EXPECT_DOUBLE_EQ(d.effective_bandwidth(64), 8e6 / 64);
+  // Total time for a fixed aggregate volume is constant once saturated:
+  // P procs * (bytes/P) / (agg/P) = bytes * P / agg ... i.e. per-proc time
+  // for its 1/P share stays constant.
+  const double share16 = (64e6 / 16) / d.effective_bandwidth(16);
+  const double share64 = (64e6 / 64) / d.effective_bandwidth(64);
+  EXPECT_DOUBLE_EQ(share16, share64);
+}
+
+TEST(DiskModelTest, DeltaPresetSane) {
+  DiskModel d = DiskModel::touchstone_delta_cfs();
+  EXPECT_GT(d.request_overhead_s, 0.0);
+  EXPECT_LE(d.effective_bandwidth(64), d.per_proc_bandwidth_Bps);
+}
+
+TEST(IoStatsTest, MergeAndSummary) {
+  IoStats a;
+  a.read_requests = 2;
+  a.bytes_read = 100;
+  IoStats b;
+  b.write_requests = 3;
+  b.bytes_written = 50;
+  b.time_s = 1.5;
+  a.merge(b);
+  EXPECT_EQ(a.total_requests(), 5u);
+  EXPECT_EQ(a.total_bytes(), 150u);
+  EXPECT_NE(a.summary().find("reads=2"), std::string::npos);
+}
+
+TEST(TempDirTest, CreatesAndRemoves) {
+  std::filesystem::path where;
+  {
+    TempDir dir("oocc-test");
+    where = dir.path();
+    EXPECT_TRUE(std::filesystem::is_directory(where));
+    EXPECT_NE(where.string().find("oocc-test"), std::string::npos);
+    // Populate so removal is recursive.
+    FileBackend f(dir.file("x.bin"));
+    const char data[4] = {1, 2, 3, 4};
+    f.write_at(0, data, 4);
+  }
+  EXPECT_FALSE(std::filesystem::exists(where));
+}
+
+TEST(FileBackendTest, WriteThenReadRoundTrip) {
+  TempDir dir;
+  FileBackend f(dir.file("roundtrip.bin"));
+  const std::vector<double> out{1.0, 2.0, 3.0, 4.0};
+  f.write_at(16, out.data(), out.size() * sizeof(double));
+  std::vector<double> in(4);
+  f.read_at(16, in.data(), in.size() * sizeof(double));
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(f.size(), 16u + 32u);
+}
+
+TEST(FileBackendTest, ReadPastEofThrows) {
+  TempDir dir;
+  FileBackend f(dir.file("short.bin"));
+  f.truncate(8);
+  char buf[16];
+  EXPECT_THROW(f.read_at(0, buf, 16), Error);
+  try {
+    f.read_at(100, buf, 1);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+  }
+}
+
+TEST(FileBackendTest, TruncateZeroFills) {
+  TempDir dir;
+  FileBackend f(dir.file("zeros.bin"));
+  f.truncate(64);
+  std::vector<double> in(8, 99.0);
+  f.read_at(0, in.data(), 64);
+  for (double v : in) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(FileBackendTest, MoveTransfersOwnership) {
+  TempDir dir;
+  FileBackend a(dir.file("move.bin"));
+  const char data[2] = {7, 8};
+  a.write_at(0, data, 2);
+  FileBackend b(std::move(a));
+  char in[2];
+  b.read_at(0, in, 2);
+  EXPECT_EQ(in[0], 7);
+}
+
+TEST(FileBackendTest, InjectedReadFaultFiresOnNthRead) {
+  TempDir dir;
+  FileBackend f(dir.file("fault.bin"));
+  f.truncate(8);
+  char buf[1];
+  f.inject_read_fault(2);
+  EXPECT_NO_THROW(f.read_at(0, buf, 1));
+  EXPECT_THROW(f.read_at(0, buf, 1), Error);
+  // Cleared after firing.
+  EXPECT_NO_THROW(f.read_at(0, buf, 1));
+}
+
+TEST(FileBackendTest, InjectedWriteFaultFires) {
+  TempDir dir;
+  FileBackend f(dir.file("wfault.bin"));
+  f.inject_write_fault(1);
+  const char data[1] = {0};
+  try {
+    f.write_at(0, data, 1);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+    EXPECT_NE(std::string(e.what()).find("injected"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace oocc::io

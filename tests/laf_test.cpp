@@ -1,0 +1,292 @@
+// Tests for LocalArrayFile: section extents (the paper's request metric),
+// data round-trips in both storage orders, simulated-cost charging, and
+// failure propagation.
+#include <gtest/gtest.h>
+
+#include "oocc/io/laf.hpp"
+#include "oocc/sim/machine.hpp"
+#include "oocc/util/rng.hpp"
+
+namespace oocc::io {
+namespace {
+
+/// Runs `body` on a 1-processor machine with unit-test cost models.
+template <typename F>
+sim::RunReport run1(F&& body) {
+  sim::Machine machine(1, sim::MachineCostModel::unit_test());
+  return machine.run(std::forward<F>(body));
+}
+
+TEST(SectionTest, Helpers) {
+  const Section s{2, 5, 1, 4};
+  EXPECT_EQ(s.rows(), 3);
+  EXPECT_EQ(s.cols(), 3);
+  EXPECT_EQ(s.elements(), 9);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE((Section{2, 2, 0, 4}).empty());
+}
+
+TEST(LafTest, ColumnMajorFullColumnsAreOneExtent) {
+  TempDir dir;
+  run1([&](sim::SpmdContext& ctx) {
+    (void)ctx;
+    LocalArrayFile laf(dir.file("a.laf"), 8, 6, StorageOrder::kColumnMajor,
+                       DiskModel::unit_test());
+    // Full-height column slab: coalesces to a single contiguous request.
+    EXPECT_EQ(laf.section_request_count(Section{0, 8, 2, 5}), 1u);
+    // Partial rows: one extent per column.
+    EXPECT_EQ(laf.section_request_count(Section{1, 4, 2, 5}), 3u);
+    // Row slab of a column-major file: one extent per column => 6.
+    EXPECT_EQ(laf.section_request_count(Section{2, 4, 0, 6}), 6u);
+  });
+}
+
+TEST(LafTest, RowMajorFullRowsAreOneExtent) {
+  TempDir dir;
+  run1([&](sim::SpmdContext& ctx) {
+    (void)ctx;
+    LocalArrayFile laf(dir.file("a.laf"), 8, 6, StorageOrder::kRowMajor,
+                       DiskModel::unit_test());
+    EXPECT_EQ(laf.section_request_count(Section{2, 5, 0, 6}), 1u);
+    EXPECT_EQ(laf.section_request_count(Section{2, 5, 1, 4}), 3u);
+    // Column slab of a row-major file: one extent per row => 8.
+    EXPECT_EQ(laf.section_request_count(Section{0, 8, 3, 5}), 8u);
+  });
+}
+
+TEST(LafTest, ExtentOffsetsAreCorrectColumnMajor) {
+  TempDir dir;
+  run1([&](sim::SpmdContext& ctx) {
+    (void)ctx;
+    LocalArrayFile laf(dir.file("a.laf"), 4, 3, StorageOrder::kColumnMajor,
+                       DiskModel::unit_test());
+    const auto extents = laf.section_extents(Section{1, 3, 1, 3});
+    ASSERT_EQ(extents.size(), 2u);
+    // Column 1 rows [1,3): elements 4*1+1=5,6 -> offset 40, length 16.
+    EXPECT_EQ(extents[0].offset_bytes, 5u * 8u);
+    EXPECT_EQ(extents[0].length_bytes, 16u);
+    EXPECT_EQ(extents[1].offset_bytes, 9u * 8u);
+  });
+}
+
+class LafOrderTest : public ::testing::TestWithParam<StorageOrder> {};
+
+INSTANTIATE_TEST_SUITE_P(Orders, LafOrderTest,
+                         ::testing::Values(StorageOrder::kColumnMajor,
+                                           StorageOrder::kRowMajor));
+
+TEST_P(LafOrderTest, SectionRoundTripPreservesData) {
+  TempDir dir;
+  run1([&](sim::SpmdContext& ctx) {
+    LocalArrayFile laf(dir.file("rt.laf"), 7, 5, GetParam(),
+                       DiskModel::unit_test());
+    // Write the whole array with distinct values via full-array section.
+    std::vector<double> all(35);
+    for (std::int64_t c = 0; c < 5; ++c) {
+      for (std::int64_t r = 0; r < 7; ++r) {
+        all[static_cast<std::size_t>(c * 7 + r)] =
+            static_cast<double>(100 * r + c);
+      }
+    }
+    laf.write_full(ctx, std::span<const double>(all.data(), all.size()));
+
+    // Read back an interior section and check element mapping.
+    const Section s{2, 6, 1, 4};
+    std::vector<double> sec(static_cast<std::size_t>(s.elements()));
+    laf.read_section(ctx, s, std::span<double>(sec.data(), sec.size()));
+    for (std::int64_t c = s.col0; c < s.col1; ++c) {
+      for (std::int64_t r = s.row0; r < s.row1; ++r) {
+        EXPECT_DOUBLE_EQ(
+            sec[static_cast<std::size_t>((c - s.col0) * s.rows() +
+                                         (r - s.row0))],
+            static_cast<double>(100 * r + c))
+            << "r=" << r << " c=" << c;
+      }
+    }
+  });
+}
+
+TEST_P(LafOrderTest, PartialSectionWriteIsVisibleInFullRead) {
+  TempDir dir;
+  run1([&](sim::SpmdContext& ctx) {
+    LocalArrayFile laf(dir.file("pw.laf"), 6, 6, GetParam(),
+                       DiskModel::unit_test());
+    laf.fill(ctx, 0.0);
+    const Section s{1, 3, 2, 5};
+    std::vector<double> patch(static_cast<std::size_t>(s.elements()));
+    for (std::size_t i = 0; i < patch.size(); ++i) {
+      patch[i] = static_cast<double>(i + 1);
+    }
+    laf.write_section(ctx, s,
+                      std::span<const double>(patch.data(), patch.size()));
+    std::vector<double> all(36);
+    laf.read_full(ctx, std::span<double>(all.data(), all.size()));
+    // Spot checks: (1,2) is patch[0]; (0,0) untouched.
+    EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(2 * 6 + 1)], 1.0);
+    EXPECT_DOUBLE_EQ(all[0], 0.0);
+    // Count nonzeros == patch size.
+    int nonzero = 0;
+    for (double v : all) {
+      nonzero += v != 0.0 ? 1 : 0;
+    }
+    EXPECT_EQ(nonzero, 6);
+  });
+}
+
+TEST_P(LafOrderTest, RandomSectionFuzzAgainstShadowArray) {
+  // Random interleaved section writes and reads must always agree with an
+  // in-memory shadow of the array, in both storage orders.
+  TempDir dir;
+  run1([&](sim::SpmdContext& ctx) {
+    const std::int64_t rows = 13;
+    const std::int64_t cols = 11;
+    LocalArrayFile laf(dir.file("fuzz.laf"), rows, cols, GetParam(),
+                       DiskModel::zero());
+    std::vector<double> shadow(static_cast<std::size_t>(rows * cols), 0.0);
+    laf.fill(ctx, 0.0);
+
+    oocc::Rng rng(GetParam() == StorageOrder::kColumnMajor ? 11 : 22);
+    std::vector<double> buf;
+    for (int op = 0; op < 300; ++op) {
+      const std::int64_t r0 = rng.next_int(0, rows - 1);
+      const std::int64_t r1 = rng.next_int(r0 + 1, rows);
+      const std::int64_t c0 = rng.next_int(0, cols - 1);
+      const std::int64_t c1 = rng.next_int(c0 + 1, cols);
+      const Section s{r0, r1, c0, c1};
+      buf.resize(static_cast<std::size_t>(s.elements()));
+      if (rng.next_below(2) == 0) {
+        for (double& v : buf) {
+          v = rng.next_double(-10.0, 10.0);
+        }
+        laf.write_section(ctx, s,
+                          std::span<const double>(buf.data(), buf.size()));
+        for (std::int64_t c = c0; c < c1; ++c) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            shadow[static_cast<std::size_t>(c * rows + r)] =
+                buf[static_cast<std::size_t>((c - c0) * s.rows() +
+                                             (r - r0))];
+          }
+        }
+      } else {
+        laf.read_section(ctx, s, std::span<double>(buf.data(), buf.size()));
+        for (std::int64_t c = c0; c < c1; ++c) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            ASSERT_DOUBLE_EQ(
+                buf[static_cast<std::size_t>((c - c0) * s.rows() +
+                                             (r - r0))],
+                shadow[static_cast<std::size_t>(c * rows + r)])
+                << "op=" << op << " r=" << r << " c=" << c;
+          }
+        }
+      }
+    }
+  });
+}
+
+TEST_P(LafOrderTest, ExtentCountsConsistentWithExtentList) {
+  TempDir dir;
+  run1([&](sim::SpmdContext& ctx) {
+    (void)ctx;
+    LocalArrayFile laf(dir.file("ec.laf"), 9, 7, GetParam(),
+                       DiskModel::zero());
+    oocc::Rng rng(5);
+    for (int trial = 0; trial < 100; ++trial) {
+      const std::int64_t r0 = rng.next_int(0, 8);
+      const std::int64_t r1 = rng.next_int(r0 + 1, 9);
+      const std::int64_t c0 = rng.next_int(0, 6);
+      const std::int64_t c1 = rng.next_int(c0 + 1, 7);
+      const Section s{r0, r1, c0, c1};
+      const auto extents = laf.section_extents(s);
+      ASSERT_EQ(extents.size(), laf.section_request_count(s));
+      // Total extent bytes == section bytes.
+      std::uint64_t bytes = 0;
+      for (const auto& e : extents) {
+        bytes += e.length_bytes;
+      }
+      ASSERT_EQ(bytes, static_cast<std::uint64_t>(s.elements()) * 8);
+    }
+  });
+}
+
+TEST(LafTest, CostChargedPerExtent) {
+  TempDir dir;
+  const DiskModel disk = DiskModel::unit_test();
+  sim::Machine machine(1, sim::MachineCostModel::zero());
+  sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
+    LocalArrayFile laf(dir.file("cost.laf"), 10, 4,
+                       StorageOrder::kColumnMajor, disk);
+    std::vector<double> buf(20);
+    // Rows [0,5) of columns [0,4): 4 extents of 40 bytes each.
+    laf.read_section(ctx, Section{0, 5, 0, 4},
+                     std::span<double>(buf.data(), buf.size()));
+    const double expected = 4 * disk.request_time(40.0, 1);
+    EXPECT_NEAR(ctx.clock().now(), expected, 1e-12);
+    EXPECT_EQ(laf.stats().read_requests, 4u);
+    EXPECT_EQ(laf.stats().bytes_read, 160u);
+  });
+  EXPECT_EQ(report.procs[0].io_requests, 4u);
+  EXPECT_EQ(report.procs[0].io_bytes_read, 160u);
+  EXPECT_NEAR(report.procs[0].io_time_s, 4 * disk.request_time(40.0, 1),
+              1e-12);
+}
+
+TEST(LafTest, WholeArrayReadIsSingleRequest) {
+  TempDir dir;
+  run1([&](sim::SpmdContext& ctx) {
+    LocalArrayFile laf(dir.file("one.laf"), 100, 50,
+                       StorageOrder::kColumnMajor, DiskModel::unit_test());
+    std::vector<double> buf(5000);
+    laf.read_full(ctx, std::span<double>(buf.data(), buf.size()));
+    EXPECT_EQ(laf.stats().read_requests, 1u);
+  });
+}
+
+TEST(LafTest, SectionValidation) {
+  TempDir dir;
+  run1([&](sim::SpmdContext& ctx) {
+    LocalArrayFile laf(dir.file("v.laf"), 4, 4, StorageOrder::kColumnMajor,
+                       DiskModel::unit_test());
+    std::vector<double> buf(100);
+    EXPECT_THROW(laf.read_section(ctx, Section{0, 5, 0, 1},
+                                  std::span<double>(buf.data(), 5)),
+                 Error);
+    EXPECT_THROW(laf.read_section(ctx, Section{0, 0, 0, 1},
+                                  std::span<double>(buf.data(), 0)),
+                 Error);
+    // Buffer size mismatch.
+    EXPECT_THROW(laf.read_section(ctx, Section{0, 2, 0, 2},
+                                  std::span<double>(buf.data(), 3)),
+                 Error);
+  });
+}
+
+TEST(LafTest, BackendFaultPropagatesAsIoError) {
+  TempDir dir;
+  run1([&](sim::SpmdContext& ctx) {
+    LocalArrayFile laf(dir.file("f.laf"), 4, 4, StorageOrder::kColumnMajor,
+                       DiskModel::unit_test());
+    laf.backend().inject_read_fault(1);
+    std::vector<double> buf(16);
+    try {
+      laf.read_full(ctx, std::span<double>(buf.data(), buf.size()));
+      FAIL();
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kIoError);
+    }
+  });
+}
+
+TEST(LafTest, ResetStatsClearsCounters) {
+  TempDir dir;
+  run1([&](sim::SpmdContext& ctx) {
+    LocalArrayFile laf(dir.file("rs.laf"), 4, 4, StorageOrder::kColumnMajor,
+                       DiskModel::unit_test());
+    laf.fill(ctx, 1.0);
+    EXPECT_GT(laf.stats().write_requests, 0u);
+    laf.reset_stats();
+    EXPECT_EQ(laf.stats().total_requests(), 0u);
+  });
+}
+
+}  // namespace
+}  // namespace oocc::io

@@ -1,0 +1,209 @@
+// Robustness tests: parser fuzzing (malformed input must produce coded
+// diagnostics, never crashes), failure propagation across the SPMD
+// machine (a disk fault on one rank must abort the whole region cleanly),
+// and resource-exhaustion paths through the full compiled pipeline.
+#include <gtest/gtest.h>
+
+#include "oocc/compiler/lower.hpp"
+#include "oocc/exec/interp.hpp"
+#include "oocc/gaxpy/gaxpy.hpp"
+#include "oocc/hpf/parser.hpp"
+#include "oocc/hpf/programs.hpp"
+#include "oocc/hpf/sema.hpp"
+#include "oocc/sim/collectives.hpp"
+#include "oocc/util/rng.hpp"
+
+namespace oocc {
+namespace {
+
+using io::DiskModel;
+using io::StorageOrder;
+using io::TempDir;
+using sim::Machine;
+using sim::MachineCostModel;
+using sim::SpmdContext;
+
+// ----------------------------------------------------------- parser fuzz
+
+TEST(ParserFuzzTest, RandomGarbageNeverCrashes) {
+  // Random printable strings: the lexer/parser must either succeed or
+  // throw oocc::Error — never crash or hang.
+  Rng rng(0xF00D);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789 ()=,:*+-/!$\n\t";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string source;
+    const std::size_t len =
+        static_cast<std::size_t>(rng.next_int(0, 300));
+    for (std::size_t i = 0; i < len; ++i) {
+      source.push_back(
+          alphabet[rng.next_below(alphabet.size())]);
+    }
+    try {
+      hpf::Program p = hpf::parse(source);
+      (void)hpf::to_string(p);
+    } catch (const Error&) {
+      // expected for most inputs
+    }
+  }
+}
+
+TEST(ParserFuzzTest, MutatedValidProgramNeverCrashes) {
+  // Single-character mutations of a valid program: common typo class.
+  const std::string base = hpf::gaxpy_source(16, 2);
+  const std::string chars = "abxyz019(),:=*+-/ \n";
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = base;
+    const std::size_t pos = rng.next_below(mutated.size());
+    mutated[pos] = chars[rng.next_below(chars.size())];
+    try {
+      compiler::CompileOptions options;
+      options.memory_budget_elements = 4096;
+      (void)compiler::compile_source(mutated, options);
+    } catch (const Error&) {
+      // parse/sema/compile errors are all acceptable outcomes
+    }
+  }
+}
+
+TEST(ParserFuzzTest, TokenSoupNeverCrashes) {
+  // Sequences of valid tokens in random order.
+  const char* tokens[] = {"do",   "forall", "end",  "real", "sum",
+                          "(",    ")",      ",",    ":",    "::",
+                          "=",    "*",      "+",    "a",    "b",
+                          "1",    "42",     "\n",   "!hpf$", "align",
+                          "with", "block",  "onto", "processors"};
+  Rng rng(0xCAFE);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string source;
+    const int count = static_cast<int>(rng.next_int(1, 60));
+    for (int i = 0; i < count; ++i) {
+      source += tokens[rng.next_below(std::size(tokens))];
+      source += " ";
+    }
+    source += "\n";
+    try {
+      (void)hpf::analyze(hpf::parse(source));
+    } catch (const Error&) {
+    }
+  }
+}
+
+// --------------------------------------------------- failure propagation
+
+TEST(FailurePropagationTest, DiskFaultAbortsWholeRegion) {
+  // Rank 1's LAF fails mid-multiplication; every rank (including those
+  // blocked in the global sum) must unwind, and the error must surface.
+  const std::int64_t n = 16;
+  const int p = 4;
+  TempDir dir;
+  Machine machine(p, MachineCostModel::zero());
+  try {
+    machine.run([&](SpmdContext& ctx) {
+      runtime::OutOfCoreArray a(ctx, dir.path(), "a",
+                                hpf::column_block(n, n, p),
+                                StorageOrder::kColumnMajor,
+                                DiskModel::zero());
+      runtime::OutOfCoreArray b(ctx, dir.path(), "b",
+                                hpf::row_block(n, n, p),
+                                StorageOrder::kColumnMajor,
+                                DiskModel::zero());
+      runtime::OutOfCoreArray c(ctx, dir.path(), "c",
+                                hpf::column_block(n, n, p),
+                                StorageOrder::kColumnMajor,
+                                DiskModel::zero());
+      a.initialize(ctx, [](std::int64_t, std::int64_t) { return 1.0; },
+                   n * n);
+      b.initialize(ctx, [](std::int64_t, std::int64_t) { return 1.0; },
+                   n * n);
+      if (ctx.rank() == 1) {
+        a.laf().backend().inject_read_fault(3);
+      }
+      gaxpy::GaxpyConfig config;
+      config.slab_a_elements = n * 2;
+      config.slab_b_elements = n * 2;
+      config.slab_c_elements = n * 2;
+      runtime::MemoryBudget budget(1 << 20);
+      gaxpy::ooc_gaxpy_column_slabs(ctx, a, b, c, budget, config);
+    });
+    FAIL() << "expected the region to abort";
+  } catch (const Error& e) {
+    // Either the faulting rank's IoError or a peer's abort notification
+    // surfaces, depending on rank completion order; both are correct.
+    EXPECT_TRUE(e.code() == ErrorCode::kIoError ||
+                e.code() == ErrorCode::kRuntimeError)
+        << e.what();
+  }
+}
+
+TEST(FailurePropagationTest, MachineUsableAfterDiskFaultAbort) {
+  const std::int64_t n = 8;
+  TempDir dir;
+  Machine machine(2, MachineCostModel::zero());
+  EXPECT_THROW(machine.run([&](SpmdContext& ctx) {
+                 io::LocalArrayFile laf(
+                     dir.path() / ("x" + std::to_string(ctx.rank())), n, n,
+                     StorageOrder::kColumnMajor, DiskModel::zero());
+                 if (ctx.rank() == 0) {
+                   laf.backend().inject_read_fault(1);
+                 }
+                 std::vector<double> buf(static_cast<std::size_t>(n * n));
+                 laf.read_full(ctx, std::span<double>(buf.data(), buf.size()));
+                 sim::barrier(ctx);
+               }),
+               Error);
+  // Clean region afterwards.
+  machine.run([](SpmdContext& ctx) { sim::barrier(ctx); });
+}
+
+// ----------------------------------------------------- memory exhaustion
+
+TEST(ResourceTest, KernelRefusesBudgetSmallerThanWorkingSet) {
+  const std::int64_t n = 16;
+  TempDir dir;
+  Machine machine(2, MachineCostModel::zero());
+  try {
+    machine.run([&](SpmdContext& ctx) {
+      runtime::OutOfCoreArray a(ctx, dir.path(), "a",
+                                hpf::column_block(n, n, 2),
+                                StorageOrder::kColumnMajor,
+                                DiskModel::zero());
+      runtime::OutOfCoreArray b(ctx, dir.path(), "b",
+                                hpf::row_block(n, n, 2),
+                                StorageOrder::kColumnMajor,
+                                DiskModel::zero());
+      runtime::OutOfCoreArray c(ctx, dir.path(), "c",
+                                hpf::column_block(n, n, 2),
+                                StorageOrder::kColumnMajor,
+                                DiskModel::zero());
+      gaxpy::GaxpyConfig config;
+      config.slab_a_elements = n * 4;
+      config.slab_b_elements = n * 4;
+      config.slab_c_elements = n * 4;
+      runtime::MemoryBudget budget(n);  // cannot even hold one A slab
+      gaxpy::ooc_gaxpy_column_slabs(ctx, a, b, c, budget, config);
+    });
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_TRUE(e.code() == ErrorCode::kResourceExhausted ||
+                e.code() == ErrorCode::kRuntimeError)
+        << e.what();
+  }
+}
+
+TEST(ResourceTest, CompilerRejectsImpossibleBudgetBeforeExecution) {
+  compiler::CompileOptions options;
+  options.memory_budget_elements = 10;  // floors alone exceed this
+  try {
+    compiler::compile_source(hpf::gaxpy_source(256, 4), options);
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+    EXPECT_NE(std::string(e.what()).find("minimum working set"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace oocc

@@ -1,0 +1,513 @@
+// Tests for the out-of-core runtime: slab iteration, ICLA buffers and the
+// memory budget, out-of-core arrays, redistribution, storage
+// reorganization, and prefetch overlap modelling.
+#include <gtest/gtest.h>
+
+#include "oocc/runtime/icla.hpp"
+#include "oocc/runtime/ooc_array.hpp"
+#include "oocc/runtime/prefetch.hpp"
+#include "oocc/runtime/redistribute.hpp"
+#include "oocc/runtime/reorganize.hpp"
+#include "oocc/runtime/slab_iter.hpp"
+#include "oocc/sim/collectives.hpp"
+#include "oocc/util/rng.hpp"
+
+namespace oocc::runtime {
+namespace {
+
+using hpf::column_block;
+using hpf::row_block;
+using io::DiskModel;
+using io::Section;
+using io::StorageOrder;
+using io::TempDir;
+using sim::Machine;
+using sim::MachineCostModel;
+using sim::SpmdContext;
+
+TEST(SlabIteratorTest, ColumnSlabsTileExactly) {
+  // 8 x 10 local array, capacity 24 elements -> 3 columns per slab.
+  SlabIterator it(8, 10, SlabOrientation::kColumnSlabs, 24);
+  EXPECT_EQ(it.slab_span(), 3);
+  EXPECT_EQ(it.count(), 4);
+  EXPECT_EQ(it.slab_elements(), 24);
+  std::int64_t covered = 0;
+  for (std::int64_t i = 0; i < it.count(); ++i) {
+    const Section s = it.section(i);
+    EXPECT_EQ(s.row0, 0);
+    EXPECT_EQ(s.row1, 8);
+    covered += s.cols();
+  }
+  EXPECT_EQ(covered, 10);
+  EXPECT_EQ(it.section(3).cols(), 1);  // final partial slab
+}
+
+TEST(SlabIteratorTest, RowSlabsTileExactly) {
+  SlabIterator it(10, 8, SlabOrientation::kRowSlabs, 24);
+  EXPECT_EQ(it.slab_span(), 3);
+  EXPECT_EQ(it.count(), 4);
+  std::int64_t covered = 0;
+  for (std::int64_t i = 0; i < it.count(); ++i) {
+    const Section s = it.section(i);
+    EXPECT_EQ(s.col0, 0);
+    EXPECT_EQ(s.col1, 8);
+    covered += s.rows();
+  }
+  EXPECT_EQ(covered, 10);
+}
+
+TEST(SlabIteratorTest, TinyCapacityClampsToOneLine) {
+  SlabIterator it(100, 10, SlabOrientation::kColumnSlabs, 5);
+  EXPECT_EQ(it.slab_span(), 1);  // capacity below one column still works
+  EXPECT_EQ(it.count(), 10);
+}
+
+TEST(SlabIteratorTest, WholeArrayIsOneSlab) {
+  SlabIterator it(8, 8, SlabOrientation::kRowSlabs, 64);
+  EXPECT_EQ(it.count(), 1);
+  const Section s = it.section(0);
+  EXPECT_EQ(s.elements(), 64);
+}
+
+TEST(SlabIteratorTest, SlabRatioMatchesPaperConvention) {
+  // Paper: slab ratio 1/8 means 8 slabs per OCLA.
+  const std::int64_t local_elems = 1024 * 256;
+  SlabIterator it(1024, 256, SlabOrientation::kColumnSlabs, local_elems / 8);
+  EXPECT_EQ(it.count(), 8);
+}
+
+TEST(SlabIteratorTest, OutOfRangeSection) {
+  SlabIterator it(4, 4, SlabOrientation::kColumnSlabs, 8);
+  EXPECT_THROW(it.section(-1), Error);
+  EXPECT_THROW(it.section(it.count()), Error);
+}
+
+TEST(MemoryBudgetTest, ReserveAndRelease) {
+  MemoryBudget b(100);
+  b.reserve(60, "x");
+  EXPECT_EQ(b.remaining(), 40);
+  b.reserve(40, "y");
+  EXPECT_EQ(b.remaining(), 0);
+  b.release(60);
+  EXPECT_EQ(b.remaining(), 60);
+}
+
+TEST(MemoryBudgetTest, OversubscriptionThrowsResourceExhausted) {
+  MemoryBudget b(100);
+  b.reserve(80, "big");
+  try {
+    b.reserve(21, "straw");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+    EXPECT_NE(std::string(e.what()).find("straw"), std::string::npos);
+  }
+}
+
+TEST(IclaBufferTest, RegistersAgainstBudgetRaii) {
+  MemoryBudget b(100);
+  {
+    IclaBuffer icla(b, 64, "slab");
+    EXPECT_EQ(b.used(), 64);
+    EXPECT_THROW(IclaBuffer(b, 64, "second"), Error);
+  }
+  EXPECT_EQ(b.used(), 0);
+}
+
+TEST(IclaBufferTest, LoadStoreRoundTrip) {
+  TempDir dir;
+  Machine machine(1, MachineCostModel::zero());
+  machine.run([&](SpmdContext& ctx) {
+    io::LocalArrayFile laf(dir.file("x.laf"), 6, 6,
+                           StorageOrder::kColumnMajor, DiskModel::zero());
+    MemoryBudget budget(100);
+    IclaBuffer icla(budget, 12, "win");
+    icla.reset_section(Section{0, 6, 1, 3});
+    for (std::int64_t c = 0; c < 2; ++c) {
+      for (std::int64_t r = 0; r < 6; ++r) {
+        icla.at(r, c) = static_cast<double>(10 * r + c);
+      }
+    }
+    icla.store(ctx, laf);
+
+    IclaBuffer readback(budget, 12, "rb");
+    readback.load(ctx, laf, Section{0, 6, 1, 3});
+    EXPECT_DOUBLE_EQ(readback.at(3, 1), 31.0);
+    EXPECT_DOUBLE_EQ(readback.at(0, 0), 0.0);
+  });
+}
+
+TEST(IclaBufferTest, SectionLargerThanCapacityThrows) {
+  TempDir dir;
+  Machine machine(1, MachineCostModel::zero());
+  machine.run([&](SpmdContext& ctx) {
+    (void)ctx;
+    MemoryBudget budget(1000);
+    IclaBuffer icla(budget, 10, "tiny");
+    EXPECT_THROW(icla.reset_section(Section{0, 10, 0, 10}), Error);
+  });
+}
+
+// ---------------------------------------------------------------------
+// OutOfCoreArray
+
+TEST(OutOfCoreArrayTest, InitializeAndGather) {
+  TempDir dir;
+  Machine machine(4, MachineCostModel::zero());
+  machine.run([&](SpmdContext& ctx) {
+    OutOfCoreArray a(ctx, dir.path(), "a", column_block(8, 8, 4),
+                     StorageOrder::kColumnMajor, DiskModel::zero());
+    EXPECT_EQ(a.local_rows(), 8);
+    EXPECT_EQ(a.local_cols(), 2);
+    a.initialize(
+        ctx, [](std::int64_t r, std::int64_t c) {
+          return static_cast<double>(100 * r + c);
+        },
+        16);
+    std::vector<double> global = a.gather_global(ctx, 16);
+    if (ctx.rank() == 0) {
+      ASSERT_EQ(global.size(), 64u);
+      for (std::int64_t c = 0; c < 8; ++c) {
+        for (std::int64_t r = 0; r < 8; ++r) {
+          EXPECT_DOUBLE_EQ(global[static_cast<std::size_t>(c * 8 + r)],
+                           static_cast<double>(100 * r + c));
+        }
+      }
+    } else {
+      EXPECT_TRUE(global.empty());
+    }
+  });
+}
+
+TEST(OutOfCoreArrayTest, RowBlockGlobalIndexing) {
+  TempDir dir;
+  Machine machine(4, MachineCostModel::zero());
+  machine.run([&](SpmdContext& ctx) {
+    OutOfCoreArray b(ctx, dir.path(), "b", row_block(8, 8, 4),
+                     StorageOrder::kColumnMajor, DiskModel::zero());
+    EXPECT_EQ(b.local_rows(), 2);
+    EXPECT_EQ(b.local_cols(), 8);
+    // Local row 1 on rank r is global row 2r + 1.
+    EXPECT_EQ(b.ocla().global_row(1), ctx.rank() * 2 + 1);
+    b.initialize(
+        ctx,
+        [](std::int64_t r, std::int64_t c) {
+          return static_cast<double>(r * 8 + c);
+        },
+        64);
+    std::vector<double> global = b.gather_global(ctx, 64);
+    if (ctx.rank() == 0) {
+      EXPECT_DOUBLE_EQ(global[static_cast<std::size_t>(3 * 8 + 5)],
+                       static_cast<double>(5 * 8 + 3));
+    }
+  });
+}
+
+TEST(OutOfCoreArrayTest, EmptyLocalPieceRejected) {
+  TempDir dir;
+  Machine machine(4, MachineCostModel::zero());
+  // 3 columns over 4 processors: block = ceil(3/4) = 1, proc 3 owns none.
+  EXPECT_THROW(machine.run([&](SpmdContext& ctx) {
+                 OutOfCoreArray a(ctx, dir.path(), "a", column_block(4, 3, 4),
+                                  StorageOrder::kColumnMajor,
+                                  DiskModel::zero());
+               }),
+               Error);
+}
+
+// ---------------------------------------------------------------------
+// Redistribution (§2.3)
+
+class RedistributeTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Procs, RedistributeTest, ::testing::Values(1, 2, 4));
+
+TEST_P(RedistributeTest, ColumnBlockToRowBlockPreservesContent) {
+  const int p = GetParam();
+  TempDir dir;
+  Machine machine(p, MachineCostModel::zero());
+  machine.run([&](SpmdContext& ctx) {
+    const std::int64_t n = 12;
+    OutOfCoreArray src(ctx, dir.path(), "src", column_block(n, n, p),
+                       StorageOrder::kColumnMajor, DiskModel::zero());
+    OutOfCoreArray dst(ctx, dir.path(), "dst", row_block(n, n, p),
+                       StorageOrder::kColumnMajor, DiskModel::zero());
+    src.initialize(
+        ctx,
+        [](std::int64_t r, std::int64_t c) {
+          return static_cast<double>(1000 * r + c);
+        },
+        40);
+    redistribute(ctx, src, dst, 40);
+    std::vector<double> global = dst.gather_global(ctx, 40);
+    if (ctx.rank() == 0) {
+      for (std::int64_t c = 0; c < n; ++c) {
+        for (std::int64_t r = 0; r < n; ++r) {
+          ASSERT_DOUBLE_EQ(global[static_cast<std::size_t>(c * n + r)],
+                           static_cast<double>(1000 * r + c))
+              << "r=" << r << " c=" << c << " p=" << p;
+        }
+      }
+    }
+  });
+}
+
+TEST_P(RedistributeTest, BlockToCyclicPreservesContent) {
+  const int p = GetParam();
+  TempDir dir;
+  Machine machine(p, MachineCostModel::zero());
+  machine.run([&](SpmdContext& ctx) {
+    const std::int64_t n = 8;
+    OutOfCoreArray src(ctx, dir.path(), "s2", column_block(n, n, p),
+                       StorageOrder::kColumnMajor, DiskModel::zero());
+    hpf::ArrayDistribution cyclic(n, n, hpf::DistAxis::kCols,
+                                  hpf::DistKind::kCyclic, p);
+    OutOfCoreArray dst(ctx, dir.path(), "d2", cyclic,
+                       StorageOrder::kColumnMajor, DiskModel::zero());
+    src.initialize(
+        ctx,
+        [](std::int64_t r, std::int64_t c) {
+          return static_cast<double>(r + c * 0.5);
+        },
+        32);
+    redistribute(ctx, src, dst, 32);
+    std::vector<double> global = dst.gather_global(ctx, 32);
+    if (ctx.rank() == 0) {
+      for (std::int64_t c = 0; c < n; ++c) {
+        for (std::int64_t r = 0; r < n; ++r) {
+          ASSERT_DOUBLE_EQ(global[static_cast<std::size_t>(c * n + r)],
+                           static_cast<double>(r + c * 0.5));
+        }
+      }
+    }
+  });
+}
+
+TEST(RedistributeTest, ShapeMismatchRejected) {
+  TempDir dir;
+  Machine machine(2, MachineCostModel::zero());
+  EXPECT_THROW(
+      machine.run([&](SpmdContext& ctx) {
+        OutOfCoreArray src(ctx, dir.path(), "sa", column_block(8, 8, 2),
+                           StorageOrder::kColumnMajor, DiskModel::zero());
+        OutOfCoreArray dst(ctx, dir.path(), "da", column_block(8, 6, 2),
+                           StorageOrder::kColumnMajor, DiskModel::zero());
+        redistribute(ctx, src, dst, 16);
+      }),
+      Error);
+}
+
+TEST(RedistributeTest, RandomDistributionPairsPreserveContent) {
+  // Property: redistribution between random (axis, kind) pairs is a
+  // content-preserving permutation of the global array.
+  oocc::Rng rng(314);
+  const std::int64_t n = 8;
+  const int p = 2;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto random_dist = [&]() {
+      const hpf::DistAxis axis = rng.next_below(2) == 0
+                                     ? hpf::DistAxis::kRows
+                                     : hpf::DistAxis::kCols;
+      const int pick = static_cast<int>(rng.next_int(0, 2));
+      const hpf::DistKind kind = pick == 0   ? hpf::DistKind::kBlock
+                                 : pick == 1 ? hpf::DistKind::kCyclic
+                                             : hpf::DistKind::kBlockCyclic;
+      return hpf::ArrayDistribution(n, n, axis, kind, p,
+                                    rng.next_int(1, 3));
+    };
+    const hpf::ArrayDistribution sd = random_dist();
+    const hpf::ArrayDistribution dd = random_dist();
+    TempDir dir;
+    Machine machine(p, MachineCostModel::zero());
+    machine.run([&](SpmdContext& ctx) {
+      OutOfCoreArray src(ctx, dir.path(), "s", sd,
+                         StorageOrder::kColumnMajor, DiskModel::zero());
+      OutOfCoreArray dst(ctx, dir.path(), "d", dd,
+                         StorageOrder::kColumnMajor, DiskModel::zero());
+      src.initialize(
+          ctx,
+          [](std::int64_t r, std::int64_t c) {
+            return static_cast<double>(r * 31 + c * 3);
+          },
+          24);
+      redistribute(ctx, src, dst, 24);
+      std::vector<double> global = dst.gather_global(ctx, 64);
+      if (ctx.rank() == 0) {
+        for (std::int64_t c = 0; c < n; ++c) {
+          for (std::int64_t r = 0; r < n; ++r) {
+            ASSERT_DOUBLE_EQ(global[static_cast<std::size_t>(c * n + r)],
+                             static_cast<double>(r * 31 + c * 3))
+                << "trial=" << trial << " src=" << sd.to_string()
+                << " dst=" << dd.to_string();
+          }
+        }
+      }
+    });
+  }
+}
+
+TEST(RedistributeTest, BulkArrivalsCoalesceIntoRectangleWrites) {
+  // write_routed_elements must merge a whole local rectangle into one
+  // section write (one request when it spans full local height).
+  TempDir dir;
+  Machine machine(1, MachineCostModel::zero());
+  machine.run([&](SpmdContext& ctx) {
+    OutOfCoreArray dst(ctx, dir.path(), "d", hpf::column_block(8, 8, 1),
+                       StorageOrder::kColumnMajor, DiskModel::zero());
+    std::vector<RoutedElement> elems;
+    for (std::int64_t c = 2; c < 6; ++c) {
+      for (std::int64_t r = 0; r < 8; ++r) {
+        elems.push_back(
+            RoutedElement{r, c, static_cast<double>(10 * r + c)});
+      }
+    }
+    dst.laf().reset_stats();
+    write_routed_elements(ctx, dst, elems);
+    // Full-height columns 2..5: one coalesced extent.
+    EXPECT_EQ(dst.laf().stats().write_requests, 1u);
+    std::vector<double> all(64);
+    dst.laf().read_full(ctx, std::span<double>(all.data(), all.size()));
+    EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(3 * 8 + 4)], 43.0);
+  });
+}
+
+// ---------------------------------------------------------------------
+// Storage reorganization (§4.1)
+
+TEST(ReorganizeTest, ColumnToRowMajorPreservesDataAndChangesExtents) {
+  TempDir dir;
+  Machine machine(1, MachineCostModel::zero());
+  machine.run([&](SpmdContext& ctx) {
+    io::LocalArrayFile src(dir.file("cm.laf"), 8, 8,
+                           StorageOrder::kColumnMajor, DiskModel::zero());
+    io::LocalArrayFile dst(dir.file("rm.laf"), 8, 8, StorageOrder::kRowMajor,
+                           DiskModel::zero());
+    std::vector<double> all(64);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      all[i] = static_cast<double>(i * 3 + 1);
+    }
+    src.write_full(ctx, std::span<const double>(all.data(), all.size()));
+    reorganize_storage(ctx, src, dst, 16);
+
+    // Row slabs are now a single extent.
+    EXPECT_EQ(dst.section_request_count(Section{2, 4, 0, 8}), 1u);
+
+    std::vector<double> back(64);
+    dst.read_full(ctx, std::span<double>(back.data(), back.size()));
+    EXPECT_EQ(back, all);
+  });
+}
+
+TEST(ReorganizeTest, ReturnsRequestCount) {
+  TempDir dir;
+  Machine machine(1, MachineCostModel::zero());
+  machine.run([&](SpmdContext& ctx) {
+    io::LocalArrayFile src(dir.file("s.laf"), 4, 8,
+                           StorageOrder::kColumnMajor, DiskModel::zero());
+    io::LocalArrayFile dst(dir.file("d.laf"), 4, 8, StorageOrder::kRowMajor,
+                           DiskModel::zero());
+    src.fill(ctx, 1.0);
+    src.reset_stats();
+    // Budget of 8 elements = 2 columns per slab -> 4 slabs. Reads: 1
+    // request each (contiguous in source). Writes: 4 rows x 4 slabs = 16.
+    const std::uint64_t requests = reorganize_storage(ctx, src, dst, 8);
+    EXPECT_EQ(requests, 4u + 16u);
+  });
+}
+
+TEST(ReorganizeTest, ShapeMismatchRejected) {
+  TempDir dir;
+  Machine machine(1, MachineCostModel::zero());
+  EXPECT_THROW(
+      machine.run([&](SpmdContext& ctx) {
+        (void)ctx;
+        io::LocalArrayFile a(dir.file("a.laf"), 4, 4,
+                             StorageOrder::kColumnMajor, DiskModel::zero());
+        io::LocalArrayFile b(dir.file("b.laf"), 4, 5,
+                             StorageOrder::kRowMajor, DiskModel::zero());
+        sim::Machine inner(1, MachineCostModel::zero());
+        // Call directly in this context.
+        reorganize_storage(ctx, a, b, 8);
+      }),
+      Error);
+}
+
+// ---------------------------------------------------------------------
+// Prefetch overlap model
+
+TEST(PrefetchTest, DataIsCorrectWithAndWithoutPrefetch) {
+  TempDir dir;
+  for (bool prefetch : {false, true}) {
+    Machine machine(1, MachineCostModel::zero());
+    machine.run([&](SpmdContext& ctx) {
+      io::LocalArrayFile laf(dir.file("pf.laf"), 4, 12,
+                             StorageOrder::kColumnMajor, DiskModel::zero());
+      std::vector<double> all(48);
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        all[i] = static_cast<double>(i);
+      }
+      laf.write_full(ctx, std::span<const double>(all.data(), all.size()));
+
+      SlabIterator slabs(4, 12, SlabOrientation::kColumnSlabs, 16);
+      MemoryBudget budget(1000);
+      PrefetchingSlabReader reader(ctx, laf, slabs, budget, "pf", prefetch);
+      double sum = 0.0;
+      for (std::int64_t s = 0; s < reader.slab_count(); ++s) {
+        const IclaBuffer& buf = reader.acquire(ctx, s);
+        for (double v : buf.data()) {
+          sum += v;
+        }
+      }
+      EXPECT_DOUBLE_EQ(sum, 47.0 * 48.0 / 2.0) << "prefetch=" << prefetch;
+    });
+  }
+}
+
+TEST(PrefetchTest, OverlapHidesIoBehindCompute) {
+  // Sequential pattern: acquire slab, compute longer than one slab's I/O
+  // time. With prefetch, every I/O after the first overlaps compute, so
+  // total time ~ first_read + N*compute; without it ~ N*(read + compute).
+  TempDir dir;
+  DiskModel disk = DiskModel::unit_test();  // 1 ms overhead, 1 MB/s
+  double with_prefetch = 0.0;
+  double without_prefetch = 0.0;
+  for (bool prefetch : {false, true}) {
+    Machine machine(1, MachineCostModel::unit_test());
+    sim::RunReport report = machine.run([&](SpmdContext& ctx) {
+      io::LocalArrayFile laf(dir.file(prefetch ? "p1.laf" : "p0.laf"), 64,
+                             64, StorageOrder::kColumnMajor, disk);
+      SlabIterator slabs(64, 64, SlabOrientation::kColumnSlabs, 64 * 8);
+      MemoryBudget budget(100000);
+      PrefetchingSlabReader reader(ctx, laf, slabs, budget, "x", prefetch);
+      for (std::int64_t s = 0; s < reader.slab_count(); ++s) {
+        (void)reader.acquire(ctx, s);
+        ctx.charge_flops(2e7);  // 20 ms of compute at 1e-9 s/flop
+      }
+    });
+    (prefetch ? with_prefetch : without_prefetch) = report.max_sim_time_s();
+  }
+  EXPECT_LT(with_prefetch, without_prefetch);
+  // 8 slabs; each read is 1 request: 1 ms + 4096B/1MBps ~ 5.1 ms.
+  // Without prefetch: 8*(read+compute); with: first read + 8*compute.
+  EXPECT_NEAR(without_prefetch - with_prefetch, 7 * (1e-3 + 4096e-6), 1e-3);
+}
+
+TEST(PrefetchTest, OutOfOrderAcquireRejected) {
+  TempDir dir;
+  Machine machine(1, MachineCostModel::zero());
+  EXPECT_THROW(machine.run([&](SpmdContext& ctx) {
+                 io::LocalArrayFile laf(dir.file("ooo.laf"), 4, 4,
+                                        StorageOrder::kColumnMajor,
+                                        DiskModel::zero());
+                 SlabIterator slabs(4, 4,
+                                    SlabOrientation::kColumnSlabs, 8);
+                 MemoryBudget budget(1000);
+                 PrefetchingSlabReader reader(ctx, laf, slabs, budget, "x",
+                                              true);
+                 (void)reader.acquire(ctx, 1);
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace oocc::runtime

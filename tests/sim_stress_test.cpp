@@ -1,0 +1,173 @@
+// Stress and property tests for the SPMD simulator: randomized traffic,
+// mixed collective sequences, clock causality, and the report formatter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "oocc/sim/collectives.hpp"
+#include "oocc/util/rng.hpp"
+
+namespace oocc::sim {
+namespace {
+
+TEST(SimStressTest, RandomizedAllPairsTrafficIsLossless) {
+  // Every rank sends a deterministic pseudo-random number of messages to
+  // every other rank, then receives exactly the expected counts. All
+  // payloads must arrive intact and per-(source, tag) in order.
+  const int p = 6;
+  const int max_msgs = 17;
+  Machine machine(p, MachineCostModel::unit_test());
+  machine.run([&](SpmdContext& ctx) {
+    // All ranks derive the same traffic matrix.
+    int traffic[6][6];
+    Rng shared(42);
+    for (auto& row : traffic) {
+      for (int& cell : row) {
+        cell = static_cast<int>(shared.next_int(0, max_msgs));
+      }
+    }
+    // Send phase: rank r sends traffic[r][d] messages to d, payload
+    // encodes (r, d, seq).
+    for (int d = 0; d < p; ++d) {
+      if (d == ctx.rank()) {
+        continue;
+      }
+      for (int s = 0; s < traffic[ctx.rank()][d]; ++s) {
+        ctx.send_value<std::int64_t>(d, /*tag=*/7,
+                                     ctx.rank() * 1000000 + d * 1000 + s);
+      }
+    }
+    // Receive phase: from each source, in order.
+    for (int src = 0; src < p; ++src) {
+      if (src == ctx.rank()) {
+        continue;
+      }
+      for (int s = 0; s < traffic[src][ctx.rank()]; ++s) {
+        const std::int64_t v = ctx.recv_value<std::int64_t>(src, 7);
+        EXPECT_EQ(v, src * 1000000 + ctx.rank() * 1000 + s);
+      }
+    }
+  });
+}
+
+TEST(SimStressTest, InterleavedTagsWithWildcardDrain) {
+  // Senders interleave two tags; the receiver drains one tag entirely,
+  // then the other with a wildcard source — both orders must be intact.
+  Machine machine(3, MachineCostModel::zero());
+  machine.run([](SpmdContext& ctx) {
+    if (ctx.rank() != 0) {
+      for (int i = 0; i < 10; ++i) {
+        ctx.send_value<int>(0, i % 2, ctx.rank() * 100 + i);
+      }
+      return;
+    }
+    int even_seen[3] = {0, 0, 0};
+    for (int i = 0; i < 10; ++i) {  // 5 even-tag messages from each sender
+      const int v = ctx.recv_value<int>(kAnySource, 0);
+      const int sender = v / 100;
+      const int seq = v % 100;
+      EXPECT_EQ(seq % 2, 0);
+      EXPECT_EQ(seq / 2, even_seen[sender]++);
+    }
+    for (int src = 1; src < 3; ++src) {
+      for (int i = 1; i < 10; i += 2) {
+        EXPECT_EQ(ctx.recv_value<int>(src, 1), src * 100 + i);
+      }
+    }
+  });
+}
+
+TEST(SimStressTest, MixedCollectiveSequencesCompose) {
+  // A realistic phase mix: bcast -> allreduce -> alltoallv -> gather ->
+  // barrier, repeated; values must chain correctly through the rounds.
+  const int p = 5;
+  Machine machine(p, MachineCostModel::unit_test());
+  machine.run([&](SpmdContext& ctx) {
+    double carry = 1.0;
+    for (int round = 0; round < 4; ++round) {
+      std::vector<double> seed;
+      if (ctx.rank() == round % p) {
+        seed = {carry + round};
+      }
+      broadcast(ctx, round % p, seed);
+      ASSERT_EQ(seed.size(), 1u);
+
+      const std::vector<double> mine{seed[0] + ctx.rank()};
+      std::vector<double> sum = allreduce_sum<double>(
+          ctx, std::span<const double>(mine.data(), mine.size()));
+      // sum = p*seed + 0+1+...+(p-1)
+      EXPECT_DOUBLE_EQ(sum[0], p * seed[0] + p * (p - 1) / 2.0);
+
+      std::vector<std::vector<int>> out(static_cast<std::size_t>(p));
+      for (int d = 0; d < p; ++d) {
+        out[static_cast<std::size_t>(d)] = {ctx.rank() + d};
+      }
+      auto in = alltoallv(ctx, out);
+      for (int s = 0; s < p; ++s) {
+        EXPECT_EQ(in[static_cast<std::size_t>(s)][0], s + ctx.rank());
+      }
+
+      const std::vector<int> g{ctx.rank()};
+      std::vector<int> all =
+          gather<int>(ctx, 0, std::span<const int>(g.data(), g.size()));
+      if (ctx.rank() == 0) {
+        for (int r = 0; r < p; ++r) {
+          EXPECT_EQ(all[static_cast<std::size_t>(r)], r);
+        }
+      }
+      barrier(ctx);
+      carry = sum[0];
+    }
+  });
+}
+
+TEST(SimStressTest, ClockCausalityThroughRandomDependencies) {
+  // Random send/recv chains: a receiver's clock must never be earlier
+  // than the send time of the message it consumed.
+  const int p = 4;
+  Machine machine(p, MachineCostModel::unit_test());
+  machine.run([&](SpmdContext& ctx) {
+    Rng rng(static_cast<std::uint64_t>(ctx.rank()) + 99);
+    // Ring of dependent messages with random local compute in between.
+    const int next = (ctx.rank() + 1) % p;
+    const int prev = (ctx.rank() - 1 + p) % p;
+    double last_send_time = 0.0;
+    for (int i = 0; i < 50; ++i) {
+      ctx.charge_flops(static_cast<double>(rng.next_int(0, 100000)));
+      last_send_time = ctx.clock().now();
+      ctx.send_value<double>(next, 3, last_send_time);
+      const double their_send_time = ctx.recv_value<double>(prev, 3);
+      EXPECT_GE(ctx.clock().now(), their_send_time);
+    }
+  });
+}
+
+TEST(SimStressTest, ManyRanksBarrierStorm) {
+  Machine machine(48, MachineCostModel::unit_test());
+  RunReport report = machine.run([](SpmdContext& ctx) {
+    for (int i = 0; i < 20; ++i) {
+      barrier(ctx);
+    }
+  });
+  // Dissemination barrier: ceil(log2 48) = 6 rounds, 20 barriers; every
+  // rank sends exactly 120 messages.
+  for (const auto& pstats : report.procs) {
+    EXPECT_EQ(pstats.messages_sent, 120u);
+  }
+}
+
+TEST(SimStressTest, FormatReportContainsBreakdown) {
+  Machine machine(2, MachineCostModel::unit_test());
+  RunReport report = machine.run([](SpmdContext& ctx) {
+    ctx.charge_flops(1e6);
+    barrier(ctx);
+  });
+  const std::string text = format_report(report);
+  EXPECT_NE(text.find("compute (s)"), std::string::npos);
+  EXPECT_NE(text.find("makespan:"), std::string::npos);
+  // One line per proc plus header/rule/footer.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2 + 2 + 1);
+}
+
+}  // namespace
+}  // namespace oocc::sim

@@ -1,0 +1,215 @@
+// Unit tests for oocc/util: errors, stats, tables, env parsing, RNG.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "oocc/util/env.hpp"
+#include "oocc/util/error.hpp"
+#include "oocc/util/rng.hpp"
+#include "oocc/util/stats.hpp"
+#include "oocc/util/table.hpp"
+
+namespace oocc {
+namespace {
+
+TEST(ErrorTest, CarriesCodeAndMessage) {
+  try {
+    OOCC_THROW(ErrorCode::kIoError, "disk " << 3 << " on fire");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+    EXPECT_NE(std::string(e.what()).find("disk 3 on fire"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("IoError"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckPassesOnTrueCondition) {
+  EXPECT_NO_THROW(OOCC_CHECK(1 + 1 == 2, ErrorCode::kInvalidArgument, "no"));
+}
+
+TEST(ErrorTest, RequireThrowsInvalidArgument) {
+  try {
+    OOCC_REQUIRE(false, "bad argument " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(ErrorTest, AssertReportsLocation) {
+  try {
+    OOCC_ASSERT(false, "invariant " << "broken");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kRuntimeError);
+    EXPECT_NE(std::string(e.what()).find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, EveryCodeHasAName) {
+  for (ErrorCode code :
+       {ErrorCode::kInvalidArgument, ErrorCode::kOutOfRange,
+        ErrorCode::kIoError, ErrorCode::kParseError, ErrorCode::kSemanticError,
+        ErrorCode::kCompileError, ErrorCode::kRuntimeError,
+        ErrorCode::kResourceExhausted}) {
+    EXPECT_FALSE(error_code_name(code).empty());
+    EXPECT_NE(error_code_name(code), "Unknown");
+  }
+}
+
+TEST(StatsTest, EmptyAccumulator) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StatsTest, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StatsTest, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.37 - 3.0;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(1.0);
+  b.add(3.0);
+  a.merge(b);  // empty += nonempty
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats c;
+  a.merge(c);  // nonempty += empty
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(TableTest, AlignsColumns) {
+  TextTable t({"Slab Ratio", "4 Procs"});
+  t.add_row({"1/8", "1045.84"});
+  t.add_row({"1", "923.11"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("Slab Ratio | 4 Procs"), std::string::npos);
+  EXPECT_NE(out.find("1/8"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, RejectsAritymismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(TableTest, NumericRowFormatting) {
+  TextTable t({"label", "x", "y"});
+  t.add_numeric_row("row", {1.23456, 2.0}, 2);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("row,1.23,2.00"), std::string::npos);
+}
+
+TEST(TableTest, FormatRatio) {
+  EXPECT_EQ(format_ratio(1, 8), "1/8");
+  EXPECT_EQ(format_ratio(1, 1), "1");
+  EXPECT_THROW(format_ratio(1, 0), Error);
+}
+
+TEST(EnvTest, IntFallbacks) {
+  ::unsetenv("OOCC_TEST_INT");
+  EXPECT_EQ(env_int("OOCC_TEST_INT", 7), 7);
+  ::setenv("OOCC_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("OOCC_TEST_INT", 7), 42);
+  ::setenv("OOCC_TEST_INT", "not-a-number", 1);
+  EXPECT_EQ(env_int("OOCC_TEST_INT", 7), 7);
+  ::unsetenv("OOCC_TEST_INT");
+}
+
+TEST(EnvTest, Flags) {
+  ::unsetenv("OOCC_TEST_FLAG");
+  EXPECT_FALSE(env_flag("OOCC_TEST_FLAG"));
+  ::setenv("OOCC_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(env_flag("OOCC_TEST_FLAG"));
+  ::setenv("OOCC_TEST_FLAG", "off", 1);
+  EXPECT_FALSE(env_flag("OOCC_TEST_FLAG"));
+  ::unsetenv("OOCC_TEST_FLAG");
+}
+
+TEST(EnvTest, IntList) {
+  ::unsetenv("OOCC_TEST_LIST");
+  EXPECT_EQ(env_int_list("OOCC_TEST_LIST", {4, 16}), (std::vector<int>{4, 16}));
+  ::setenv("OOCC_TEST_LIST", "4,16,32,64", 1);
+  EXPECT_EQ(env_int_list("OOCC_TEST_LIST", {}),
+            (std::vector<int>{4, 16, 32, 64}));
+  ::setenv("OOCC_TEST_LIST", "4,bogus", 1);
+  EXPECT_EQ(env_int_list("OOCC_TEST_LIST", {1}), (std::vector<int>{1}));
+  ::unsetenv("OOCC_TEST_LIST");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, RoughlyUniform) {
+  Rng r(7);
+  int buckets[10] = {};
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    buckets[r.next_below(10)]++;
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, trials / 10, trials / 100);
+  }
+}
+
+}  // namespace
+}  // namespace oocc
