@@ -1,6 +1,6 @@
 // Shared harness for the paper-reproduction benches.
 //
-// Every bench binary sweeps configurations of the out-of-core GAXPYkernels
+// Every bench binary sweeps configurations of the out-of-core GAXPY kernels
 // on the simulated Touchstone Delta (sim::MachineCostModel::touchstone_delta
 // + io::DiskModel::touchstone_delta_cfs) and prints rows in the layout of
 // the paper's tables, alongside the paper's published numbers for shape

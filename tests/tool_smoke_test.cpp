@@ -1,0 +1,75 @@
+// End-to-end smoke test for the oocc_compile driver: compile one of the
+// bundled HPF programs and check that the tool exits cleanly and emits a
+// decision report plus a node program. Keeps the tool target wired into the
+// pipeline — a regression in the parser, compiler, or driver plumbing that
+// breaks the CLI fails here even if the unit suites still pass.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "oocc/hpf/programs.hpp"
+#include "oocc/io/file_backend.hpp"
+
+#ifndef OOCC_COMPILE_BIN
+#define OOCC_COMPILE_BIN ""
+#endif
+
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class OoccCompileSmoke : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::string(OOCC_COMPILE_BIN).empty()) {
+      GTEST_SKIP() << "oocc_compile was not built (OOCC_BUILD_TOOLS=OFF)";
+    }
+  }
+};
+
+TEST_F(OoccCompileSmoke, CompilesBundledGaxpyProgram) {
+  oocc::io::TempDir dir("oocc-smoke");
+  const auto program = dir.file("gaxpy.hpf");
+  {
+    std::ofstream out(program);
+    out << oocc::hpf::gaxpy_source(64, 4);
+  }
+  const auto stdout_path = dir.file("out.txt");
+  const auto stderr_path = dir.file("err.txt");
+
+  const std::string cmd = std::string("\"") + OOCC_COMPILE_BIN + "\" \"" +
+                          program.string() + "\" > \"" +
+                          stdout_path.string() + "\" 2> \"" +
+                          stderr_path.string() + "\"";
+  const int rc = std::system(cmd.c_str());
+  EXPECT_EQ(rc, 0) << "stderr:\n" << read_file(stderr_path);
+
+  const std::string output = read_file(stdout_path);
+  EXPECT_FALSE(output.empty());
+  EXPECT_NE(output.find("decision report"), std::string::npos) << output;
+  EXPECT_NE(output.find("node program"), std::string::npos) << output;
+}
+
+TEST_F(OoccCompileSmoke, RejectsMissingInputWithUsage) {
+  oocc::io::TempDir dir("oocc-smoke");
+  const auto stderr_path = dir.file("err.txt");
+  const std::string cmd = std::string("\"") + OOCC_COMPILE_BIN +
+                          "\" > /dev/null 2> \"" + stderr_path.string() + "\"";
+  const int rc = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 2);
+  EXPECT_NE(read_file(stderr_path).find("usage:"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Runs the paper-table benches and emits a machine-readable BENCH_results.json.
+#
+# Usage: tools/run_bench.sh [-o results.json] [-b bench-bin-dir] [bench ...]
+#
+#   -o FILE   output JSON path (default: BENCH_results.json in the cwd)
+#   -b DIR    directory holding the bench binaries (default:
+#             $OOCC_BENCH_BIN_DIR, then ./bench, then ./build/bench)
+#   bench...  bench names to run (default: the paper-table set below)
+#
+# Scale knobs are the benches' own environment variables (see
+# bench/bench_common.hpp): OOCC_N, OOCC_PROCS, OOCC_FULL.
+set -euo pipefail
+
+OUT="BENCH_results.json"
+BIN_DIR="${OOCC_BENCH_BIN_DIR:-}"
+
+while getopts "o:b:h" opt; do
+  case "$opt" in
+    o) OUT="$OPTARG" ;;
+    b) BIN_DIR="$OPTARG" ;;
+    h) sed -n '2,12p' "$0"; exit 0 ;;
+    *) exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+if [ -z "$BIN_DIR" ]; then
+  for cand in bench build/bench; do
+    if [ -x "$cand/table1_row_vs_col" ]; then BIN_DIR="$cand"; break; fi
+  done
+fi
+if [ -z "$BIN_DIR" ] || [ ! -d "$BIN_DIR" ]; then
+  echo "run_bench.sh: bench binary directory not found (build first, or pass -b)" >&2
+  exit 1
+fi
+
+BENCHES=("$@")
+if [ ${#BENCHES[@]} -eq 0 ]; then
+  BENCHES=(table1_row_vs_col table2_memory_alloc fig10_slab_variation \
+           two_phase_io redistribution)
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+for bench in "${BENCHES[@]}"; do
+  bin="$BIN_DIR/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "run_bench.sh: skipping $bench (no binary at $bin)" >&2
+    echo "missing" > "$WORK/$bench.status"
+    continue
+  fi
+  echo "== $bench" >&2
+  start="$(date +%s.%N)"
+  rc=0
+  "$bin" > "$WORK/$bench.out" 2> "$WORK/$bench.err" || rc=$?
+  end="$(date +%s.%N)"
+  echo "$rc" > "$WORK/$bench.status"
+  echo "$start $end" > "$WORK/$bench.time"
+  if [ "$rc" -ne 0 ]; then
+    echo "run_bench.sh: $bench exited with $rc" >&2
+    cat "$WORK/$bench.err" >&2 || true
+  fi
+done
+
+python3 - "$WORK" "$OUT" "${BENCHES[@]}" <<'PYEOF'
+"""Parse the captured bench output into BENCH_results.json.
+
+Each bench prints `==== title ====` section headers and pipe-separated
+TextTable blocks (header row, ----+---- rule, data rows); everything else is
+kept as free-form notes (e.g. the "shape check ... OK" lines).
+"""
+import json
+import os
+import sys
+import time
+
+work, out_path, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+
+
+def parse_tables(text):
+    tables, notes = [], []
+    title = None
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        stripped = line.strip()
+        if stripped.startswith("====") and stripped.endswith("===="):
+            title = stripped.strip("= ").strip()
+            i += 1
+            continue
+        # A table block is a header line containing " | " followed by a rule.
+        if " | " in line and i + 1 < len(lines) and \
+                set(lines[i + 1].strip()) <= set("-+ ") and "-" in lines[i + 1]:
+            header = [c.strip() for c in line.split("|")]
+            rows = []
+            i += 2
+            while i < len(lines) and " | " in lines[i]:
+                rows.append([c.strip() for c in lines[i].split("|")])
+                i += 1
+            tables.append({"title": title, "header": header, "rows": rows})
+            continue
+        if stripped:
+            notes.append(stripped)
+        i += 1
+    return tables, notes
+
+
+results = []
+for bench in benches:
+    status_path = os.path.join(work, bench + ".status")
+    status = open(status_path).read().strip() if os.path.exists(status_path) else "missing"
+    entry = {"name": bench}
+    if status == "missing":
+        entry["status"] = "missing"
+        results.append(entry)
+        continue
+    entry["exit_code"] = int(status)
+    entry["status"] = "ok" if status == "0" else "failed"
+    time_path = os.path.join(work, bench + ".time")
+    if os.path.exists(time_path):
+        start, end = open(time_path).read().split()
+        entry["wall_time_s"] = round(float(end) - float(start), 3)
+    text = open(os.path.join(work, bench + ".out")).read()
+    entry["tables"], entry["notes"] = parse_tables(text)
+    results.append(entry)
+
+doc = {
+    "schema": "oocc-bench-results/v1",
+    "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "env": {k: os.environ.get(k) for k in ("OOCC_N", "OOCC_PROCS", "OOCC_FULL")
+            if os.environ.get(k) is not None},
+    "benches": results,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+ok = sum(1 for r in results if r.get("status") == "ok")
+print(f"run_bench.sh: {ok}/{len(results)} benches ok -> {out_path}", file=sys.stderr)
+sys.exit(0 if ok == len(results) else 1)
+PYEOF

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite, then
+# repeat the test pass in an ASan/UBSan build. Used by CI and by hand:
+#
+#   tools/verify.sh            # plain + sanitizer pass
+#   OOCC_SKIP_ASAN=1 tools/verify.sh   # plain pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== tier-1: configure + build + ctest ==="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [ -n "${OOCC_SKIP_ASAN:-}" ]; then
+  echo "=== skipping sanitizer pass (OOCC_SKIP_ASAN set) ==="
+  exit 0
+fi
+
+echo "=== sanitizer pass: ASan/UBSan build + ctest ==="
+cmake -B build-asan -S . -DOOCC_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "=== verify.sh: all passes green ==="
