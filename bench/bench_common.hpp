@@ -52,12 +52,13 @@ struct GaxpyRunConfig {
 
 struct GaxpyRunResult {
   double sim_time_s = 0.0;
-  double wall_time_s = 0.0;
+  double wall_time_s = 0.0;  ///< host wall time of the SPMD region
   std::uint64_t a_read_requests = 0;   ///< per processor (max)
   std::uint64_t a_bytes_read = 0;
   std::uint64_t total_io_requests = 0;
   std::uint64_t total_io_bytes = 0;
   std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes_sent = 0;  ///< simulated communication payload
 };
 
 /// Runs one GAXPY configuration end to end: create arrays (with the
@@ -137,7 +138,28 @@ inline GaxpyRunResult run_gaxpy(const GaxpyRunConfig& cfg) {
   result.total_io_requests = report.total_io_requests();
   result.total_io_bytes = report.total_io_bytes();
   result.total_messages = report.total_messages();
+  result.total_bytes_sent = report.total_bytes_sent();
   return result;
+}
+
+/// Per-routing-path measurements for the element-vs-block comparisons in
+/// bench/redistribution and bench/two_phase_io: simulated makespan,
+/// simulated communication bytes (routed descriptors + payload), message
+/// count, and host wall time of the SPMD region.
+struct RouteRunResult {
+  double sim_time_s = 0.0;
+  double wall_time_s = 0.0;
+  std::uint64_t comm_bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+inline RouteRunResult route_run_result(const sim::RunReport& report) {
+  RouteRunResult r;
+  r.sim_time_s = report.max_sim_time_s();
+  r.wall_time_s = report.wall_time_s;
+  r.comm_bytes = report.total_bytes_sent();
+  r.messages = report.total_messages();
+  return r;
 }
 
 /// Default sweep parameters honouring the environment knobs.

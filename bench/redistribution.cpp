@@ -1,11 +1,16 @@
 // §2.3 and §4.1 one-time reorganization overheads and their amortization.
 //
-// Two experiments:
-//  1. Initial redistribution: data arrives on disk column-block but the
+// Three experiments:
+//  1. Routing format: the same column-block -> row-block redistribution
+//     with per-element triples (the pre-block baseline) vs ownership-run
+//     block descriptors; report simulated communication bytes, messages,
+//     simulated time, and host wall time. Shape check: blocks move >= 2x
+//     fewer simulated bytes.
+//  2. Initial redistribution: data arrives on disk column-block but the
 //     program wants row-block; measure the out-of-core redistribution and
 //     compare with the cost of one GAXPY run (the paper argues the
 //     overhead is amortized when the array is used repeatedly).
-//  2. Storage reorganization: the optimizer wants row slabs of A; compare
+//  3. Storage reorganization: the optimizer wants row slabs of A; compare
 //     (a) paying strided row-slab reads every run, vs (b) reorganizing the
 //     LAF to row-major once and reading contiguous slabs. Report the
 //     crossover (number of runs) after which reorganization wins.
@@ -25,32 +30,67 @@ int main() {
   print_header("Redistribution & storage reorganization overheads");
   std::printf("N = %lld, P = %d\n\n", static_cast<long long>(n), p);
 
-  // ---- Experiment 1: distribution change (column-block -> row-block).
-  {
-    io::TempDir dir("oocc-redist");
-    sim::Machine machine(p, sim::MachineCostModel::touchstone_delta());
-    double redist_time = 0.0;
-    sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
-      runtime::OutOfCoreArray src(ctx, dir.path(), "src",
-                                  hpf::column_block(n, n, p),
-                                  io::StorageOrder::kColumnMajor,
-                                  io::DiskModel::touchstone_delta_cfs());
-      runtime::OutOfCoreArray dst(ctx, dir.path(), "dst",
-                                  hpf::row_block(n, n, p),
-                                  io::StorageOrder::kColumnMajor,
-                                  io::DiskModel::touchstone_delta_cfs());
-      src.initialize(
-          ctx,
-          [](std::int64_t r, std::int64_t c) {
-            return static_cast<double>((r + c) % 17);
-          },
-          local / 4);
-      sim::barrier(ctx);
-      ctx.reset_accounting();
-      runtime::redistribute(ctx, src, dst, local / 4);
-    });
-    redist_time = report.max_sim_time_s();
+  bool ok = true;
+  double block_redist_time = 0.0;
 
+  // ---- Experiment 1: element-path vs block-path routing for the same
+  // column-block -> row-block redistribution.
+  {
+    auto run_redist = [&](runtime::RouteMode mode) {
+      io::TempDir dir("oocc-redist");
+      sim::Machine machine(p, sim::MachineCostModel::touchstone_delta());
+      sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
+        runtime::OutOfCoreArray src(ctx, dir.path(), "src",
+                                    hpf::column_block(n, n, p),
+                                    io::StorageOrder::kColumnMajor,
+                                    io::DiskModel::touchstone_delta_cfs());
+        runtime::OutOfCoreArray dst(ctx, dir.path(), "dst",
+                                    hpf::row_block(n, n, p),
+                                    io::StorageOrder::kColumnMajor,
+                                    io::DiskModel::touchstone_delta_cfs());
+        src.initialize(
+            ctx,
+            [](std::int64_t r, std::int64_t c) {
+              return static_cast<double>((r + c) % 17);
+            },
+            local / 4);
+        sim::barrier(ctx);
+        ctx.reset_accounting();
+        runtime::redistribute(ctx, src, dst, local / 4, mode);
+      });
+      return route_run_result(report);
+    };
+    const RouteRunResult elem = run_redist(runtime::RouteMode::kElement);
+    const RouteRunResult blk = run_redist(runtime::RouteMode::kBlock);
+    block_redist_time = blk.sim_time_s;
+
+    TextTable table({"routing", "sim time (s)", "comm bytes", "messages",
+                     "host wall (s)"});
+    table.add_row({"element", format_fixed(elem.sim_time_s, 2),
+                   std::to_string(elem.comm_bytes),
+                   std::to_string(elem.messages),
+                   format_fixed(elem.wall_time_s, 3)});
+    table.add_row({"block", format_fixed(blk.sim_time_s, 2),
+                   std::to_string(blk.comm_bytes),
+                   std::to_string(blk.messages),
+                   format_fixed(blk.wall_time_s, 3)});
+    std::printf("%s\n", table.to_string().c_str());
+    if (blk.comm_bytes > 0) {
+      std::printf("block routing: %.2fx fewer simulated comm bytes, host "
+                  "wall %.3fs -> %.3fs\n",
+                  static_cast<double>(elem.comm_bytes) /
+                      static_cast<double>(blk.comm_bytes),
+                  elem.wall_time_s, blk.wall_time_s);
+    }
+    const bool bytes_ok =
+        p == 1 || elem.comm_bytes >= 2 * blk.comm_bytes;
+    std::printf("shape check (blocks move >=2x fewer bytes): %s\n\n",
+                bytes_ok ? "OK" : "FAILED");
+    ok = ok && bytes_ok;
+  }
+
+  // ---- Experiment 2: redistribution amortization against one GAXPY run.
+  {
     GaxpyRunConfig cfg;
     cfg.version = GaxpyVersion::kRowSlabs;
     cfg.n = n;
@@ -60,11 +100,11 @@ int main() {
 
     std::printf("column-block -> row-block redistribution: %.2f s "
                 "(%.2f%% of one optimized GAXPY run at %.2f s)\n",
-                redist_time, 100.0 * redist_time / run.sim_time_s,
-                run.sim_time_s);
+                block_redist_time,
+                100.0 * block_redist_time / run.sim_time_s, run.sim_time_s);
   }
 
-  // ---- Experiment 2: storage order reorganization crossover.
+  // ---- Experiment 3: storage order reorganization crossover.
   {
     io::TempDir dir("oocc-reorg");
     sim::Machine machine(p, sim::MachineCostModel::touchstone_delta());
@@ -135,9 +175,10 @@ int main() {
       std::printf("reorganization pays off after %.1f runs\n",
                   reorg_time / saving);
     }
-    const bool ok = contiguous.sim_time_s < strided_time;
+    const bool reorg_ok = contiguous.sim_time_s < strided_time;
     std::printf("shape check (contiguous slabs faster than strided): %s\n",
-                ok ? "OK" : "FAILED");
-    return ok ? 0 : 1;
+                reorg_ok ? "OK" : "FAILED");
+    ok = ok && reorg_ok;
   }
+  return ok ? 0 : 1;
 }

@@ -163,6 +163,73 @@ std::int64_t DimDistribution::local_to_global(int proc,
   return 0;
 }
 
+std::int64_t DimDistribution::owner_run_end(std::int64_t g) const {
+  validate_global(g);
+  switch (kind_) {
+    case DistKind::kCollapsed:
+      return extent_;
+    case DistKind::kBlock:
+      return std::min(extent_, (g / block_ + 1) * block_);
+    case DistKind::kCyclic:
+      return nprocs_ == 1 ? extent_ : g + 1;
+    case DistKind::kBlockCyclic:
+      // With one processor every index is both owned by 0 and mapped
+      // identically, so the whole extent is one run.
+      if (nprocs_ == 1) {
+        return extent_;
+      }
+      return std::min(extent_, (g / block_ + 1) * block_);
+  }
+  return extent_;
+}
+
+std::vector<OwnerRun> DimDistribution::owner_runs(std::int64_t begin,
+                                                  std::int64_t end) const {
+  OOCC_REQUIRE(begin >= 0 && begin <= end && end <= extent_,
+               "owner_runs range [" << begin << ", " << end
+                                    << ") outside [0, " << extent_ << "]");
+  std::vector<OwnerRun> runs;
+  for_each_owner_run(begin, end,
+                     [&runs](std::int64_t g0, std::int64_t g1, int owner) {
+                       runs.push_back(OwnerRun{g0, g1, owner});
+                     });
+  return runs;
+}
+
+std::int64_t DimDistribution::local_run_end(int proc, std::int64_t l) const {
+  const std::int64_t n = local_extent(proc);
+  OOCC_CHECK(l >= 0 && l < n, ErrorCode::kOutOfRange,
+             "local index " << l << " outside [0, " << n << ") on proc "
+                            << proc);
+  switch (kind_) {
+    case DistKind::kCollapsed:
+    case DistKind::kBlock:
+      return n;
+    case DistKind::kCyclic:
+      return nprocs_ == 1 ? n : l + 1;
+    case DistKind::kBlockCyclic:
+      if (nprocs_ == 1) {
+        return n;
+      }
+      return std::min(n, (l / block_ + 1) * block_);
+  }
+  return n;
+}
+
+std::int64_t DimDistribution::run_length_hint() const noexcept {
+  switch (kind_) {
+    case DistKind::kCollapsed:
+      return extent_;
+    case DistKind::kBlock:
+      return block_;
+    case DistKind::kCyclic:
+      return nprocs_ == 1 ? extent_ : 1;
+    case DistKind::kBlockCyclic:
+      return nprocs_ == 1 ? extent_ : block_;
+  }
+  return 1;
+}
+
 ArrayDistribution::ArrayDistribution(std::int64_t rows, std::int64_t cols,
                                      DistAxis axis, DistKind kind, int nprocs,
                                      std::int64_t block)

@@ -12,9 +12,11 @@
 // all derive their layout knowledge from it.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace oocc::hpf {
 
@@ -27,6 +29,17 @@ enum class DistKind {
 };
 
 std::string_view dist_kind_name(DistKind kind) noexcept;
+
+/// A maximal interval [g0, g1) of global indices held by one owner. Within
+/// a run, global_to_local maps consecutive global indices to consecutive
+/// local indices, so a run is addressable as one contiguous local segment
+/// on its owner — the invariant the block routing layer
+/// (runtime/redistribute.hpp) is built on.
+struct OwnerRun {
+  std::int64_t g0 = 0;
+  std::int64_t g1 = 0;
+  int owner = 0;
+};
 
 /// Distribution of a single dimension of extent `extent` over `nprocs`
 /// processors. For kCollapsed, every processor locally holds the full
@@ -62,6 +75,39 @@ class DimDistribution {
 
   /// Global index of local index `l` on processor `proc`.
   std::int64_t local_to_global(int proc, std::int64_t l) const;
+
+  /// End (exclusive, clamped to the extent) of the maximal constant-owner
+  /// run containing `g`. Within [g, owner_run_end(g)) the owner is fixed
+  /// and global_to_local yields consecutive local indices.
+  std::int64_t owner_run_end(std::int64_t g) const;
+
+  /// Piecewise-constant ownership decomposition of [begin, end): BLOCK
+  /// yields at most P runs, CYCLIC length-1 runs (P > 1), BLOCK-CYCLIC one
+  /// run per dealt block, collapsed a single run with owner 0.
+  std::vector<OwnerRun> owner_runs(std::int64_t begin, std::int64_t end) const;
+
+  /// Calls f(g0, g1, owner) for every ownership run of [begin, end)
+  /// without materializing a vector (the block router's hot path).
+  template <typename F>
+  void for_each_owner_run(std::int64_t begin, std::int64_t end, F&& f) const {
+    for (std::int64_t g = begin; g < end;) {
+      const std::int64_t e = std::min(end, owner_run_end(g));
+      f(g, e, owner(g));
+      g = e;
+    }
+  }
+
+  /// End (exclusive, clamped to local_extent(proc)) of the maximal run of
+  /// local indices starting at `l` on `proc` whose global images are
+  /// consecutive — i.e. the largest segment a slab sweep may treat as one
+  /// contiguous global interval.
+  std::int64_t local_run_end(int proc, std::int64_t l) const;
+
+  /// Typical ownership-run length (1 for CYCLIC when P > 1, the dealt
+  /// block for BLOCK-CYCLIC, the whole extent when a single processor owns
+  /// everything). The routing layer uses this to decide between block
+  /// descriptors and the per-element fallback.
+  std::int64_t run_length_hint() const noexcept;
 
  private:
   void validate_global(std::int64_t g) const;

@@ -1,101 +1,287 @@
 #include "oocc/runtime/redistribute.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "oocc/runtime/slab_iter.hpp"
 #include "oocc/sim/collectives.hpp"
+#include "oocc/util/env.hpp"
 #include "oocc/util/error.hpp"
 
 namespace oocc::runtime {
 
+namespace {
+
+/// Coalesces sorted disjoint local blocks into maximal rectangles and
+/// writes each with one section write. Shared by the block receive path
+/// and the per-element adapter (whose blocks are 1x1). All working memory
+/// lives in `scratch`.
+void write_local_blocks(sim::SpmdContext& ctx, OutOfCoreArray& dst,
+                        RouteScratch& scratch,
+                        std::span<const double> payload) {
+  std::vector<LocalBlock>& blocks = scratch.blocks;
+  if (blocks.empty()) {
+    return;
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const LocalBlock& a, const LocalBlock& b) {
+              return a.lc0 != b.lc0 ? a.lc0 < b.lc0 : a.lr0 < b.lr0;
+            });
+
+  // Pass 1: vertical groups — maximal stacks of blocks with one column
+  // range and adjacent row ranges; group g spans blocks
+  // [group_first[g], group_first[g + 1]). Each group covers the full
+  // rectangle [group rows) x [block cols).
+  std::vector<std::size_t>& group_first = scratch.group_first;
+  group_first.clear();
+  {
+    std::size_t i = 0;
+    while (i < blocks.size()) {
+      group_first.push_back(i);
+      std::size_t j = i + 1;
+      while (j < blocks.size() && blocks[j].lc0 == blocks[i].lc0 &&
+             blocks[j].lc1 == blocks[i].lc1 &&
+             blocks[j].lr0 == blocks[j - 1].lr1) {
+        ++j;
+      }
+      i = j;
+    }
+    group_first.push_back(blocks.size());
+  }
+  const std::size_t ngroups = group_first.size() - 1;
+
+  // Pass 2: merge column-adjacent groups with identical row ranges into
+  // one rectangular write — bulk arrivals (whole local pieces from a
+  // redistribution round) then cost a single request when the row range
+  // spans the full local height.
+  std::size_t g = 0;
+  while (g < ngroups) {
+    const std::int64_t lr0 = blocks[group_first[g]].lr0;
+    const std::int64_t lr1 = blocks[group_first[g + 1] - 1].lr1;
+    std::size_t h = g + 1;
+    while (h < ngroups &&
+           blocks[group_first[h]].lc0 == blocks[group_first[h - 1]].lc1 &&
+           blocks[group_first[h]].lr0 == lr0 &&
+           blocks[group_first[h + 1] - 1].lr1 == lr1) {
+      ++h;
+    }
+    const std::int64_t lc0 = blocks[group_first[g]].lc0;
+    const std::int64_t lc1 = blocks[group_first[h - 1]].lc1;
+    const io::Section sec{lr0, lr1, lc0, lc1};
+
+    if (group_first[h] - group_first[g] == 1) {
+      // Single block: its payload already is the section, column-major.
+      const LocalBlock& b = blocks[group_first[g]];
+      dst.laf().write_section(
+          ctx, sec,
+          payload.subspan(b.offset,
+                          static_cast<std::size_t>(sec.elements())));
+    } else {
+      const std::int64_t height = lr1 - lr0;
+      std::vector<double>& rect = scratch.rect;
+      rect.resize(static_cast<std::size_t>(sec.elements()));
+      for (std::size_t k = group_first[g]; k < group_first[h]; ++k) {
+        const LocalBlock& b = blocks[k];
+        const std::int64_t bh = b.lr1 - b.lr0;
+        for (std::int64_t c = b.lc0; c < b.lc1; ++c) {
+          std::memcpy(rect.data() + (c - lc0) * height + (b.lr0 - lr0),
+                      payload.data() + b.offset +
+                          static_cast<std::size_t>((c - b.lc0) * bh),
+                      static_cast<std::size_t>(bh) * sizeof(double));
+        }
+      }
+      dst.laf().write_section(
+          ctx, sec, std::span<const double>(rect.data(), rect.size()));
+    }
+    g = h;
+  }
+}
+
+}  // namespace
+
+RouteMode resolve_route_mode(RouteMode mode, std::int64_t hint) {
+  if (mode != RouteMode::kAuto) {
+    return mode;
+  }
+  static const std::string forced = env_string("OOCC_ROUTE_MODE", "");
+  if (forced == "element") {
+    return RouteMode::kElement;
+  }
+  if (forced == "block") {
+    return RouteMode::kBlock;
+  }
+  return hint >= 2 ? RouteMode::kBlock : RouteMode::kElement;
+}
+
+void route_segment(const hpf::ArrayDistribution& dst, std::int64_t g0,
+                   std::int64_t g1, std::int64_t gfixed, bool swap,
+                   const double* data,
+                   std::vector<std::vector<RoutedBlock>>& out_headers,
+                   std::vector<std::vector<double>>& out_payload) {
+  const hpf::DimDistribution& vdist = swap ? dst.col_dist() : dst.row_dist();
+  vdist.for_each_owner_run(
+      g0, g1, [&](std::int64_t r0, std::int64_t r1, int /*dim_owner*/) {
+        // The array-level owner accounts for which axis is distributed
+        // (the run's owner is 0 when the varying dimension is collapsed).
+        const std::int64_t dr = swap ? gfixed : r0;
+        const std::int64_t dc = swap ? r0 : gfixed;
+        const std::size_t owner =
+            static_cast<std::size_t>(dst.owner(dr, dc));
+        out_headers[owner].push_back(
+            swap ? RoutedBlock{gfixed, r0, 1, r1 - r0}
+                 : RoutedBlock{r0, gfixed, r1 - r0, 1});
+        out_payload[owner].insert(out_payload[owner].end(), data + (r0 - g0),
+                                  data + (r1 - g0));
+      });
+}
+
+void route_segment_elements(const hpf::ArrayDistribution& dst,
+                            std::int64_t g0, std::int64_t g1,
+                            std::int64_t gfixed, bool swap,
+                            const double* data,
+                            std::vector<std::vector<RoutedElement>>& out) {
+  const hpf::DimDistribution& vdist = swap ? dst.col_dist() : dst.row_dist();
+  vdist.for_each_owner_run(
+      g0, g1, [&](std::int64_t r0, std::int64_t r1, int /*dim_owner*/) {
+        const std::int64_t dr0 = swap ? gfixed : r0;
+        const std::int64_t dc0 = swap ? r0 : gfixed;
+        auto& dest = out[static_cast<std::size_t>(dst.owner(dr0, dc0))];
+        for (std::int64_t g = r0; g < r1; ++g) {
+          const std::int64_t dr = swap ? gfixed : g;
+          const std::int64_t dc = swap ? g : gfixed;
+          dest.push_back(RoutedElement{dr, dc, data[g - g0]});
+        }
+      });
+}
+
+void write_routed_blocks(sim::SpmdContext& ctx, OutOfCoreArray& dst,
+                         std::span<const RoutedBlock> blocks,
+                         std::span<const double> payload,
+                         RouteScratch& scratch) {
+  if (blocks.empty()) {
+    return;
+  }
+  const hpf::ArrayDistribution& d = dst.dist();
+  scratch.blocks.clear();
+  scratch.blocks.reserve(blocks.size());
+  std::size_t offset = 0;
+  for (const RoutedBlock& b : blocks) {
+    const std::int64_t lr0 = d.global_to_local_row(b.grow0);
+    const std::int64_t lc0 = d.global_to_local_col(b.gcol0);
+    scratch.blocks.push_back(
+        LocalBlock{lr0, lr0 + b.rows, lc0, lc0 + b.cols, offset});
+    offset += static_cast<std::size_t>(b.rows * b.cols);
+  }
+  OOCC_CHECK(offset == payload.size(), ErrorCode::kRuntimeError,
+             "routed payload of " << payload.size()
+                                  << " elements does not match descriptors "
+                                     "covering "
+                                  << offset);
+  write_local_blocks(ctx, dst, scratch, payload);
+}
+
 void write_routed_elements(sim::SpmdContext& ctx, OutOfCoreArray& dst,
-                           std::vector<RoutedElement>& elems) {
+                           std::vector<RoutedElement>& elems,
+                           RouteScratch& scratch) {
   if (elems.empty()) {
     return;
   }
   const hpf::ArrayDistribution& d = dst.dist();
-  // Map to local coordinates, then sort column-major.
-  struct LocalElement {
-    std::int64_t lr;
-    std::int64_t lc;
-    double value;
-  };
-  std::vector<LocalElement> local;
-  local.reserve(elems.size());
+  // Map to local 1x1 blocks whose payload offsets point at the original
+  // element order — the coalescer indexes payload per block, so only the
+  // descriptors need sorting, not the values.
+  scratch.blocks.clear();
+  scratch.blocks.reserve(elems.size());
+  scratch.values.clear();
+  scratch.values.reserve(elems.size());
   for (const RoutedElement& e : elems) {
-    local.push_back(LocalElement{d.global_to_local_row(e.grow),
-                                 d.global_to_local_col(e.gcol), e.value});
+    const std::int64_t lr = d.global_to_local_row(e.grow);
+    const std::int64_t lc = d.global_to_local_col(e.gcol);
+    scratch.blocks.push_back(
+        LocalBlock{lr, lr + 1, lc, lc + 1, scratch.values.size()});
+    scratch.values.push_back(e.value);
   }
-  std::sort(local.begin(), local.end(),
-            [](const LocalElement& a, const LocalElement& b) {
-              return a.lc != b.lc ? a.lc < b.lc : a.lr < b.lr;
-            });
+  write_local_blocks(
+      ctx, dst, scratch,
+      std::span<const double>(scratch.values.data(), scratch.values.size()));
+}
 
-  // First pass: maximal per-column runs of consecutive local rows.
-  struct Run {
-    std::int64_t lc;
-    std::int64_t lr0;
-    std::size_t begin;  // index range into `local`
-    std::size_t end;
-  };
-  std::vector<Run> runs;
-  {
-    std::size_t i = 0;
-    while (i < local.size()) {
-      const std::int64_t lc = local[i].lc;
-      const std::int64_t lr0 = local[i].lr;
-      std::size_t j = i + 1;
-      while (j < local.size() && local[j].lc == lc &&
-             local[j].lr == lr0 + static_cast<std::int64_t>(j - i)) {
-        ++j;
-      }
-      runs.push_back(Run{lc, lr0, i, j});
-      i = j;
-    }
+void write_routed_elements(sim::SpmdContext& ctx, OutOfCoreArray& dst,
+                           std::vector<RoutedElement>& elems) {
+  RouteScratch scratch;
+  write_routed_elements(ctx, dst, elems, scratch);
+}
+
+RouteChannels::RouteChannels(RouteMode resolved, int nprocs)
+    : blocks_(resolved == RouteMode::kBlock),
+      nprocs_(static_cast<std::size_t>(nprocs)) {
+  OOCC_REQUIRE(resolved != RouteMode::kAuto,
+               "RouteChannels needs a resolved mode; call "
+               "resolve_route_mode first");
+  if (blocks_) {
+    out_headers_.resize(nprocs_);
+    in_headers_.resize(nprocs_);
+    out_payload_.resize(nprocs_);
+    in_payload_.resize(nprocs_);
   }
+}
 
-  // Second pass: merge consecutive columns whose runs cover the same row
-  // range into one rectangular write. Bulk arrivals (whole local pieces
-  // from a redistribution round) then cost one section write — a single
-  // request when the row range spans the full local height.
-  std::vector<double> rect;
-  std::size_t r = 0;
-  while (r < runs.size()) {
-    const std::int64_t lr0 = runs[r].lr0;
-    const std::int64_t height =
-        static_cast<std::int64_t>(runs[r].end - runs[r].begin);
-    std::size_t s = r + 1;
-    while (s < runs.size() && runs[s].lc == runs[s - 1].lc + 1 &&
-           runs[s].lr0 == lr0 &&
-           static_cast<std::int64_t>(runs[s].end - runs[s].begin) == height) {
-      ++s;
+void RouteChannels::begin_round() {
+  if (blocks_) {
+    for (auto& v : out_headers_) {
+      v.clear();
     }
-    const std::int64_t width = static_cast<std::int64_t>(s - r);
-    rect.resize(static_cast<std::size_t>(height * width));
-    for (std::size_t col = 0; col < static_cast<std::size_t>(width); ++col) {
-      const Run& run = runs[r + col];
-      for (std::size_t k = run.begin; k < run.end; ++k) {
-        rect[col * static_cast<std::size_t>(height) + (k - run.begin)] =
-            local[k].value;
-      }
+    for (auto& v : out_payload_) {
+      v.clear();
     }
-    const io::Section sec{lr0, lr0 + height, runs[r].lc,
-                          runs[r].lc + width};
-    dst.laf().write_section(ctx, sec,
-                            std::span<const double>(rect.data(), rect.size()));
-    r = s;
+  } else {
+    out_elems_.assign(nprocs_, {});
+  }
+}
+
+void RouteChannels::emit(const hpf::ArrayDistribution& dst, std::int64_t g0,
+                         std::int64_t g1, std::int64_t gfixed, bool swap,
+                         const double* data) {
+  if (blocks_) {
+    route_segment(dst, g0, g1, gfixed, swap, data, out_headers_,
+                  out_payload_);
+  } else {
+    route_segment_elements(dst, g0, g1, gfixed, swap, data, out_elems_);
+  }
+}
+
+void RouteChannels::exchange_and_write(sim::SpmdContext& ctx,
+                                       OutOfCoreArray& dst) {
+  if (blocks_) {
+    sim::alltoallv_hp(ctx, out_headers_, out_payload_, in_headers_,
+                      in_payload_);
+    for (std::size_t s = 0; s < nprocs_; ++s) {
+      write_routed_blocks(
+          ctx, dst,
+          std::span<const RoutedBlock>(in_headers_[s].data(),
+                                       in_headers_[s].size()),
+          std::span<const double>(in_payload_[s].data(),
+                                  in_payload_[s].size()),
+          scratch_);
+    }
+  } else {
+    std::vector<std::vector<RoutedElement>> inbound =
+        sim::alltoallv(ctx, std::move(out_elems_));
+    for (auto& from_proc : inbound) {
+      write_routed_elements(ctx, dst, from_proc, scratch_);
+    }
   }
 }
 
 namespace {
 
 /// Shared sweep for redistribute and transpose: read src slab-wise, route
-/// every element to its destination owner (optionally swapping indices),
-/// exchange, write.
+/// whole ownership runs (or single elements in the fallback) to their
+/// destination owners, exchange, write.
 void route_all(sim::SpmdContext& ctx, OutOfCoreArray& src,
                OutOfCoreArray& dst, std::int64_t budget_elements,
-               bool swap_indices) {
+               bool swap_indices, RouteMode mode) {
   const int p = ctx.nprocs();
 
   // Slab sweep over the source in its contiguous orientation. Round count
@@ -117,10 +303,23 @@ void route_all(sim::SpmdContext& ctx, OutOfCoreArray& src,
                           budget_elements);
   std::vector<double> buf(static_cast<std::size_t>(mine.slab_elements()));
   const OclaDescriptor& socla = src.ocla();
+  const hpf::DimDistribution& src_rows = src.dist().row_dist();
+  const hpf::DimDistribution& dst_vdim =
+      swap_indices ? dst.dist().col_dist() : dst.dist().row_dist();
 
+  // Blocks pay off when both the source's contiguous local runs and the
+  // destination's ownership runs span at least two elements; otherwise
+  // (CYCLIC on the routed dimension) fall back to per-element triples.
+  const RouteMode resolved = resolve_route_mode(
+      mode,
+      std::min(src_rows.run_length_hint(), dst_vdim.run_length_hint()));
+
+  // One sweep serves both wire formats: per source column, split the
+  // slab's local row range into globally contiguous runs and hand each to
+  // the channels' resolved serializer.
+  RouteChannels channels(resolved, p);
   for (std::int64_t round = 0; round < rounds; ++round) {
-    std::vector<std::vector<RoutedElement>> outbound(
-        static_cast<std::size_t>(p));
+    channels.begin_round();
     if (round < mine.count()) {
       const io::Section sec = mine.section(round);
       std::span<double> view(buf.data(),
@@ -129,46 +328,44 @@ void route_all(sim::SpmdContext& ctx, OutOfCoreArray& src,
       const std::int64_t srows = sec.rows();
       for (std::int64_t lc = sec.col0; lc < sec.col1; ++lc) {
         const std::int64_t gc = socla.global_col(lc);
-        for (std::int64_t lr = sec.row0; lr < sec.row1; ++lr) {
-          const std::int64_t gr = socla.global_row(lr);
-          const std::int64_t dr = swap_indices ? gc : gr;
-          const std::int64_t dc = swap_indices ? gr : gc;
-          const int owner = dst.dist().owner(dr, dc);
-          outbound[static_cast<std::size_t>(owner)].push_back(
-              RoutedElement{dr, dc,
-                            view[static_cast<std::size_t>(
-                                (lc - sec.col0) * srows + (lr - sec.row0))]});
+        const double* col = buf.data() +
+                            static_cast<std::size_t>((lc - sec.col0) * srows);
+        for (std::int64_t lr = sec.row0; lr < sec.row1;) {
+          const std::int64_t lr_end = std::min(
+              sec.row1, src_rows.local_run_end(ctx.rank(), lr));
+          channels.emit(dst.dist(), socla.global_row(lr),
+                        socla.global_row(lr) + (lr_end - lr), gc,
+                        swap_indices, col + (lr - sec.row0));
+          lr = lr_end;
         }
       }
     }
-    std::vector<std::vector<RoutedElement>> inbound =
-        sim::alltoallv(ctx, outbound);
-    for (auto& from_proc : inbound) {
-      write_routed_elements(ctx, dst, from_proc);
-    }
+    channels.exchange_and_write(ctx, dst);
   }
 }
 
 }  // namespace
 
 void redistribute(sim::SpmdContext& ctx, OutOfCoreArray& src,
-                  OutOfCoreArray& dst, std::int64_t budget_elements) {
+                  OutOfCoreArray& dst, std::int64_t budget_elements,
+                  RouteMode mode) {
   OOCC_REQUIRE(src.dist().global_rows() == dst.dist().global_rows() &&
                    src.dist().global_cols() == dst.dist().global_cols(),
                "redistribute requires identical global shapes; got "
                    << src.dist().to_string() << " vs "
                    << dst.dist().to_string());
-  route_all(ctx, src, dst, budget_elements, /*swap_indices=*/false);
+  route_all(ctx, src, dst, budget_elements, /*swap_indices=*/false, mode);
 }
 
 void transpose(sim::SpmdContext& ctx, OutOfCoreArray& src,
-               OutOfCoreArray& dst, std::int64_t budget_elements) {
+               OutOfCoreArray& dst, std::int64_t budget_elements,
+               RouteMode mode) {
   OOCC_REQUIRE(src.dist().global_rows() == dst.dist().global_cols() &&
                    src.dist().global_cols() == dst.dist().global_rows(),
                "transpose requires swapped global shapes; got "
                    << src.dist().to_string() << " vs "
                    << dst.dist().to_string());
-  route_all(ctx, src, dst, budget_elements, /*swap_indices=*/true);
+  route_all(ctx, src, dst, budget_elements, /*swap_indices=*/true, mode);
 }
 
 }  // namespace oocc::runtime

@@ -3,22 +3,41 @@
 // Data often arrives on disk in a layout that does not conform to the
 // distribution the program declares (the paper's example: data arriving
 // from archival storage or a satellite feed). Redistribution reads each
-// processor's local array slab by slab, routes elements to their new
-// owners with an all-to-all exchange, and writes them into the destination
-// Local Array Files. The paper notes this overhead is amortized when the
-// array is used repeatedly; bench/redistribution measures exactly that.
+// processor's local array slab by slab, routes data to its new owners with
+// an all-to-all exchange, and writes it into the destination Local Array
+// Files. The paper notes this overhead is amortized when the array is used
+// repeatedly; bench/redistribution measures exactly that.
+//
+// Routing is *block-structured*: the paper's whole point is turning many
+// small requests into few large ones, so the communication phase ships
+// ownership runs (hpf::DimDistribution::owner_runs) as RoutedBlock
+// descriptors over a flat double payload — ~8 bytes per element on the
+// wire instead of a 24-byte per-element triple — and the receive side
+// coalesces whole blocks into rectangular section writes without ever
+// sorting elements. A per-element path remains as the fallback for
+// distributions whose ownership runs degenerate to single elements
+// (CYCLIC on the routed dimension).
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "oocc/runtime/ooc_array.hpp"
 #include "oocc/sim/machine.hpp"
 
 namespace oocc::runtime {
 
+/// How the routing sweep encodes data in flight. kAuto picks kBlock
+/// whenever the typical ownership run spans at least two elements
+/// (run_length_hint of the routed dimensions) and kElement otherwise —
+/// every rank resolves the same choice from the replicated distribution
+/// metadata, so the collectives stay matched.
+enum class RouteMode { kAuto, kElement, kBlock };
+
 /// An element in flight between distributions, addressed in *destination*
-/// global coordinates. Shared by redistribute, transpose and two-phase
-/// I/O (runtime/twophase.hpp).
+/// global coordinates. The per-element fallback format (cyclic worst
+/// case); block-capable paths use RoutedBlock instead.
 struct RoutedElement {
   std::int64_t grow;
   std::int64_t gcol;
@@ -26,23 +45,143 @@ struct RoutedElement {
 };
 static_assert(std::is_trivially_copyable_v<RoutedElement>);
 
-/// Writes received elements into `dst`'s Local Array File, sorting and
-/// coalescing them into maximal per-column runs so contiguous arrivals
-/// cost few I/O requests. `elems` is consumed (reordered).
+/// A routed rectangle [grow0, grow0+rows) x [gcol0, gcol0+cols) of
+/// destination global coordinates. Values travel separately in a flat
+/// payload stream, packed column-major per block in descriptor order; a
+/// block's payload offset is the cumulative element count of the blocks
+/// before it, so no offset rides on the wire. The varying dimension of a
+/// block always lies inside one ownership run of the destination
+/// distribution, which guarantees the whole block maps to one contiguous
+/// local segment per local column on the receiver.
+struct RoutedBlock {
+  std::int64_t grow0;
+  std::int64_t gcol0;
+  std::int64_t rows;
+  std::int64_t cols;
+};
+static_assert(std::is_trivially_copyable_v<RoutedBlock>);
+
+/// A routed block resolved to destination-local coordinates plus its
+/// element offset into the flat payload stream.
+struct LocalBlock {
+  std::int64_t lr0;
+  std::int64_t lr1;
+  std::int64_t lc0;
+  std::int64_t lc1;
+  std::size_t offset;
+};
+
+/// Receive-side scratch buffers, hoisted by the caller and reused across
+/// rounds and source ranks so bulk arrivals never reallocate per
+/// rectangle. `group_first` holds the block-index boundaries of the
+/// coalescer's vertical groups.
+struct RouteScratch {
+  std::vector<LocalBlock> blocks;
+  std::vector<std::size_t> group_first;
+  std::vector<double> values;
+  std::vector<double> rect;
+};
+
+/// Resolves kAuto against a run-length hint (the minimum typical
+/// ownership-run length of the routed dimensions, from
+/// hpf::DimDistribution::run_length_hint): blocks when runs span >= 2
+/// elements, the per-element fallback otherwise. An OOCC_ROUTE_MODE
+/// environment variable set to "element" or "block" overrides kAuto for
+/// experiments (read once per process, so all ranks agree).
+RouteMode resolve_route_mode(RouteMode mode, std::int64_t hint);
+
+/// Splits the destination-global segment {rows [g0, g1), column `gfixed`}
+/// — or, with `swap`, {row `gfixed`, columns [g0, g1)} — into ownership
+/// runs of `dst` and appends one RoutedBlock plus its payload per run.
+/// `data` holds the segment's values in ascending varying-index order.
+/// Shared by redistribute/transpose and two-phase I/O.
+void route_segment(const hpf::ArrayDistribution& dst, std::int64_t g0,
+                   std::int64_t g1, std::int64_t gfixed, bool swap,
+                   const double* data,
+                   std::vector<std::vector<RoutedBlock>>& out_headers,
+                   std::vector<std::vector<double>>& out_payload);
+
+/// The same segment split, serialized as per-element triples (the cyclic
+/// fallback's wire format). Emission order matches a plain ascending
+/// element walk, so both formats deliver identically ordered data.
+void route_segment_elements(const hpf::ArrayDistribution& dst,
+                            std::int64_t g0, std::int64_t g1,
+                            std::int64_t gfixed, bool swap,
+                            const double* data,
+                            std::vector<std::vector<RoutedElement>>& out);
+
+/// Writes received blocks into `dst`'s Local Array File. Blocks arrive
+/// already run-structured, so this only merges vertically/horizontally
+/// adjacent blocks into maximal rectangles (descriptor-level work, no
+/// element sort) and issues one section write per rectangle; a rectangle
+/// that is a single block is written straight from the payload span.
+void write_routed_blocks(sim::SpmdContext& ctx, OutOfCoreArray& dst,
+                         std::span<const RoutedBlock> blocks,
+                         std::span<const double> payload,
+                         RouteScratch& scratch);
+
+/// Writes received per-element arrivals into `dst`'s Local Array File — a
+/// thin adapter that maps the elements to local 1x1 blocks and reuses the
+/// block coalescer, producing the same rectangular writes as before.
+/// `elems` is consumed (reordered).
+void write_routed_elements(sim::SpmdContext& ctx, OutOfCoreArray& dst,
+                           std::vector<RoutedElement>& elems,
+                           RouteScratch& scratch);
+
+/// Convenience overload with its own scratch (tests, one-shot calls).
 void write_routed_elements(sim::SpmdContext& ctx, OutOfCoreArray& dst,
                            std::vector<RoutedElement>& elems);
 
+/// Outbound/inbound routing buffers for one sweep, shared by
+/// redistribute/transpose and two-phase I/O. Encapsulates the per-round
+/// reset, the wire-format choice (block descriptors over a flat payload
+/// vs per-element triples), and the exchange-then-write tail, so the two
+/// sweeps cannot drift apart. Block-path buffers persist across rounds;
+/// steady-state rounds allocate nothing.
+class RouteChannels {
+ public:
+  RouteChannels(RouteMode resolved, int nprocs);
+
+  bool blocks() const noexcept { return blocks_; }
+
+  /// Resets the outbound buffers for a new round. Block-path buffers keep
+  /// their capacity; the element path's are re-created because the
+  /// exchange consumes them by move.
+  void begin_round();
+
+  /// Serializes one destination segment (see route_segment /
+  /// route_segment_elements) in the resolved wire format.
+  void emit(const hpf::ArrayDistribution& dst, std::int64_t g0,
+            std::int64_t g1, std::int64_t gfixed, bool swap,
+            const double* data);
+
+  /// Collective: exchanges this round's outbound data and writes every
+  /// arrival into `dst`'s Local Array File.
+  void exchange_and_write(sim::SpmdContext& ctx, OutOfCoreArray& dst);
+
+ private:
+  bool blocks_;
+  std::size_t nprocs_;
+  std::vector<std::vector<RoutedBlock>> out_headers_, in_headers_;
+  std::vector<std::vector<double>> out_payload_, in_payload_;
+  std::vector<std::vector<RoutedElement>> out_elems_;
+  RouteScratch scratch_;
+};
+
 /// Moves the contents of `src` into `dst` (same global shape, arbitrary
 /// distributions and storage orders), staging at most `budget_elements`
-/// of outbound slab data per round. Collective: every rank must call it.
+/// of outbound slab data per round. Collective: every rank must call it
+/// with the same `mode`.
 void redistribute(sim::SpmdContext& ctx, OutOfCoreArray& src,
-                  OutOfCoreArray& dst, std::int64_t budget_elements);
+                  OutOfCoreArray& dst, std::int64_t budget_elements,
+                  RouteMode mode = RouteMode::kAuto);
 
 /// Out-of-core global transpose: dst = src^T. `dst`'s global shape must be
 /// the transpose of `src`'s; distributions and storage orders are
 /// arbitrary. Same sweep/alltoall structure as redistribute, with indices
 /// swapped in flight. Collective.
 void transpose(sim::SpmdContext& ctx, OutOfCoreArray& src,
-               OutOfCoreArray& dst, std::int64_t budget_elements);
+               OutOfCoreArray& dst, std::int64_t budget_elements,
+               RouteMode mode = RouteMode::kAuto);
 
 }  // namespace oocc::runtime

@@ -61,7 +61,8 @@ void direct_load(sim::SpmdContext& ctx, io::GlobalArrayFile& src,
 }
 
 void two_phase_load(sim::SpmdContext& ctx, io::GlobalArrayFile& src,
-                    OutOfCoreArray& dst, std::int64_t budget_elements) {
+                    OutOfCoreArray& dst, std::int64_t budget_elements,
+                    RouteMode mode) {
   OOCC_REQUIRE(src.rows() == dst.dist().global_rows() &&
                    src.cols() == dst.dist().global_cols(),
                "two_phase_load shape mismatch: file is "
@@ -100,9 +101,18 @@ void two_phase_load(sim::SpmdContext& ctx, io::GlobalArrayFile& src,
     buf.resize(static_cast<std::size_t>(mine->slab_elements()));
   }
 
+  // The panel's global rows are contiguous by construction, so only the
+  // destination's row ownership runs bound the routed block size.
+  const RouteMode resolved = resolve_route_mode(
+      mode, dst.dist().row_dist().run_length_hint());
+
+  // One sweep serves both wire formats: each panel column splits into
+  // destination ownership runs (one whole-column block per destination
+  // when the distributed axis is the column axis), serialized by the
+  // channels' resolved format.
+  RouteChannels channels(resolved, p);
   for (std::int64_t round = 0; round < rounds; ++round) {
-    std::vector<std::vector<RoutedElement>> outbound(
-        static_cast<std::size_t>(p));
+    channels.begin_round();
     if (round < my_rounds) {
       const io::Section panel_sec = mine->section(round);
       // Panel-local columns offset into global columns.
@@ -113,20 +123,12 @@ void two_phase_load(sim::SpmdContext& ctx, io::GlobalArrayFile& src,
       src.read_section(ctx, global, view);
       const std::int64_t grows = global.rows();
       for (std::int64_t gc = global.col0; gc < global.col1; ++gc) {
-        for (std::int64_t gr = 0; gr < grows; ++gr) {
-          const int owner = dst.dist().owner(gr, gc);
-          outbound[static_cast<std::size_t>(owner)].push_back(RoutedElement{
-              gr, gc,
-              view[static_cast<std::size_t>((gc - global.col0) * grows +
-                                            gr)]});
-        }
+        const double* col =
+            buf.data() + static_cast<std::size_t>((gc - global.col0) * grows);
+        channels.emit(dst.dist(), 0, grows, gc, /*swap=*/false, col);
       }
     }
-    std::vector<std::vector<RoutedElement>> inbound =
-        sim::alltoallv(ctx, outbound);
-    for (auto& from_proc : inbound) {
-      write_routed_elements(ctx, dst, from_proc);
-    }
+    channels.exchange_and_write(ctx, dst);
   }
 }
 

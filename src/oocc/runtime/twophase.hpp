@@ -12,16 +12,18 @@
 //
 //  * two_phase_load: phase one, processors cooperatively read *conforming*
 //    chunks (contiguous column panels of a column-major file — one request
-//    per slab); phase two, elements are routed to their owners with an
-//    all-to-all exchange and written locally. I/O requests drop by an
-//    order of magnitude at the cost of cheap communication — the same
-//    trade the paper's access reorganization makes on disk.
+//    per slab); phase two, whole ownership runs are routed to their owners
+//    as block descriptors with an all-to-all exchange and written locally.
+//    I/O requests drop by an order of magnitude at the cost of cheap
+//    communication — the same trade the paper's access reorganization
+//    makes on disk.
 //
 // bench/two_phase_io measures both against each other.
 #pragma once
 
 #include "oocc/io/gaf.hpp"
 #include "oocc/runtime/ooc_array.hpp"
+#include "oocc/runtime/redistribute.hpp"
 
 namespace oocc::runtime {
 
@@ -34,8 +36,9 @@ void direct_load(sim::SpmdContext& ctx, io::GlobalArrayFile& src,
 
 /// Cooperative two-phase read: conforming contiguous phase-one chunks,
 /// all-to-all redistribution, local writes. Works for any destination
-/// distribution. Collective: every rank must call it.
+/// distribution. Collective: every rank must call it with the same `mode`.
 void two_phase_load(sim::SpmdContext& ctx, io::GlobalArrayFile& src,
-                    OutOfCoreArray& dst, std::int64_t budget_elements);
+                    OutOfCoreArray& dst, std::int64_t budget_elements,
+                    RouteMode mode = RouteMode::kAuto);
 
 }  // namespace oocc::runtime

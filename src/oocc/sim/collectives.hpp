@@ -13,6 +13,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "oocc/sim/machine.hpp"
@@ -26,6 +27,7 @@ inline constexpr int kTagReduce = -4;
 inline constexpr int kTagGather = -5;
 inline constexpr int kTagScatter = -6;
 inline constexpr int kTagAlltoall = -7;
+inline constexpr int kTagAlltoallPayload = -8;
 
 /// Dissemination barrier: ceil(log2 P) rounds, correct for any P.
 void barrier(SpmdContext& ctx);
@@ -34,6 +36,23 @@ namespace detail {
 void bcast_bytes(SpmdContext& ctx, int root, std::vector<std::byte>& data);
 int virtual_rank(int rank, int root, int nprocs) noexcept;
 int real_rank(int vrank, int root, int nprocs) noexcept;
+
+/// Receives into an existing vector, resizing instead of reallocating —
+/// repeated exchanges (redistribution rounds) reuse the buffer's capacity.
+template <typename T>
+void recv_resize(SpmdContext& ctx, int source, int tag, std::vector<T>& out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  Message m = ctx.recv_message(source, tag);
+  OOCC_CHECK(m.payload.size() % sizeof(T) == 0, ErrorCode::kRuntimeError,
+             "received payload of " << m.payload.size()
+                                    << " bytes is not a multiple of element "
+                                       "size "
+                                    << sizeof(T));
+  out.resize(m.payload.size() / sizeof(T));
+  if (!out.empty()) {
+    std::memcpy(out.data(), m.payload.data(), m.payload.size());
+  }
+}
 }  // namespace detail
 
 /// Binomial-tree broadcast of a trivially copyable vector. On non-root
@@ -143,9 +162,12 @@ std::vector<T> scatter(SpmdContext& ctx, int root, std::span<const T> all,
 /// Personalized all-to-all with per-destination vectors of varying sizes
 /// (MPI_Alltoallv analogue, used by redistribution §2.3). `out[d]` is the
 /// data this rank sends to rank d; returns `in[s]` = data received from s.
+/// `out` is taken by value so the self-exchange is a move, never a deep
+/// copy — pass `std::move(out)` when the outbound buffers are dead after
+/// the call (every runtime caller is).
 template <typename T>
 std::vector<std::vector<T>> alltoallv(SpmdContext& ctx,
-                                      const std::vector<std::vector<T>>& out) {
+                                      std::vector<std::vector<T>> out) {
   static_assert(std::is_trivially_copyable_v<T>);
   const int p = ctx.nprocs();
   OOCC_REQUIRE(static_cast<int>(out.size()) == p,
@@ -153,7 +175,7 @@ std::vector<std::vector<T>> alltoallv(SpmdContext& ctx,
                    << out.size() << " for " << p << " ranks");
   std::vector<std::vector<T>> in(static_cast<std::size_t>(p));
   in[static_cast<std::size_t>(ctx.rank())] =
-      out[static_cast<std::size_t>(ctx.rank())];
+      std::move(out[static_cast<std::size_t>(ctx.rank())]);
   // Rotational pairwise exchange: step s sends to (rank+s) and receives
   // from (rank-s); every pair of ranks communicates exactly once per step.
   for (int s = 1; s < p; ++s) {
@@ -164,6 +186,49 @@ std::vector<std::vector<T>> alltoallv(SpmdContext& ctx,
     in[static_cast<std::size_t>(src)] = ctx.recv<T>(src, kTagAlltoall);
   }
   return in;
+}
+
+/// Header+payload personalized all-to-all, the wire format of the block
+/// routing layer: for each destination this rank sends two typed messages —
+/// `out_headers[d]` (fixed-size descriptors) and `out_payload[d]` (a flat
+/// value stream) — instead of one stream of self-describing per-element
+/// records. `in_headers[s]` / `in_payload[s]` receive rank s's
+/// contribution; both are resized in place so repeated rounds reuse their
+/// capacity. The self-exchange is swapped with the outbound slot, never
+/// copied. On return every `out_*` vector is valid but unspecified;
+/// callers clear them at the top of each round.
+template <typename H, typename T>
+void alltoallv_hp(SpmdContext& ctx, std::vector<std::vector<H>>& out_headers,
+                  std::vector<std::vector<T>>& out_payload,
+                  std::vector<std::vector<H>>& in_headers,
+                  std::vector<std::vector<T>>& in_payload) {
+  static_assert(std::is_trivially_copyable_v<H>);
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.nprocs();
+  const std::size_t up = static_cast<std::size_t>(p);
+  OOCC_REQUIRE(out_headers.size() == up && out_payload.size() == up &&
+                   in_headers.size() == up && in_payload.size() == up,
+               "alltoallv_hp needs one header and one payload vector per "
+               "rank on both sides; got "
+                   << out_headers.size() << "/" << out_payload.size() << "/"
+                   << in_headers.size() << "/" << in_payload.size() << " for "
+                   << p << " ranks");
+  const std::size_t rank = static_cast<std::size_t>(ctx.rank());
+  std::swap(in_headers[rank], out_headers[rank]);
+  std::swap(in_payload[rank], out_payload[rank]);
+  for (int s = 1; s < p; ++s) {
+    const std::size_t dest = static_cast<std::size_t>((ctx.rank() + s) % p);
+    const std::size_t src =
+        static_cast<std::size_t>((ctx.rank() - s + p) % p);
+    ctx.send<H>(static_cast<int>(dest), kTagAlltoall,
+                std::span<const H>(out_headers[dest]));
+    ctx.send<T>(static_cast<int>(dest), kTagAlltoallPayload,
+                std::span<const T>(out_payload[dest]));
+    detail::recv_resize<H>(ctx, static_cast<int>(src), kTagAlltoall,
+                           in_headers[src]);
+    detail::recv_resize<T>(ctx, static_cast<int>(src), kTagAlltoallPayload,
+                           in_payload[src]);
+  }
 }
 
 }  // namespace oocc::sim

@@ -142,7 +142,7 @@ TEST_P(CollectivesTest, AlltoallvRoutesPersonalizedData) {
       out[static_cast<std::size_t>(d)].assign(static_cast<std::size_t>(d + 1),
                                               100 * ctx.rank() + d);
     }
-    std::vector<std::vector<int>> in = alltoallv(ctx, out);
+    std::vector<std::vector<int>> in = alltoallv(ctx, std::move(out));
     ASSERT_EQ(in.size(), static_cast<std::size_t>(p));
     for (int s = 0; s < p; ++s) {
       const auto& v = in[static_cast<std::size_t>(s)];
@@ -167,7 +167,7 @@ TEST_P(CollectivesTest, ZeroLengthPayloadsAreLegal) {
       EXPECT_TRUE(summed.empty());
     }
     std::vector<std::vector<int>> out(static_cast<std::size_t>(p));
-    auto in = alltoallv(ctx, out);  // all-empty exchange
+    auto in = alltoallv(ctx, std::move(out));  // all-empty exchange
     for (const auto& v : in) {
       EXPECT_TRUE(v.empty());
     }

@@ -211,6 +211,149 @@ TEST(DimDistributionProperty, GlobalToLocalIsMonotonicOnOwnedSets) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Ownership runs (the block routing layer's foundation)
+
+TEST(OwnerRunsTest, BlockRunsFollowProcessorBoundaries) {
+  // 10 over 4: blocks 3,3,3,1 — non-divisible extent.
+  DimDistribution d(DistKind::kBlock, 10, 4);
+  const std::vector<OwnerRun> runs = d.owner_runs(0, 10);
+  ASSERT_EQ(runs.size(), 4u);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].owner, static_cast<int>(i));
+  }
+  EXPECT_EQ(runs[0].g0, 0);
+  EXPECT_EQ(runs[0].g1, 3);
+  EXPECT_EQ(runs[2].g1, 9);
+  EXPECT_EQ(runs[3].g0, 9);
+  EXPECT_EQ(runs[3].g1, 10);  // final short run clamped to the extent
+}
+
+TEST(OwnerRunsTest, SubRangeClipsRunsAtBothEnds) {
+  DimDistribution d(DistKind::kBlock, 16, 4);  // blocks of 4
+  const std::vector<OwnerRun> runs = d.owner_runs(3, 13);
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].g0, 3);
+  EXPECT_EQ(runs[0].g1, 4);  // tail of proc 0's block
+  EXPECT_EQ(runs[1].g0, 4);
+  EXPECT_EQ(runs[1].g1, 8);
+  EXPECT_EQ(runs[3].g0, 12);
+  EXPECT_EQ(runs[3].g1, 13);  // head of proc 3's block
+}
+
+TEST(OwnerRunsTest, CyclicDegeneratesToUnitRuns) {
+  DimDistribution d(DistKind::kCyclic, 7, 3);
+  const std::vector<OwnerRun> runs = d.owner_runs(0, 7);
+  ASSERT_EQ(runs.size(), 7u);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].g1 - runs[i].g0, 1);
+    EXPECT_EQ(runs[i].owner, static_cast<int>(i % 3));
+  }
+  EXPECT_EQ(d.run_length_hint(), 1);
+}
+
+TEST(OwnerRunsTest, BlockCyclicRunsArePeriodicBlocks) {
+  // BLOCK-CYCLIC(2), extent 10, P = 2: blocks dealt 0,1,0,1,0.
+  DimDistribution d(DistKind::kBlockCyclic, 10, 2, 2);
+  const std::vector<OwnerRun> runs = d.owner_runs(0, 10);
+  ASSERT_EQ(runs.size(), 5u);
+  const int expected_owner[] = {0, 1, 0, 1, 0};
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].g0, static_cast<std::int64_t>(2 * i));
+    EXPECT_EQ(runs[i].g1, static_cast<std::int64_t>(2 * i + 2));
+    EXPECT_EQ(runs[i].owner, expected_owner[i]);
+  }
+  // Period boundary inside the range: a run straddling `begin` is clipped.
+  const std::vector<OwnerRun> mid = d.owner_runs(3, 7);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid[0].g0, 3);
+  EXPECT_EQ(mid[0].g1, 4);
+  EXPECT_EQ(mid[0].owner, 1);
+  EXPECT_EQ(mid[2].g0, 6);
+  EXPECT_EQ(mid[2].g1, 7);
+  EXPECT_EQ(mid[2].owner, 1);
+}
+
+TEST(OwnerRunsTest, CollapsedIsOneRun) {
+  DimDistribution d(DistKind::kCollapsed, 9, 4);
+  const std::vector<OwnerRun> runs = d.owner_runs(0, 9);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].g0, 0);
+  EXPECT_EQ(runs[0].g1, 9);
+  EXPECT_EQ(runs[0].owner, 0);
+  EXPECT_EQ(d.run_length_hint(), 9);
+}
+
+TEST(OwnerRunsTest, SingleProcessorCollapsesToOneRun) {
+  // Every kind with P = 1 owns everything contiguously.
+  for (DistKind kind : {DistKind::kBlock, DistKind::kCyclic,
+                        DistKind::kBlockCyclic}) {
+    DimDistribution d(kind, 12, 1, 3);
+    const std::vector<OwnerRun> runs = d.owner_runs(0, 12);
+    ASSERT_EQ(runs.size(), 1u) << dist_kind_name(kind);
+    EXPECT_EQ(runs[0].owner, 0);
+    EXPECT_GE(d.run_length_hint(), 2);
+  }
+}
+
+TEST(OwnerRunsTest, EmptyRangeYieldsNoRuns) {
+  DimDistribution d(DistKind::kBlock, 8, 2);
+  EXPECT_TRUE(d.owner_runs(3, 3).empty());
+  EXPECT_THROW(d.owner_runs(3, 2), Error);
+  EXPECT_THROW(d.owner_runs(0, 9), Error);
+}
+
+TEST(OwnerRunsTest, RunsPartitionAndAgreeWithOwnerEverywhere) {
+  // Property: for every kind and a non-divisible extent, the runs tile
+  // [0, N) exactly, agree with owner(), and map to consecutive local
+  // indices within each run.
+  for (DistKind kind : {DistKind::kBlock, DistKind::kCyclic,
+                        DistKind::kBlockCyclic, DistKind::kCollapsed}) {
+    DimDistribution d(kind, 23, 3, 4);
+    std::int64_t expect_next = 0;
+    for (const OwnerRun& run : d.owner_runs(0, 23)) {
+      EXPECT_EQ(run.g0, expect_next) << dist_kind_name(kind);
+      EXPECT_LT(run.g0, run.g1);
+      for (std::int64_t g = run.g0; g < run.g1; ++g) {
+        EXPECT_EQ(d.owner(g), run.owner) << dist_kind_name(kind) << " g=" << g;
+        if (g > run.g0) {
+          EXPECT_EQ(d.global_to_local(g), d.global_to_local(g - 1) + 1)
+              << dist_kind_name(kind) << " g=" << g;
+        }
+      }
+      expect_next = run.g1;
+    }
+    EXPECT_EQ(expect_next, 23) << dist_kind_name(kind);
+  }
+}
+
+TEST(OwnerRunsTest, LocalRunEndMatchesGlobalContiguity) {
+  // Property: [l, local_run_end(l)) maps to consecutive globals, and the
+  // run is maximal (the next local index, if any, breaks contiguity).
+  for (DistKind kind : {DistKind::kBlock, DistKind::kCyclic,
+                        DistKind::kBlockCyclic, DistKind::kCollapsed}) {
+    DimDistribution d(kind, 23, 3, 4);
+    for (int proc = 0; proc < 3; ++proc) {
+      const std::int64_t n = d.local_extent(proc);
+      for (std::int64_t l = 0; l < n;) {
+        const std::int64_t e = d.local_run_end(proc, l);
+        ASSERT_GT(e, l);
+        for (std::int64_t i = l + 1; i < e; ++i) {
+          EXPECT_EQ(d.local_to_global(proc, i),
+                    d.local_to_global(proc, i - 1) + 1)
+              << dist_kind_name(kind) << " proc=" << proc << " l=" << i;
+        }
+        if (e < n) {
+          EXPECT_NE(d.local_to_global(proc, e),
+                    d.local_to_global(proc, e - 1) + 1)
+              << dist_kind_name(kind) << " run not maximal at l=" << l;
+        }
+        l = e;
+      }
+    }
+  }
+}
+
 TEST(ArrayDistributionTest, ColumnBlockMatchesPaperExample) {
   // Figure 8: 8x8 array over 4 processors, column-block.
   ArrayDistribution d = column_block(8, 8, 4);

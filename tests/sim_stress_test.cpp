@@ -102,7 +102,7 @@ TEST(SimStressTest, MixedCollectiveSequencesCompose) {
       for (int d = 0; d < p; ++d) {
         out[static_cast<std::size_t>(d)] = {ctx.rank() + d};
       }
-      auto in = alltoallv(ctx, out);
+      auto in = alltoallv(ctx, std::move(out));
       for (int s = 0; s < p; ++s) {
         EXPECT_EQ(in[static_cast<std::size_t>(s)][0], s + ctx.rank());
       }

@@ -9,7 +9,10 @@
 #   bench...  bench names to run (default: the paper-table set below)
 #
 # Scale knobs are the benches' own environment variables (see
-# bench/bench_common.hpp): OOCC_N, OOCC_PROCS, OOCC_FULL.
+# bench/bench_common.hpp): OOCC_N, OOCC_PROCS, OOCC_FULL. OOCC_ROUTE_MODE
+# (element|block) forces the runtime routing format for baseline captures;
+# every bench records host wall time, and the routing benches additionally
+# report simulated communication bytes per routing path.
 set -euo pipefail
 
 OUT="BENCH_results.json"
@@ -130,7 +133,8 @@ for bench in benches:
 doc = {
     "schema": "oocc-bench-results/v1",
     "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    "env": {k: os.environ.get(k) for k in ("OOCC_N", "OOCC_PROCS", "OOCC_FULL")
+    "env": {k: os.environ.get(k)
+            for k in ("OOCC_N", "OOCC_PROCS", "OOCC_FULL", "OOCC_ROUTE_MODE")
             if os.environ.get(k) is not None},
     "benches": results,
 }
