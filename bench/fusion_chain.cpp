@@ -1,0 +1,158 @@
+// Inter-statement slab fusion: LAF traffic of a three-statement
+// elementwise chain, fused vs statement-at-a-time.
+//
+// Workload (the chain the compiler sees):
+//   y = x*2 + 1 ; z = y*x ; w = z + y*x
+//
+// Unfused, every statement does its own full sweep: x is read three times
+// and y twice, plus z once — 6 slab reads and 3 writes of the local array
+// per processor. The fused sweep reads x once and keeps y and z in their
+// staging buffers, so the same chain moves 1 read + 3 writes. Expected
+// shape: >= 2x fewer LAF bytes (exactly 9/4 = 2.25x here), with the
+// simulated time win tracking the disk model. The bench exits nonzero if
+// the >= 2x invariant breaks (CI runs it in the release smoke job).
+#include "bench_common.hpp"
+
+#include <mutex>
+#include <set>
+
+#include "oocc/compiler/lower.hpp"
+#include "oocc/exec/interp.hpp"
+
+namespace {
+
+std::string chain_source(std::int64_t n, int p) {
+  return "parameter (n=" + std::to_string(n) + ", p=" + std::to_string(p) +
+         ")\n"
+         "real x(n,n), y(n,n), z(n,n), w(n,n)\n"
+         "!hpf$ processors Pr(p)\n"
+         "!hpf$ template d(n)\n"
+         "!hpf$ distribute d(block) onto Pr\n"
+         "!hpf$ align (*,:) with d :: x, y, z, w\n"
+         "forall (k=1:n)\n"
+         "  y(1:n,k) = x(1:n,k)*2 + 1\n"
+         "end forall\n"
+         "forall (k=1:n)\n"
+         "  z(1:n,k) = y(1:n,k)*x(1:n,k)\n"
+         "end forall\n"
+         "forall (k=1:n)\n"
+         "  w(1:n,k) = z(1:n,k) + y(1:n,k)*x(1:n,k)\n"
+         "end forall\n"
+         "end\n";
+}
+
+struct ChainResult {
+  std::uint64_t laf_bytes = 0;
+  std::uint64_t laf_requests = 0;
+  double sim_time_s = 0.0;
+  double wall_time_s = 0.0;
+  std::size_t plan_count = 0;
+};
+
+ChainResult run_chain(std::int64_t n, int p, bool fuse) {
+  using namespace oocc;
+
+  compiler::CompileOptions options;
+  options.enable_statement_fusion = fuse;
+  // Genuinely out-of-core: a quarter of one local array, split between the
+  // chain's four arrays.
+  const std::int64_t local = n * ((n + p - 1) / p);
+  options.memory_budget_elements = local;
+  const std::vector<compiler::NodeProgram> plans =
+      compiler::compile_sequence_source(chain_source(n, p), options);
+
+  ChainResult result;
+  result.plan_count = plans.size();
+  io::TempDir dir("oocc-fusion");
+  sim::Machine machine(p, sim::MachineCostModel::touchstone_delta());
+  std::mutex mu;
+  sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
+    auto arrays = exec::create_sequence_arrays(
+        ctx, std::span<const compiler::NodeProgram>(plans.data(),
+                                                    plans.size()),
+        dir.path(), io::DiskModel::touchstone_delta_cfs());
+    std::set<std::string> outputs;
+    for (const compiler::NodeProgram& plan : plans) {
+      for (const auto& [name, pa] : plan.arrays) {
+        if (pa.is_output) {
+          outputs.insert(name);
+        }
+      }
+    }
+    for (auto& [name, arr] : arrays) {
+      if (!outputs.contains(name)) {
+        arr->initialize(
+            ctx,
+            [](std::int64_t r, std::int64_t c) {
+              return 1.0 + 1e-3 * static_cast<double>((r * 31 + c * 7) % 101);
+            },
+            local);
+      }
+      arr->laf().reset_stats();
+    }
+    sim::barrier(ctx);
+    ctx.reset_accounting();
+    exec::ArrayBindings bindings;
+    for (auto& [name, arr] : arrays) {
+      bindings[name] = arr.get();
+    }
+    exec::execute_sequence(
+        ctx,
+        std::span<const compiler::NodeProgram>(plans.data(), plans.size()),
+        bindings);
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto& [name, arr] : arrays) {
+      const io::IoStats& s = arr->laf().stats();
+      result.laf_bytes += s.bytes_read + s.bytes_written;
+      result.laf_requests += s.read_requests + s.write_requests;
+    }
+  });
+  result.sim_time_s = report.max_sim_time_s();
+  result.wall_time_s = report.wall_time_s;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace oocc;
+  using namespace oocc::bench;
+
+  const std::int64_t n = bench_n(512);
+  print_header("Slab fusion: 3-statement elementwise chain, LAF traffic");
+  std::printf("y = x*2+1 ; z = y*x ; w = z + y*x, N = %lld\n\n",
+              static_cast<long long>(n));
+
+  TextTable table({"P", "unfused MB", "fused MB", "byte ratio",
+                   "unfused reqs", "fused reqs", "unfused time (s)",
+                   "fused time (s)", "speedup"});
+  bool ok = true;
+  for (int p : bench_procs()) {
+    if (p > n) {
+      continue;
+    }
+    const ChainResult unfused = run_chain(n, p, /*fuse=*/false);
+    const ChainResult fused = run_chain(n, p, /*fuse=*/true);
+    if (unfused.plan_count != 3 || fused.plan_count != 1) {
+      std::printf("unexpected plan counts: unfused=%zu fused=%zu\n",
+                  unfused.plan_count, fused.plan_count);
+      ok = false;
+    }
+    const double ratio = static_cast<double>(unfused.laf_bytes) /
+                         static_cast<double>(fused.laf_bytes);
+    ok = ok && unfused.laf_bytes >= 2 * fused.laf_bytes;
+    table.add_row(
+        {std::to_string(p),
+         format_fixed(static_cast<double>(unfused.laf_bytes) / 1e6, 1),
+         format_fixed(static_cast<double>(fused.laf_bytes) / 1e6, 1),
+         format_fixed(ratio, 2) + "x", std::to_string(unfused.laf_requests),
+         std::to_string(fused.laf_requests),
+         format_fixed(unfused.sim_time_s, 2),
+         format_fixed(fused.sim_time_s, 2),
+         format_fixed(unfused.sim_time_s / fused.sim_time_s, 1) + "x"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("shape check (fused chain moves >=2x fewer LAF bytes): %s\n",
+              ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

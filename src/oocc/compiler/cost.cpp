@@ -1,9 +1,12 @@
 #include "oocc/compiler/cost.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
+#include "oocc/compiler/plan.hpp"
 #include "oocc/hpf/distribution.hpp"
+#include "oocc/runtime/slab_writer.hpp"
 #include "oocc/util/error.hpp"
 
 namespace oocc::compiler {
@@ -180,6 +183,185 @@ CostDecision choose_access_reorganization(const GaxpyCostQuery& query,
       << runtime::slab_orientation_name(decision.chosen.a_orientation);
   decision.rationale = why.str();
   return decision;
+}
+
+namespace {
+
+/// Symbolic execution of a plan's step tree for one processor: tracks the
+/// same loop, reduction, and output-writer state as exec's StepExecutor,
+/// but charges extent counts instead of doing I/O.
+class StepPricer {
+ public:
+  StepPricer(const NodeProgram& plan, int proc) : plan_(plan), proc_(proc) {
+    for (const SlabLoop& loop : plan_.loops) {
+      const PlanArray& space = plan_.array(loop.space);
+      states_.emplace(
+          loop.name,
+          LoopState(&loop, runtime::SlabIterator(space.dist.local_rows(proc_),
+                                                 space.dist.local_cols(proc_),
+                                                 loop.orientation,
+                                                 loop.capacity_elements)));
+    }
+  }
+
+  std::map<std::string, StepIoCost> run() {
+    walk(plan_.steps);
+    if (writer_) {
+      flush_writer();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  struct LoopState {
+    LoopState(const SlabLoop* d, runtime::SlabIterator it)
+        : decl(d), iter(it) {}
+
+    const SlabLoop* decl;
+    runtime::SlabIterator iter;
+    io::Section section{};
+    std::int64_t column = -1;
+  };
+
+  /// The same batching core the executor's OwnedColumnWriter wraps, minus
+  /// the data copy and the I/O.
+  struct WriterSim {
+    WriterSim(std::int64_t capacity, std::int64_t row0, std::int64_t row1,
+              std::int64_t local_cols, std::string name)
+        : batch(capacity, row0, row1, local_cols),
+          r0(row0),
+          r1(row1),
+          array(std::move(name)) {}
+
+    runtime::ColumnBatch batch;
+    std::int64_t r0;
+    std::int64_t r1;
+    std::string array;
+  };
+
+  LoopState& state(const std::string& name) {
+    const auto it = states_.find(name);
+    OOCC_CHECK(it != states_.end(), ErrorCode::kInvalidArgument,
+               "step references undeclared slab loop '" << name << "'");
+    return it->second;
+  }
+
+  void charge(const std::string& array, const io::Section& s, bool is_read) {
+    const PlanArray& pa = plan_.array(array);
+    const double extents = static_cast<double>(io::section_extent_count(
+        s, pa.dist.local_rows(proc_), pa.dist.local_cols(proc_), pa.storage));
+    StepIoCost& cost = out_[array];
+    if (is_read) {
+      cost.read_requests += extents;
+      cost.elements_read += static_cast<double>(s.elements());
+    } else {
+      cost.write_requests += extents;
+      cost.elements_written += static_cast<double>(s.elements());
+    }
+  }
+
+  void flush_writer() {
+    if (!writer_ || writer_->batch.pending() == 0) {
+      return;
+    }
+    charge(writer_->array,
+           io::Section{writer_->r0, writer_->r1, writer_->batch.lc0(),
+                       writer_->batch.lc0() + writer_->batch.pending()},
+           /*is_read=*/false);
+    writer_->batch.clear();
+  }
+
+  void walk(const std::vector<Step>& steps) {
+    for (const Step& step : steps) {
+      walk(step);
+    }
+  }
+
+  void walk(const Step& step) {
+    switch (step.kind) {
+      case StepKind::kForEachSlab: {
+        LoopState& loop = state(step.loop);
+        for (std::int64_t i = 0; i < loop.iter.count(); ++i) {
+          loop.section = loop.iter.section(i);
+          walk(step.body);
+        }
+        return;
+      }
+      case StepKind::kForEachColumn: {
+        LoopState& loop = state(step.loop);
+        for (std::int64_t m = 0; m < loop.section.cols(); ++m) {
+          loop.column = m;
+          fresh_column_ = true;
+          walk(step.body);
+        }
+        return;
+      }
+      case StepKind::kReadSlab:
+        charge(step.array, state(step.loop).section, /*is_read=*/true);
+        return;
+      case StepKind::kWriteSlab:
+        charge(step.array, state(step.loop).section, /*is_read=*/false);
+        return;
+      case StepKind::kComputeElementwise:
+      case StepKind::kBarrier:
+        return;
+      case StepKind::kComputeGaxpyPartial: {
+        if (fresh_column_) {
+          const LoopState& a_loop = state(step.loop);
+          temp_r0_ = a_loop.section.row0;
+          temp_r1_ = a_loop.section.row1;
+          full_rows_ = a_loop.iter.section(0).rows();
+          fresh_column_ = false;
+        }
+        return;
+      }
+      case StepKind::kReduceSum:
+        price_reduce(step);
+        return;
+    }
+  }
+
+  void price_reduce(const Step& step) {
+    const LoopState& col_loop = state(step.with);
+    const PlanArray& c = plan_.array(step.array);
+    const std::int64_t gj = col_loop.section.col0 + col_loop.column;
+    if (writer_ && (writer_->r0 != temp_r0_ || writer_->r1 != temp_r1_)) {
+      flush_writer();
+      writer_.reset();
+    }
+    if (c.dist.owner_of_col(gj) != proc_) {
+      return;
+    }
+    if (!writer_) {
+      const std::int64_t capacity =
+          std::max(plan_.memory.slab_c, full_rows_);
+      writer_.emplace(capacity, temp_r0_, temp_r1_,
+                      c.dist.local_cols(proc_), step.array);
+    }
+    if (writer_->batch.push(c.dist.global_to_local_col(gj))) {
+      flush_writer();
+    }
+  }
+
+  const NodeProgram& plan_;
+  int proc_;
+  std::map<std::string, LoopState> states_;
+  std::map<std::string, StepIoCost> out_;
+  bool fresh_column_ = false;
+  std::int64_t temp_r0_ = 0;
+  std::int64_t temp_r1_ = 0;
+  std::int64_t full_rows_ = 0;
+  std::optional<WriterSim> writer_;
+};
+
+}  // namespace
+
+std::map<std::string, StepIoCost> price_steps(const NodeProgram& plan,
+                                              int proc) {
+  OOCC_REQUIRE(proc >= 0 && proc < plan.nprocs,
+               "processor " << proc << " outside the plan's 0.."
+                            << plan.nprocs - 1);
+  return StepPricer(plan, proc).run();
 }
 
 TotalCostEstimate estimate_gaxpy_total(runtime::SlabOrientation orientation,

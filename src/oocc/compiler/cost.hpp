@@ -12,6 +12,7 @@
 // decision and the orientation minimizing its cost is selected.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,8 @@
 #include "oocc/sim/cost_model.hpp"
 
 namespace oocc::compiler {
+
+struct NodeProgram;
 
 /// Predicted per-processor I/O cost of one array under one candidate.
 struct ArrayCost {
@@ -96,5 +99,25 @@ TotalCostEstimate estimate_gaxpy_total(runtime::SlabOrientation orientation,
                                        const GaxpyCostQuery& query,
                                        const io::DiskModel& disk,
                                        const sim::MachineCostModel& machine);
+
+/// Predicted per-processor LAF traffic of one array, derived by walking a
+/// plan's slab-program IR rather than from a closed-form schema formula.
+struct StepIoCost {
+  double read_requests = 0.0;
+  double elements_read = 0.0;
+  double write_requests = 0.0;
+  double elements_written = 0.0;
+};
+
+/// Prices a compiled plan by symbolically executing its step tree with
+/// processor `proc`'s local extents: every ReadSlab/WriteSlab contributes
+/// its section's contiguous-extent count and element volume, and every
+/// ReduceSum drives the same staged-column-writer flush pattern the
+/// executor uses. Because the walk mirrors the interpreter exactly, the
+/// predictions match measured LAF counters request-for-request (the tests
+/// assert this); schema-specific estimators like estimate_gaxpy_cost are
+/// only still needed *before* lowering, to rank candidate orientations.
+std::map<std::string, StepIoCost> price_steps(const NodeProgram& plan,
+                                              int proc = 0);
 
 }  // namespace oocc::compiler

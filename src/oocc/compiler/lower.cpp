@@ -1,5 +1,6 @@
 #include "oocc/compiler/lower.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 
@@ -46,6 +47,192 @@ std::optional<std::int64_t> const_bound(
   } catch (const Error&) {
     return std::nullopt;
   }
+}
+
+// ------------------------------------------------------- step emission
+
+Step for_each_slab(std::string loop, std::vector<Step> body) {
+  Step s;
+  s.kind = StepKind::kForEachSlab;
+  s.loop = std::move(loop);
+  s.body = std::move(body);
+  return s;
+}
+
+Step for_each_column(std::string loop, std::vector<Step> body) {
+  Step s;
+  s.kind = StepKind::kForEachColumn;
+  s.loop = std::move(loop);
+  s.body = std::move(body);
+  return s;
+}
+
+Step read_slab(std::string loop, std::string array) {
+  Step s;
+  s.kind = StepKind::kReadSlab;
+  s.loop = std::move(loop);
+  s.array = std::move(array);
+  return s;
+}
+
+Step write_slab(std::string loop, std::string array) {
+  Step s;
+  s.kind = StepKind::kWriteSlab;
+  s.loop = std::move(loop);
+  s.array = std::move(array);
+  return s;
+}
+
+Step gaxpy_partial(std::string a_loop, std::string column_loop) {
+  Step s;
+  s.kind = StepKind::kComputeGaxpyPartial;
+  s.loop = std::move(a_loop);
+  s.with = std::move(column_loop);
+  return s;
+}
+
+Step reduce_sum_step(std::string output, std::string column_loop) {
+  Step s;
+  s.kind = StepKind::kReduceSum;
+  s.array = std::move(output);
+  s.with = std::move(column_loop);
+  return s;
+}
+
+Step elementwise_step(std::string loop, int stmt) {
+  Step s;
+  s.kind = StepKind::kComputeElementwise;
+  s.loop = std::move(loop);
+  s.stmt = stmt;
+  return s;
+}
+
+/// Builds the GAXPY step program for the plan's chosen orientation: the
+/// exact loop nests of Figure 9 (column slabs, A re-swept per output
+/// column) and Figure 12 (row slabs, A fetched exactly once).
+void emit_gaxpy_steps(NodeProgram& plan) {
+  plan.loops.clear();
+  plan.steps.clear();
+  plan.loops.push_back(SlabLoop{"A", plan.a, plan.a_orientation,
+                                plan.memory.slab_a, plan.prefetch});
+  plan.loops.push_back(SlabLoop{"B", plan.b,
+                                runtime::SlabOrientation::kColumnSlabs,
+                                plan.memory.slab_b, false});
+  if (plan.a_orientation == runtime::SlabOrientation::kColumnSlabs) {
+    // Figure 9: do slabs(B) { read B; do m { do slabs(A) { read A;
+    // partial }; global-sum } }.
+    std::vector<Step> per_column;
+    per_column.push_back(
+        for_each_slab("A", {read_slab("A", plan.a), gaxpy_partial("A", "B")}));
+    per_column.push_back(reduce_sum_step(plan.c, "B"));
+    plan.steps.push_back(for_each_slab(
+        "B",
+        {read_slab("B", plan.b), for_each_column("B", std::move(per_column))}));
+  } else {
+    // Figure 12: do slabs(A) { read A; do slabs(B) { read B; do m {
+    // partial; global-sum } } }.
+    std::vector<Step> per_column;
+    per_column.push_back(gaxpy_partial("A", "B"));
+    per_column.push_back(reduce_sum_step(plan.c, "B"));
+    Step b_sweep = for_each_slab(
+        "B",
+        {read_slab("B", plan.b), for_each_column("B", std::move(per_column))});
+    plan.steps.push_back(
+        for_each_slab("A", {read_slab("A", plan.a), std::move(b_sweep)}));
+  }
+}
+
+void collect_ref_names(const Expr& e, std::vector<std::string>& out) {
+  if (e.kind == ExprKind::kArrayRef &&
+      std::find(out.begin(), out.end(), e.name) == out.end()) {
+    out.push_back(e.name);
+  }
+  if (e.lhs) collect_ref_names(*e.lhs, out);
+  if (e.rhs) collect_ref_names(*e.rhs, out);
+}
+
+/// Divides the budget among the sweep's buffers and emits the elementwise
+/// step program for plan.statements (one or a fused group): one column-slab
+/// sweep over the first lhs; per slab, read every array consumed before the
+/// group produces it, evaluate the statements in order (later statements
+/// read earlier results from memory), then write every produced array.
+void finish_elementwise_plan(NodeProgram& plan, const CompileOptions& options) {
+  OOCC_ASSERT(!plan.statements.empty(), "no elementwise statements");
+
+  // Which arrays does the group produce, and which must be fetched because
+  // they are consumed before (or without) being produced?
+  std::vector<std::string> written;
+  std::vector<std::string> read_first;
+  for (const ElementwiseStmt& st : plan.statements) {
+    std::vector<std::string> refs;
+    collect_ref_names(*st.rhs, refs);
+    for (const std::string& r : refs) {
+      if (std::find(written.begin(), written.end(), r) == written.end() &&
+          std::find(read_first.begin(), read_first.end(), r) ==
+              read_first.end()) {
+        read_first.push_back(r);
+      }
+    }
+    if (std::find(written.begin(), written.end(), st.lhs) == written.end()) {
+      written.push_back(st.lhs);
+    }
+  }
+  for (auto& [name, pa] : plan.arrays) {
+    pa.is_output =
+        std::find(written.begin(), written.end(), name) != written.end();
+  }
+  // Pure inputs stream through double-bufferable readers; arrays the group
+  // also produces are staged in writable buffers, so their initial read
+  // (the in-place case) cannot be double-buffered.
+  std::vector<std::string> pure_reads;
+  std::vector<std::string> staged_reads;
+  for (const std::string& r : read_first) {
+    (plan.array(r).is_output ? staged_reads : pure_reads).push_back(r);
+  }
+  std::sort(pure_reads.begin(), pure_reads.end());
+  std::sort(staged_reads.begin(), staged_reads.end());
+
+  const bool prefetch = options.prefetch && !pure_reads.empty();
+  const std::int64_t buffers =
+      static_cast<std::int64_t>(plan.arrays.size()) +
+      (prefetch ? static_cast<std::int64_t>(pure_reads.size()) : 0);
+  const std::string& sweep_lhs = plan.statements.front().lhs;
+  const std::int64_t local_rows = plan.array(sweep_lhs).dist.local_rows(0);
+  const std::int64_t share = options.memory_budget_elements / buffers;
+  OOCC_CHECK(share >= local_rows, ErrorCode::kResourceExhausted,
+             "memory budget of " << options.memory_budget_elements
+                                 << " elements cannot hold one column ("
+                                 << local_rows << " elements) per array for "
+                                 << plan.arrays.size() << " arrays");
+  for (auto& [name, pa] : plan.arrays) {
+    pa.slab_elements = share;
+  }
+  plan.memory.strategy = options.memory_strategy;
+  plan.memory.slab_a = share;
+  plan.memory.slab_b = share;
+  plan.memory.slab_c = share;
+  plan.memory.temp_elements = 0;
+  plan.memory_budget_elements = options.memory_budget_elements;
+
+  plan.loops.clear();
+  plan.steps.clear();
+  plan.loops.push_back(SlabLoop{"S", sweep_lhs,
+                                runtime::SlabOrientation::kColumnSlabs, share,
+                                prefetch});
+  std::vector<Step> body;
+  for (const std::string& r : pure_reads) {
+    body.push_back(read_slab("S", r));
+  }
+  for (const std::string& r : staged_reads) {
+    body.push_back(read_slab("S", r));
+  }
+  for (std::size_t i = 0; i < plan.statements.size(); ++i) {
+    body.push_back(elementwise_step("S", static_cast<int>(i)));
+  }
+  for (const std::string& w : written) {
+    body.push_back(write_slab("S", w));
+  }
+  plan.steps.push_back(for_each_slab("S", std::move(body)));
 }
 
 /// Matches `do j=1,n { forall(k=1:n) temp(:,k)=b(k,j)*a(:,k); c(:,j)=SUM(temp,2) }`.
@@ -431,6 +618,7 @@ NodeProgram lower_gaxpy(const BoundProgram& program, const GaxpyMatch& match,
       PlanArray{match.c, c_info.dist, ac_order, plan.a_orientation,
                 plan.memory.slab_c, true,
                 ac_order != io::StorageOrder::kColumnMajor};
+  emit_gaxpy_steps(plan);
   return plan;
 }
 
@@ -443,10 +631,11 @@ NodeProgram lower_elementwise(const BoundProgram& program,
   plan.nprocs = program.nprocs;
   plan.n = match.rows;
   plan.elementwise_cols = match.cols;
-  plan.lhs = match.lhs;
-  plan.rhs = hpf::clone_expr(*match.rhs);
-  plan.forall_var = match.forall_var;
-  plan.memory_budget_elements = options.memory_budget_elements;
+  ElementwiseStmt stmt;
+  stmt.lhs = match.lhs;
+  stmt.rhs = hpf::clone_expr(*match.rhs);
+  stmt.forall_var = match.forall_var;
+  plan.statements.push_back(std::move(stmt));
 
   // Collect distinct arrays (lhs + rhs references).
   std::vector<RefAccess> refs;
@@ -467,26 +656,69 @@ NodeProgram lower_elementwise(const BoundProgram& program,
                                     0, false, false};
     }
   }
-
-  // Memory: equal slabs over the distinct arrays, floored at one column.
-  const std::int64_t local_rows = lhs_info.dist.local_rows(0);
-  const std::int64_t share = options.memory_budget_elements /
-                             static_cast<std::int64_t>(arrays.size());
-  OOCC_CHECK(share >= local_rows, ErrorCode::kResourceExhausted,
-             "memory budget of " << options.memory_budget_elements
-                                 << " elements cannot hold one column ("
-                                 << local_rows << " elements) per array for "
-                                 << arrays.size() << " arrays");
-  for (auto& [name, pa] : arrays) {
-    pa.slab_elements = share;
-  }
   plan.arrays = std::move(arrays);
-  plan.memory.strategy = options.memory_strategy;
-  plan.memory.slab_a = share;
-  plan.memory.slab_b = share;
-  plan.memory.slab_c = share;
-  plan.memory.temp_elements = 0;
+  finish_elementwise_plan(plan, options);
   return plan;
+}
+
+// ----------------------------------------------------------- slab fusion
+
+/// Whether `next` can join a fused group whose sweep geometry is `head`'s:
+/// both are communication-free elementwise plans whose sweeps cover
+/// identically distributed sections, and the union of arrays still fits
+/// the memory budget at one column per buffer.
+bool can_fuse(const NodeProgram& head, const NodeProgram& next,
+              const CompileOptions& options,
+              std::size_t union_array_count) {
+  if (head.kind != ProgramKind::kElementwise ||
+      next.kind != ProgramKind::kElementwise) {
+    return false;
+  }
+  const PlanArray& a = head.array(head.statements.front().lhs);
+  const PlanArray& b = next.array(next.statements.front().lhs);
+  if (!(a.dist == b.dist) || a.storage != b.storage ||
+      a.orientation != b.orientation) {
+    return false;
+  }
+  // Conservative capacity check: every buffer (plus a second one per array
+  // when prefetching) must still hold one column.
+  const std::int64_t buffers = static_cast<std::int64_t>(union_array_count) *
+                               (options.prefetch ? 2 : 1);
+  return options.memory_budget_elements / buffers >= a.dist.local_rows(0);
+}
+
+/// Merges consecutive fusable elementwise plans into single sweeps.
+std::vector<NodeProgram> fuse_statement_plans(std::vector<NodeProgram> plans,
+                                              const CompileOptions& options) {
+  std::vector<NodeProgram> out;
+  for (NodeProgram& plan : plans) {
+    if (!out.empty() &&
+        can_fuse(out.back(), plan, options,
+                 [&] {
+                   std::size_t n = out.back().arrays.size();
+                   for (const auto& [name, pa] : plan.arrays) {
+                     if (!out.back().arrays.contains(name)) ++n;
+                   }
+                   return n;
+                 }())) {
+      NodeProgram& head = out.back();
+      for (auto& [name, pa] : plan.arrays) {
+        if (!head.arrays.contains(name)) {
+          head.arrays.emplace(name, std::move(pa));
+        }
+      }
+      for (ElementwiseStmt& st : plan.statements) {
+        head.statements.push_back(std::move(st));
+      }
+      head.cost.rationale =
+          "fused " + std::to_string(head.statements.size()) +
+          " communication-free elementwise statements into one slab sweep";
+      finish_elementwise_plan(head, options);
+      continue;
+    }
+    out.push_back(std::move(plan));
+  }
+  return out;
 }
 
 }  // namespace
@@ -535,6 +767,9 @@ std::vector<NodeProgram> compile_sequence(const BoundProgram& program,
       OOCC_THROW(ErrorCode::kCompileError,
                  "statement " << i + 1 << " of the sequence: " << e.what());
     }
+  }
+  if (options.enable_statement_fusion) {
+    plans = fuse_statement_plans(std::move(plans), options);
   }
   return plans;
 }

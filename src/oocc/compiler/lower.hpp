@@ -32,8 +32,17 @@ struct CompileOptions {
   bool enable_access_reorganization = true;
   bool enable_storage_reorganization = true;
 
-  /// Double-buffer the dominant array's slabs (halves its slab size).
+  /// Double-buffer the dominant array's slabs (halves its slab size). For
+  /// elementwise sweeps this double-buffers the pure-input slab streams
+  /// (shrinking every array's share so the extra buffers fit).
   bool prefetch = false;
+
+  /// Inter-statement slab fusion: consecutive communication-free
+  /// elementwise statements with aligned distributions merge into one
+  /// sweep, so intermediate arrays flow buffer-to-buffer in memory
+  /// instead of round-tripping through their Local Array Files. Off
+  /// reproduces the statement-at-a-time translation (ablation knob).
+  bool enable_statement_fusion = true;
 
   /// Disk model used for cost estimation (should match the machine the
   /// plan will run on).
@@ -56,10 +65,13 @@ NodeProgram compile_source(std::string_view source,
 
 /// Compiles a program whose top level is a *sequence* of supported
 /// statements (each an elementwise FORALL / array assignment, or the
-/// whole program being one GAXPY nest) into one plan per statement,
-/// executed in order by exec::execute_sequence. Dependencies between
-/// statements flow through the out-of-core arrays on disk, so no extra
-/// analysis is needed: statement i+1 simply reads what statement i wrote.
+/// whole program being one GAXPY nest), executed in order by
+/// exec::execute_sequence. Each statement lowers independently; when
+/// enable_statement_fusion is set, consecutive compatible elementwise
+/// plans are then merged into single fused sweeps, so the returned vector
+/// may be shorter than the statement list. Dependencies between the
+/// remaining plans flow through the out-of-core arrays on disk: plan i+1
+/// simply reads what plan i wrote.
 std::vector<NodeProgram> compile_sequence(const hpf::BoundProgram& program,
                                           const CompileOptions& options);
 

@@ -14,11 +14,43 @@ std::string_view program_kind_name(ProgramKind k) noexcept {
   return "?";
 }
 
+std::string_view step_kind_name(StepKind k) noexcept {
+  switch (k) {
+    case StepKind::kForEachSlab:
+      return "for-each-slab";
+    case StepKind::kForEachColumn:
+      return "for-each-column";
+    case StepKind::kReadSlab:
+      return "read-slab";
+    case StepKind::kWriteSlab:
+      return "write-slab";
+    case StepKind::kComputeElementwise:
+      return "compute-elementwise";
+    case StepKind::kComputeGaxpyPartial:
+      return "compute-gaxpy-partial";
+    case StepKind::kReduceSum:
+      return "reduce-sum";
+    case StepKind::kBarrier:
+      return "barrier";
+  }
+  return "?";
+}
+
 const PlanArray& NodeProgram::array(const std::string& name) const {
   const auto it = arrays.find(name);
   OOCC_CHECK(it != arrays.end(), ErrorCode::kInvalidArgument,
              "plan has no array named '" << name << "'");
   return it->second;
+}
+
+const SlabLoop& NodeProgram::loop(const std::string& name) const {
+  for (const SlabLoop& l : loops) {
+    if (l.name == name) {
+      return l;
+    }
+  }
+  OOCC_THROW(ErrorCode::kInvalidArgument,
+             "plan has no slab loop named '" << name << "'");
 }
 
 }  // namespace oocc::compiler

@@ -1,17 +1,24 @@
 // The node-program plan — output of the out-of-core compiler.
 //
-// The paper's compiler emits "Node + MP + I/O code" (Figures 9/12). Our
-// equivalent is a NodeProgram: a structured description of the selected
-// translation — which kernel schema (GAXPY reduction or elementwise
-// FORALL), the chosen slab orientation, per-array storage orders and slab
-// sizes, the cost decision that justified them, and the memory plan. The
-// plan is executed by oocc::exec::execute() on the simulated machine and
-// can be rendered as Figure 9/12-style pseudo-code by compiler/pretty.
+// The paper's compiler emits "Node + MP + I/O code" (Figures 9/12): an
+// explicit program of I/O, compute, and communication steps over slabs.
+// Our equivalent is a NodeProgram carrying a *slab-program IR*: a set of
+// named stripmined loops (SlabLoop) and a tree of typed steps (Step) —
+// ReadSlab / WriteSlab / ComputeElementwise / ComputeGaxpyPartial /
+// ReduceSum / Barrier nested under ForEachSlab / ForEachColumn structural
+// steps. The pattern matchers in compiler/lower recognize the source
+// statement (GAXPY reduction or elementwise FORALL) and emit the step
+// program; exec::execute interprets the steps generically — there is no
+// per-schema executor. The plan also records the placement decisions that
+// justify the steps: per-array storage orders and slab sizes, the cost
+// decision, and the memory plan. compiler/pretty renders both the
+// Figure 9/12-style pseudo-code and the raw step IR.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "oocc/compiler/cost.hpp"
 #include "oocc/compiler/memplan.hpp"
@@ -24,7 +31,7 @@ namespace oocc::compiler {
 
 enum class ProgramKind {
   kGaxpy,       ///< DO/FORALL/SUM reduction (Figure 3's pattern)
-  kElementwise  ///< communication-free FORALL over aligned sections
+  kElementwise  ///< communication-free FORALL(s) over aligned sections
 };
 
 std::string_view program_kind_name(ProgramKind k) noexcept;
@@ -43,12 +50,68 @@ struct PlanArray {
   bool needs_storage_reorganization = false;
 };
 
+// --------------------------------------------------------------- step IR
+
+/// A named stripmined loop: the slabs of one plan array's local section,
+/// enumerated in order. `space` names the array whose local extents define
+/// the iteration space; ReadSlab steps may stream *other* arrays through
+/// the same loop when their sections are aligned (the elementwise sweep).
+struct SlabLoop {
+  std::string name;  ///< unique within the program; steps refer to it
+  std::string space;
+  runtime::SlabOrientation orientation =
+      runtime::SlabOrientation::kColumnSlabs;
+  std::int64_t capacity_elements = 0;  ///< ICLA capacity per streamed array
+  /// Double-buffer this loop's slab reads (two ICLAs per streamed array).
+  bool prefetch = false;
+};
+
+enum class StepKind {
+  kForEachSlab,    ///< structural: run `body` once per slab of `loop`
+  kForEachColumn,  ///< structural: run `body` once per column of `loop`'s
+                   ///< current slab (drives the output-column index)
+  kReadSlab,       ///< load `array`'s section for `loop`'s current slab
+  kWriteSlab,      ///< store `array`'s staged slab back to its LAF
+  kComputeElementwise,   ///< evaluate statements[stmt] over the current slab
+  kComputeGaxpyPartial,  ///< temp(:) += A(:,i) * B(i, m) over the A slab
+  kReduceSum,      ///< global sum of temp; owner stages its output column
+  kBarrier         ///< synchronize all processors
+};
+
+std::string_view step_kind_name(StepKind k) noexcept;
+
+/// One node of the step tree. Field use by kind:
+///  * kForEachSlab / kForEachColumn: `loop`, `body`
+///  * kReadSlab / kWriteSlab:        `loop` (section source), `array`
+///  * kComputeElementwise:           `loop` (sweep), `stmt`
+///  * kComputeGaxpyPartial:          `loop` (A slabs), `with` (column loop)
+///  * kReduceSum:                    `array` (output), `with` (column loop)
+///  * kBarrier:                      nothing
+struct Step {
+  StepKind kind = StepKind::kBarrier;
+  std::string loop;
+  std::string array;
+  std::string with;
+  int stmt = -1;
+  std::vector<Step> body;
+};
+
+/// One lowered elementwise assignment `lhs(1:rows,k) = rhs`. A fused plan
+/// carries several; each slab of the sweep evaluates them in order, so a
+/// later statement reads the in-memory result of an earlier one.
+struct ElementwiseStmt {
+  std::string lhs;
+  hpf::ExprPtr rhs;  ///< cloned expression tree (NodeProgram is move-only)
+  std::string forall_var;
+};
+
 struct NodeProgram {
   ProgramKind kind = ProgramKind::kGaxpy;
   int nprocs = 1;
   std::int64_t n = 0;  ///< global N for GAXPY; rows for elementwise
 
-  // GAXPY schema.
+  // GAXPY statement roles (empty for elementwise plans); kept for cost
+  // reporting and the Figure 9/12 pseudo-code renderer.
   std::string a;
   std::string b;
   std::string c;
@@ -56,11 +119,13 @@ struct NodeProgram {
       runtime::SlabOrientation::kColumnSlabs;
   bool prefetch = false;
 
-  // Elementwise schema.
-  std::string lhs;
-  hpf::ExprPtr rhs;  ///< cloned expression tree (NodeProgram is move-only)
-  std::string forall_var;
+  // Elementwise statement group (one entry per fused source statement).
+  std::vector<ElementwiseStmt> statements;
   std::int64_t elementwise_cols = 0;
+
+  // The slab-program IR interpreted by exec::execute.
+  std::vector<SlabLoop> loops;
+  std::vector<Step> steps;
 
   // Shared decisions.
   std::map<std::string, PlanArray> arrays;
@@ -69,6 +134,7 @@ struct NodeProgram {
   std::int64_t memory_budget_elements = 0;
 
   const PlanArray& array(const std::string& name) const;
+  const SlabLoop& loop(const std::string& name) const;
 };
 
 }  // namespace oocc::compiler

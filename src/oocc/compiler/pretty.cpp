@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "oocc/util/error.hpp"
+
 namespace oocc::compiler {
 
 namespace {
@@ -72,21 +74,88 @@ void emit_gaxpy_row(std::ostringstream& oss, const NodeProgram& p) {
 }
 
 void emit_elementwise(std::ostringstream& oss, const NodeProgram& p) {
-  oss << "C  Elementwise FORALL translation (no communication)\n"
-      << "   do s = 1, slabs_of(" << p.lhs << ")\n";
-  for (const auto& [name, pa] : p.arrays) {
-    if (!pa.is_output) {
-      oss << "      call READ_ICLA(" << name << ", slab s)\n";
+  oss << "C  Elementwise FORALL translation (no communication";
+  if (p.statements.size() > 1) {
+    oss << "; " << p.statements.size() << " statements fused into one sweep";
+  }
+  oss << ")\n";
+  const std::string& sweep = p.statements.front().lhs;
+  oss << "   do s = 1, slabs_of(" << sweep << ")\n";
+  // Render the sweep body off the step program so the pseudo-code shows
+  // exactly which reads the fusion pass kept and which it eliminated.
+  OOCC_ASSERT(!p.steps.empty() &&
+                  p.steps.front().kind == StepKind::kForEachSlab,
+              "elementwise plan must be a single slab sweep");
+  for (const Step& step : p.steps.front().body) {
+    switch (step.kind) {
+      case StepKind::kReadSlab:
+        oss << "      call READ_ICLA(" << step.array << ", slab s)\n";
+        break;
+      case StepKind::kComputeElementwise: {
+        const ElementwiseStmt& st =
+            p.statements[static_cast<std::size_t>(step.stmt)];
+        oss << "      do each element (j,i) in slab s\n"
+            << "         " << st.lhs << "(j,i) = " << hpf::to_string(*st.rhs)
+            << "\n"
+            << "      end do\n";
+        break;
+      }
+      case StepKind::kWriteSlab:
+        oss << "      call WRITE_ICLA(" << step.array << ", slab s)\n";
+        break;
+      default:
+        break;
     }
   }
-  oss << "      do each element (j,i) in slab s\n"
-      << "         " << p.lhs << "(j,i) = " << hpf::to_string(*p.rhs) << "\n"
-      << "      end do\n"
-      << "      call WRITE_ICLA(" << p.lhs << ", slab s)\n"
-      << "   end do\n";
+  oss << "   end do\n";
+}
+
+void emit_steps(std::ostringstream& oss, const std::vector<Step>& steps,
+                int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  for (const Step& s : steps) {
+    oss << pad << step_kind_name(s.kind);
+    switch (s.kind) {
+      case StepKind::kForEachSlab:
+      case StepKind::kForEachColumn:
+        oss << " " << s.loop << ":";
+        break;
+      case StepKind::kReadSlab:
+      case StepKind::kWriteSlab:
+        oss << " " << s.array << " [" << s.loop << "]";
+        break;
+      case StepKind::kComputeElementwise:
+        oss << " stmt#" << s.stmt;
+        break;
+      case StepKind::kComputeGaxpyPartial:
+        oss << " (" << s.loop << " x " << s.with << ")";
+        break;
+      case StepKind::kReduceSum:
+        oss << " -> " << s.array << " [" << s.with << "]";
+        break;
+      case StepKind::kBarrier:
+        break;
+    }
+    oss << "\n";
+    emit_steps(oss, s.body, depth + 1);
+  }
 }
 
 }  // namespace
+
+std::string step_program_text(const NodeProgram& plan) {
+  std::ostringstream oss;
+  oss << "slab-program (" << program_kind_name(plan.kind) << ", "
+      << plan.nprocs << " procs)\n";
+  for (const SlabLoop& loop : plan.loops) {
+    oss << "loop " << loop.name << ": "
+        << runtime::slab_orientation_name(loop.orientation) << " over '"
+        << loop.space << "', capacity " << loop.capacity_elements
+        << " elems" << (loop.prefetch ? " (double-buffered)" : "") << "\n";
+  }
+  emit_steps(oss, plan.steps, 0);
+  return oss.str();
+}
 
 std::string pseudo_code(const NodeProgram& plan) {
   std::ostringstream oss;
@@ -143,7 +212,12 @@ std::string decision_report(const NodeProgram& plan) {
     }
     oss << "rationale: " << plan.cost.rationale << "\n";
   } else {
-    oss << "lhs: " << plan.lhs << " = " << hpf::to_string(*plan.rhs) << "\n";
+    for (const ElementwiseStmt& st : plan.statements) {
+      oss << "stmt: " << st.lhs << " = " << hpf::to_string(*st.rhs) << "\n";
+    }
+    if (!plan.cost.rationale.empty()) {
+      oss << "rationale: " << plan.cost.rationale << "\n";
+    }
   }
   return oss.str();
 }

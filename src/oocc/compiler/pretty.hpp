@@ -17,4 +17,9 @@ std::string pseudo_code(const NodeProgram& plan);
 /// storage orders, slab sizes, estimated costs and the Figure 14 rationale.
 std::string decision_report(const NodeProgram& plan);
 
+/// Renders the plan's slab-program IR: the named slab loops, then the step
+/// tree (indented two spaces per nesting level). This is what the generic
+/// executor actually interprets; `oocc_compile --dump-plan` prints it.
+std::string step_program_text(const NodeProgram& plan);
+
 }  // namespace oocc::compiler

@@ -1,8 +1,14 @@
 #include "oocc/exec/interp.hpp"
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "oocc/exec/eval.hpp"
-#include "oocc/gaxpy/gaxpy.hpp"
+#include "oocc/runtime/prefetch.hpp"
 #include "oocc/runtime/slab_iter.hpp"
+#include "oocc/runtime/slab_writer.hpp"
+#include "oocc/sim/collectives.hpp"
 #include "oocc/util/error.hpp"
 
 namespace oocc::exec {
@@ -35,107 +41,279 @@ void check_binding(const compiler::NodeProgram& plan,
                        << pa.dist.to_string());
 }
 
-void execute_gaxpy(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
-                   const ArrayBindings& arrays) {
-  runtime::OutOfCoreArray& a = bound(arrays, plan.a);
-  runtime::OutOfCoreArray& b = bound(arrays, plan.b);
-  runtime::OutOfCoreArray& c = bound(arrays, plan.c);
-  check_binding(plan, a);
-  check_binding(plan, b);
-  check_binding(plan, c);
-
-  gaxpy::GaxpyConfig config;
-  config.slab_a_elements = plan.memory.slab_a;
-  config.slab_b_elements = plan.memory.slab_b;
-  config.slab_c_elements = plan.memory.slab_c;
-  config.prefetch = plan.prefetch;
-
-  runtime::MemoryBudget budget(plan.memory_budget_elements);
-  if (plan.a_orientation == runtime::SlabOrientation::kColumnSlabs) {
-    gaxpy::ooc_gaxpy_column_slabs(ctx, a, b, c, budget, config);
-  } else {
-    gaxpy::ooc_gaxpy_row_slabs(ctx, a, b, c, budget, config);
-  }
-}
-
-void execute_elementwise(sim::SpmdContext& ctx,
-                         const compiler::NodeProgram& plan,
-                         const ArrayBindings& arrays) {
-  runtime::OutOfCoreArray& lhs = bound(arrays, plan.lhs);
-  check_binding(plan, lhs);
-
-  // Inputs: every plan array except the output.
-  std::vector<runtime::OutOfCoreArray*> inputs;
-  for (const auto& [name, pa] : plan.arrays) {
-    if (!pa.is_output) {
-      runtime::OutOfCoreArray& in = bound(arrays, name);
-      check_binding(plan, in);
-      inputs.push_back(&in);
+/// Interprets a plan's slab-program IR on one simulated processor. The
+/// executor is schema-free: every behavior (which arrays stream through
+/// which loops, where partial products accumulate, when the global sum
+/// runs) is read off the step tree, so new kernels are new step programs,
+/// not new executors.
+class StepExecutor {
+ public:
+  StepExecutor(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
+               const ArrayBindings& arrays)
+      : ctx_(ctx),
+        plan_(plan),
+        arrays_(arrays),
+        budget_(plan.memory_budget_elements) {
+    for (const compiler::SlabLoop& loop : plan_.loops) {
+      const runtime::OutOfCoreArray& space = bound(arrays_, loop.space);
+      states_.emplace(
+          loop.name,
+          LoopState(&loop, runtime::SlabIterator(space.local_rows(),
+                                                 space.local_cols(),
+                                                 loop.orientation,
+                                                 loop.capacity_elements)));
     }
   }
 
-  runtime::MemoryBudget budget(plan.memory_budget_elements);
-  const std::int64_t slab = plan.array(plan.lhs).slab_elements;
-  runtime::SlabIterator slabs(lhs.local_rows(), lhs.local_cols(),
-                              runtime::SlabOrientation::kColumnSlabs, slab);
-
-  runtime::IclaBuffer out(budget, slabs.slab_elements(), "icla_" + plan.lhs);
-  std::map<std::string, std::unique_ptr<runtime::IclaBuffer>> in_bufs;
-  std::map<std::string, const runtime::IclaBuffer*> buffer_view;
-  for (runtime::OutOfCoreArray* in : inputs) {
-    auto buf = std::make_unique<runtime::IclaBuffer>(
-        budget, slabs.slab_elements(), "icla_" + in->name());
-    buffer_view[in->name()] = buf.get();
-    in_bufs[in->name()] = std::move(buf);
-  }
-  // The output's own slab participates too when the lhs array also appears
-  // on the rhs (e.g. x = x * 2).
-  buffer_view[plan.lhs] = &out;
-
-  for (std::int64_t s = 0; s < slabs.count(); ++s) {
-    const io::Section sec = slabs.section(s);
-    for (runtime::OutOfCoreArray* in : inputs) {
-      in_bufs[in->name()]->load(ctx, in->laf(), sec);
+  void run() {
+    run_steps(plan_.steps);
+    if (writer_) {
+      writer_->flush(ctx_);
+      writer_.reset();
     }
-    // If lhs is read on the rhs, its current contents must be loaded; the
-    // copy-in/copy-out FORALL semantics then hold because each element is
-    // written exactly once from values read before any write.
-    bool lhs_on_rhs = false;
-    {
-      std::vector<const hpf::Expr*> stack{plan.rhs.get()};
-      while (!stack.empty()) {
-        const hpf::Expr* e = stack.back();
-        stack.pop_back();
-        if (e->kind == hpf::ExprKind::kArrayRef && e->name == plan.lhs) {
-          lhs_on_rhs = true;
+    if (temp_reserved_ > 0) {
+      budget_.release(temp_reserved_);
+      temp_reserved_ = 0;
+    }
+  }
+
+ private:
+  struct LoopState {
+    LoopState(const compiler::SlabLoop* d, runtime::SlabIterator it)
+        : decl(d), iter(it) {}
+
+    const compiler::SlabLoop* decl;
+    runtime::SlabIterator iter;
+    std::int64_t index = -1;       ///< current slab, -1 outside the loop
+    io::Section section{};         ///< current slab's section
+    std::int64_t column = -1;      ///< ForEachColumn position
+    /// One double-bufferable reader per array streamed through this loop.
+    std::map<std::string, std::unique_ptr<runtime::PrefetchingSlabReader>>
+        readers;
+    /// Buffers holding the current slab of each streamed array.
+    std::map<std::string, const runtime::IclaBuffer*> loaded;
+  };
+
+  LoopState& state(const std::string& name) {
+    const auto it = states_.find(name);
+    OOCC_CHECK(it != states_.end(), ErrorCode::kRuntimeError,
+               "step references undeclared slab loop '" << name << "'");
+    return it->second;
+  }
+
+  /// Writable slab-sized buffer for an array the program produces.
+  runtime::IclaBuffer& staging(const std::string& array,
+                               std::int64_t capacity) {
+    auto it = staging_.find(array);
+    if (it == staging_.end()) {
+      it = staging_
+               .emplace(array, std::make_unique<runtime::IclaBuffer>(
+                                   budget_, capacity, "icla_" + array))
+               .first;
+    }
+    return *it->second;
+  }
+
+  void run_steps(const std::vector<compiler::Step>& steps) {
+    for (const compiler::Step& step : steps) {
+      run_step(step);
+    }
+  }
+
+  void run_step(const compiler::Step& step) {
+    using compiler::StepKind;
+    switch (step.kind) {
+      case StepKind::kForEachSlab: {
+        LoopState& loop = state(step.loop);
+        for (auto& [name, reader] : loop.readers) {
+          reader->reset();  // a re-sweep re-reads; cached slabs are stale
         }
-        if (e->lhs) stack.push_back(e->lhs.get());
-        if (e->rhs) stack.push_back(e->rhs.get());
+        for (std::int64_t i = 0; i < loop.iter.count(); ++i) {
+          loop.index = i;
+          loop.section = loop.iter.section(i);
+          run_steps(step.body);
+        }
+        loop.index = -1;
+        return;
       }
+      case StepKind::kForEachColumn: {
+        LoopState& loop = state(step.loop);
+        for (std::int64_t m = 0; m < loop.section.cols(); ++m) {
+          loop.column = m;
+          fresh_column_ = true;
+          run_steps(step.body);
+        }
+        loop.column = -1;
+        return;
+      }
+      case StepKind::kReadSlab:
+        read_slab(step);
+        return;
+      case StepKind::kWriteSlab: {
+        LoopState& loop = state(step.loop);
+        const auto it = staging_.find(step.array);
+        OOCC_CHECK(it != staging_.end(), ErrorCode::kRuntimeError,
+                   "write-slab of '" << step.array
+                                     << "' before any compute staged it");
+        it->second->store_as(ctx_, bound(arrays_, step.array).laf(),
+                             loop.section);
+        return;
+      }
+      case StepKind::kComputeElementwise:
+        compute_elementwise(step);
+        return;
+      case StepKind::kComputeGaxpyPartial:
+        compute_gaxpy_partial(step);
+        return;
+      case StepKind::kReduceSum:
+        reduce_sum(step);
+        return;
+      case StepKind::kBarrier:
+        sim::barrier(ctx_);
+        return;
     }
-    if (lhs_on_rhs) {
-      out.load(ctx, lhs.laf(), sec);
-    } else {
-      out.reset_section(sec);
+    OOCC_THROW(ErrorCode::kRuntimeError, "unknown step kind");
+  }
+
+  void read_slab(const compiler::Step& step) {
+    LoopState& loop = state(step.loop);
+    runtime::OutOfCoreArray& array = bound(arrays_, step.array);
+    if (plan_.array(step.array).is_output) {
+      // An array the program also produces is staged in a writable buffer;
+      // its initial read (the in-place update case) loads straight into it
+      // and cannot be double-buffered against the coming write.
+      runtime::IclaBuffer& buf =
+          staging(step.array, loop.iter.slab_elements());
+      buf.load(ctx_, array.laf(), loop.section);
+      loop.loaded[step.array] = &buf;
+      return;
     }
+    auto it = loop.readers.find(step.array);
+    if (it == loop.readers.end()) {
+      it = loop.readers
+               .emplace(step.array,
+                        std::make_unique<runtime::PrefetchingSlabReader>(
+                            ctx_, array.laf(), loop.iter, budget_,
+                            "icla_" + step.array, loop.decl->prefetch))
+               .first;
+    }
+    loop.loaded[step.array] = &it->second->acquire(ctx_, loop.index);
+  }
+
+  void compute_elementwise(const compiler::Step& step) {
+    const compiler::ElementwiseStmt& st =
+        plan_.statements.at(static_cast<std::size_t>(step.stmt));
+    LoopState& loop = state(step.loop);
+    const io::Section sec = loop.section;
+    runtime::OutOfCoreArray& lhs = bound(arrays_, st.lhs);
+    runtime::IclaBuffer& out = staging(st.lhs, loop.iter.slab_elements());
+    // Re-target without clearing: an in-place load or an earlier statement
+    // of the fused group may already have staged this slab's data.
+    out.reset_section(sec);
+    // Safe to install before evaluating: each element is written only from
+    // values of the same (row, column), read before the write. Later
+    // statements of a fused group read this result from memory.
+    loop.loaded[st.lhs] = &out;
 
     EvalEnv env;
-    env.forall_var = plan.forall_var;
-    env.buffers = &buffer_view;
+    env.forall_var = st.forall_var;
+    env.buffers = &loop.loaded;
     for (std::int64_t c = 0; c < sec.cols(); ++c) {
       // FORALL index is the 1-based global column number.
       env.forall_value =
-          lhs.dist().local_to_global_col(ctx.rank(), sec.col0 + c) + 1;
+          lhs.dist().local_to_global_col(ctx_.rank(), sec.col0 + c) + 1;
       env.col_rel = c;
       for (std::int64_t r = 0; r < sec.rows(); ++r) {
         env.row = r;
-        out.at(r, c) = eval_element(*plan.rhs, env);
+        out.at(r, c) = eval_element(*st.rhs, env);
       }
     }
-    ctx.charge_flops(static_cast<double>(sec.elements()));
-    out.store_as(ctx, lhs.laf(), sec);
+    ctx_.charge_flops(static_cast<double>(sec.elements()));
   }
-}
+
+  void compute_gaxpy_partial(const compiler::Step& step) {
+    LoopState& a_loop = state(step.loop);
+    LoopState& col_loop = state(step.with);
+    const runtime::IclaBuffer* a_buf = a_loop.loaded.at(a_loop.decl->space);
+    const runtime::IclaBuffer* b_buf =
+        col_loop.loaded.at(col_loop.decl->space);
+    const io::Section asec = a_buf->section();
+    if (fresh_column_) {
+      if (temp_reserved_ == 0) {
+        budget_.reserve(asec.rows(), "temp column");
+        temp_reserved_ = asec.rows();
+      }
+      temp_.assign(static_cast<std::size_t>(asec.rows()), 0.0);
+      temp_row0_ = asec.row0;
+      temp_row1_ = asec.row1;
+      partial_loop_ = &a_loop;
+      fresh_column_ = false;
+    }
+    const std::int64_t m = col_loop.column;
+    for (std::int64_t i = 0; i < asec.cols(); ++i) {
+      // Local column asec.col0+i of A pairs with the same local row of B
+      // (both derive from the same distribution template).
+      const double bval = b_buf->at(asec.col0 + i, m);
+      const double* acol = &a_buf->at(0, i);
+      for (std::int64_t r = 0; r < asec.rows(); ++r) {
+        temp_[static_cast<std::size_t>(r)] += acol[r] * bval;
+      }
+    }
+    ctx_.charge_flops(2.0 * static_cast<double>(asec.rows()) *
+                      static_cast<double>(asec.cols()));
+  }
+
+  void reduce_sum(const compiler::Step& step) {
+    LoopState& col_loop = state(step.with);
+    runtime::OutOfCoreArray& c = bound(arrays_, step.array);
+    // Global output column = the column loop's position in its sweep.
+    const std::int64_t gj = col_loop.section.col0 + col_loop.column;
+    const int owner = c.dist().owner_of_col(gj);
+    std::vector<double> summed = sim::reduce_sum<double>(
+        ctx_, owner, std::span<const double>(temp_.data(), temp_.size()));
+    // A new row range (the next A row slab) starts a new output pass;
+    // flush what the previous pass staged.
+    if (writer_ &&
+        (writer_->row0() != temp_row0_ || writer_->row1() != temp_row1_)) {
+      writer_->flush(ctx_);
+      writer_.reset();
+    }
+    if (ctx_.rank() != owner) {
+      return;
+    }
+    if (!writer_) {
+      if (!c_buf_) {
+        // Room for at least one full-height output (sub)column per flush.
+        const std::int64_t full_rows = partial_loop_->iter.section(0).rows();
+        c_buf_ = std::make_unique<runtime::IclaBuffer>(
+            budget_, std::max(plan_.memory.slab_c, full_rows),
+            "icla_" + step.array);
+      }
+      writer_ = std::make_unique<runtime::OwnedColumnWriter>(
+          c, *c_buf_, temp_row0_, temp_row1_);
+    }
+    writer_->append(
+        ctx_, c.dist().global_to_local_col(gj),
+        std::span<const double>(summed.data(), summed.size()));
+  }
+
+  sim::SpmdContext& ctx_;
+  const compiler::NodeProgram& plan_;
+  const ArrayBindings& arrays_;
+  runtime::MemoryBudget budget_;
+  std::map<std::string, LoopState> states_;
+  std::map<std::string, std::unique_ptr<runtime::IclaBuffer>> staging_;
+
+  // GAXPY reduction state: the in-memory partial column of Figures 9/12.
+  std::vector<double> temp_;
+  std::int64_t temp_reserved_ = 0;
+  std::int64_t temp_row0_ = 0;
+  std::int64_t temp_row1_ = 0;
+  bool fresh_column_ = false;
+  const LoopState* partial_loop_ = nullptr;
+  std::unique_ptr<runtime::IclaBuffer> c_buf_;
+  std::unique_ptr<runtime::OwnedColumnWriter> writer_;
+};
 
 }  // namespace
 
@@ -157,14 +335,12 @@ void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
              "plan was compiled for " << plan.nprocs
                                       << " processors but the machine has "
                                       << ctx.nprocs());
-  switch (plan.kind) {
-    case compiler::ProgramKind::kGaxpy:
-      execute_gaxpy(ctx, plan, arrays);
-      return;
-    case compiler::ProgramKind::kElementwise:
-      execute_elementwise(ctx, plan, arrays);
-      return;
+  OOCC_CHECK(!plan.steps.empty(), ErrorCode::kRuntimeError,
+             "plan carries no step program (was it built by compile()?)");
+  for (const auto& [name, pa] : plan.arrays) {
+    check_binding(plan, bound(arrays, name));
   }
+  StepExecutor(ctx, plan, arrays).run();
 }
 
 std::map<std::string, std::unique_ptr<runtime::OutOfCoreArray>>
@@ -180,13 +356,18 @@ create_sequence_arrays(sim::SpmdContext& ctx,
         merged[name] = &pa;
         continue;
       }
-      OOCC_CHECK(it->second->storage == pa.storage &&
-                     it->second->dist == pa.dist,
-                 ErrorCode::kCompileError,
-                 "array '" << name << "' is placed differently by two plans "
-                 "of the sequence (storage "
-                     << io::storage_order_name(it->second->storage) << " vs "
-                     << io::storage_order_name(pa.storage) << ")");
+      OOCC_CHECK(it->second->storage == pa.storage, ErrorCode::kCompileError,
+                 "array '" << name
+                           << "' is placed differently by two plans of the "
+                              "sequence: storage "
+                           << io::storage_order_name(it->second->storage)
+                           << " vs " << io::storage_order_name(pa.storage));
+      OOCC_CHECK(it->second->dist == pa.dist, ErrorCode::kCompileError,
+                 "array '" << name
+                           << "' is distributed differently by two plans of "
+                              "the sequence: "
+                           << it->second->dist.to_string() << " vs "
+                           << pa.dist.to_string());
     }
   }
   std::map<std::string, std::unique_ptr<runtime::OutOfCoreArray>> out;

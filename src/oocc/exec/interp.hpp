@@ -2,10 +2,13 @@
 //
 // This closes the loop the paper describes: HPF source -> two-phase
 // compilation -> node program with explicit I/O and message passing ->
-// execution on the distributed-memory machine. The GAXPY schema
-// dispatches to the Figure 9 / Figure 12 kernels per the plan's chosen
-// orientation; the elementwise schema streams aligned slabs and evaluates
-// the compiled expression per element.
+// execution on the distributed-memory machine. There is one generic
+// executor: it walks the plan's slab-program IR (ForEachSlab /
+// ForEachColumn structure with ReadSlab, WriteSlab, ComputeElementwise,
+// ComputeGaxpyPartial, ReduceSum, Barrier leaves), streaming every slab
+// read through runtime::PrefetchingSlabReader so double-buffering is a
+// per-loop flag rather than a per-kernel rewrite. The GAXPY and
+// elementwise translations are just different step programs.
 #pragma once
 
 #include <filesystem>

@@ -4,10 +4,13 @@
 
 #include "oocc/runtime/prefetch.hpp"
 #include "oocc/runtime/slab_iter.hpp"
+#include "oocc/runtime/slab_writer.hpp"
 #include "oocc/sim/collectives.hpp"
 #include "oocc/util/error.hpp"
 
 namespace oocc::gaxpy {
+
+using runtime::OwnedColumnWriter;
 
 namespace {
 
@@ -30,57 +33,6 @@ void check_gaxpy_layout(const runtime::OutOfCoreArray& a,
                "B must be row-block distributed, got "
                    << b.dist().to_string());
 }
-
-/// Accumulates owned output columns into a column-slab ICLA for C and
-/// flushes full (or final partial) slabs — the "if ICLA is full then write"
-/// logic of Figures 9/12, generalized to a row range [r0, r1).
-class OwnedColumnWriter {
- public:
-  OwnedColumnWriter(runtime::OutOfCoreArray& c, runtime::IclaBuffer& icla,
-                    std::int64_t r0, std::int64_t r1)
-      : c_(c), icla_(icla), r0_(r0), r1_(r1) {
-    width_ = std::max<std::int64_t>(1, icla_.capacity() / (r1 - r0));
-  }
-
-  /// Appends the owner's local column `lc` (values for rows [r0, r1)).
-  void append(sim::SpmdContext& ctx, std::int64_t lc,
-              std::span<const double> values) {
-    if (pending_ == 0) {
-      lc0_ = lc;
-      const std::int64_t span =
-          std::min(width_, c_.local_cols() - lc0_);
-      icla_.reset_section(io::Section{r0_, r1_, lc0_, lc0_ + span});
-    }
-    OOCC_ASSERT(lc == lc0_ + pending_,
-                "owned columns must arrive consecutively: expected "
-                    << lc0_ + pending_ << ", got " << lc);
-    std::copy(values.begin(), values.end(),
-              icla_.data().begin() +
-                  static_cast<std::ptrdiff_t>(pending_ * (r1_ - r0_)));
-    ++pending_;
-    if (pending_ == icla_.section().cols()) {
-      flush(ctx);
-    }
-  }
-
-  void flush(sim::SpmdContext& ctx) {
-    if (pending_ == 0) {
-      return;
-    }
-    const io::Section sec{r0_, r1_, lc0_, lc0_ + pending_};
-    icla_.store_as(ctx, c_.laf(), sec);
-    pending_ = 0;
-  }
-
- private:
-  runtime::OutOfCoreArray& c_;
-  runtime::IclaBuffer& icla_;
-  std::int64_t r0_;
-  std::int64_t r1_;
-  std::int64_t width_ = 1;
-  std::int64_t lc0_ = 0;
-  std::int64_t pending_ = 0;
-};
 
 }  // namespace
 

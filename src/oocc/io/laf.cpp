@@ -43,6 +43,20 @@ void LocalArrayFile::validate_section(const Section& s) const {
                                << "," << s.col1 << ")");
 }
 
+std::uint64_t section_extent_count(const Section& s, std::int64_t rows,
+                                   std::int64_t cols,
+                                   StorageOrder order) noexcept {
+  if (s.empty()) {
+    return 0;
+  }
+  if (order == StorageOrder::kColumnMajor) {
+    return s.row0 == 0 && s.row1 == rows ? 1
+                                         : static_cast<std::uint64_t>(s.cols());
+  }
+  return s.col0 == 0 && s.col1 == cols ? 1
+                                       : static_cast<std::uint64_t>(s.rows());
+}
+
 std::vector<Extent> LocalArrayFile::section_extents(const Section& s) const {
   validate_section(s);
   std::vector<Extent> extents;
@@ -76,7 +90,8 @@ std::vector<Extent> LocalArrayFile::section_extents(const Section& s) const {
 }
 
 std::uint64_t LocalArrayFile::section_request_count(const Section& s) const {
-  return section_extents(s).size();
+  validate_section(s);
+  return section_extent_count(s, rows_, cols_, order_);
 }
 
 void LocalArrayFile::charge(sim::SpmdContext& ctx,

@@ -50,6 +50,16 @@ struct Extent {
   std::uint64_t length_bytes = 0;
 };
 
+/// Contiguous extents a section of a rows x cols local array costs in the
+/// given storage order, from shape alone (no file needed). This is the
+/// single statement of the coalescing rule: full-height column runs (resp.
+/// full-width row runs) merge into one extent, partial runs cost one
+/// extent per column (resp. row). LocalArrayFile's request counters and
+/// the compiler's step pricer both use it.
+std::uint64_t section_extent_count(const Section& s, std::int64_t rows,
+                                   std::int64_t cols,
+                                   StorageOrder order) noexcept;
+
 /// A 2-D out-of-core local array stored in a host file with simulated disk
 /// costs. All data operations take the owning processor's SpmdContext so
 /// simulated time and the paper's request/byte metrics are charged to the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "oocc/util/log.hpp"
+
 namespace oocc::runtime {
 
 MemoryBudget::MemoryBudget(std::int64_t total_elements)
@@ -20,7 +22,18 @@ void MemoryBudget::reserve(std::int64_t elements, const std::string& what) {
 }
 
 void MemoryBudget::release(std::int64_t elements) noexcept {
-  used_ = std::max<std::int64_t>(0, used_ - elements);
+  if (elements > used_) {
+    // Silently accepting this would drive used_ negative and mask
+    // double-release bugs; clamp and make the event observable. Must stay
+    // noexcept: IclaBuffer's destructor releases.
+    ++over_releases_;
+    OOCC_WARN("runtime", "MemoryBudget over-release: releasing "
+                             << elements << " elements with only " << used_
+                             << " reserved (double release?)");
+    used_ = 0;
+    return;
+  }
+  used_ -= elements;
 }
 
 IclaBuffer::IclaBuffer(MemoryBudget& budget, std::int64_t capacity_elements,

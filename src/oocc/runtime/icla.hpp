@@ -32,12 +32,19 @@ class MemoryBudget {
   /// Reserves `elements`; `what` names the buffer for diagnostics.
   void reserve(std::int64_t elements, const std::string& what);
 
-  /// Releases a previous reservation.
+  /// Releases a previous reservation. Releasing more than is currently
+  /// reserved is a caller bug (usually a double-release); the budget
+  /// clamps at zero, logs a warning, and counts the event so tests can
+  /// assert it never happens in healthy code paths.
   void release(std::int64_t elements) noexcept;
+
+  /// Number of release() calls that exceeded the outstanding reservation.
+  std::int64_t over_releases() const noexcept { return over_releases_; }
 
  private:
   std::int64_t total_;
   std::int64_t used_ = 0;
+  std::int64_t over_releases_ = 0;
 };
 
 /// A slab buffer holding one section of a local array in column-major

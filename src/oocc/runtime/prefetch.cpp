@@ -37,6 +37,13 @@ void PrefetchingSlabReader::issue(sim::SpmdContext& ctx, std::int64_t i,
   }
 }
 
+void PrefetchingSlabReader::reset() noexcept {
+  next_expected_ = 0;
+  for (BufferState& state : bufs_) {
+    state.slab = -1;
+  }
+}
+
 const IclaBuffer& PrefetchingSlabReader::acquire(sim::SpmdContext& ctx,
                                                  std::int64_t i) {
   OOCC_REQUIRE(i == next_expected_,

@@ -39,6 +39,11 @@ class PrefetchingSlabReader {
   /// i+1. Slabs must be acquired in ascending order (0, 1, 2, ...).
   const IclaBuffer& acquire(sim::SpmdContext& ctx, std::int64_t i);
 
+  /// Restarts the sweep: the next acquire must be slab 0 again, and any
+  /// held slabs are invalidated so they are re-read from disk (re-sweeps
+  /// must pay their I/O — the cost model counts every pass).
+  void reset() noexcept;
+
  private:
   struct BufferState {
     std::unique_ptr<IclaBuffer> buffer;

@@ -464,7 +464,8 @@ TEST(LowerTest, NormalizesArrayAssignmentToForall) {
   options.memory_budget_elements = 1 << 14;
   const NodeProgram plan = compile_source(src, options);
   EXPECT_EQ(plan.kind, ProgramKind::kElementwise);
-  EXPECT_EQ(plan.lhs, "y");
+  ASSERT_EQ(plan.statements.size(), 1u);
+  EXPECT_EQ(plan.statements.front().lhs, "y");
   EXPECT_EQ(plan.elementwise_cols, 16);
 }
 
@@ -505,8 +506,9 @@ TEST(LowerTest, CompilesElementwiseForall) {
   const NodeProgram plan =
       compile_source(hpf::elementwise_source(32, 32, 4, 3), options);
   EXPECT_EQ(plan.kind, ProgramKind::kElementwise);
-  EXPECT_EQ(plan.lhs, "y");
-  EXPECT_EQ(plan.forall_var, "k");
+  ASSERT_EQ(plan.statements.size(), 1u);
+  EXPECT_EQ(plan.statements.front().lhs, "y");
+  EXPECT_EQ(plan.statements.front().forall_var, "k");
   EXPECT_EQ(plan.arrays.size(), 2u);
   EXPECT_TRUE(plan.array("y").is_output);
   EXPECT_FALSE(plan.array("x").is_output);

@@ -387,7 +387,8 @@ TEST_P(ElementwiseExprTest, InterpreterMatchesDirectEvaluation) {
 
 TEST(CompiledSequence, ChainedStatementsFlowThroughDisk) {
   // Three dependent elementwise statements: w must reflect the chain
-  // y = x*2 + 1; z = y*y; w = z - x.
+  // y = x*2 + 1; z = y*y; w = z - x. Fusion is disabled so each statement
+  // keeps its own plan and the dependencies flow through the LAFs.
   const std::string src =
       "parameter (n=12, p=3)\n"
       "real x(n,n), y(n,n), z(n,n), w(n,n)\n"
@@ -405,6 +406,7 @@ TEST(CompiledSequence, ChainedStatementsFlowThroughDisk) {
       "end\n";
   CompileOptions options;
   options.memory_budget_elements = 4096;
+  options.enable_statement_fusion = false;
   const std::vector<NodeProgram> plans =
       compiler::compile_sequence_source(src, options);
   ASSERT_EQ(plans.size(), 3u);

@@ -1,0 +1,498 @@
+// Inter-statement slab fusion and the step-level execution engine:
+// fused-vs-unfused bit-identity, LAF traffic reduction, fusion legality,
+// step-walking cost pricing against measured counters, and the sequence
+// error paths (conflicting placements across statements).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "oocc/compiler/lower.hpp"
+#include "oocc/compiler/pretty.hpp"
+#include "oocc/exec/interp.hpp"
+#include "oocc/gaxpy/gaxpy.hpp"
+#include "oocc/hpf/programs.hpp"
+#include "oocc/sim/collectives.hpp"
+
+namespace oocc::exec {
+namespace {
+
+using compiler::CompileOptions;
+using compiler::NodeProgram;
+using compiler::ProgramKind;
+using compiler::StepKind;
+using io::DiskModel;
+using io::TempDir;
+using sim::Machine;
+using sim::MachineCostModel;
+using sim::SpmdContext;
+
+double gen_x(std::int64_t r, std::int64_t c) {
+  return std::sin(static_cast<double>(r * 3 + c * 13)) + 1.25;
+}
+
+// A three-statement chain with enough cross-references that the unfused
+// translation re-reads x three times and y twice while the fused sweep
+// reads x exactly once.
+const char* kChainSource =
+    "parameter (n=24, p=4)\n"
+    "real x(n,n), y(n,n), z(n,n), w(n,n)\n"
+    "!hpf$ processors Pr(p)\n"
+    "!hpf$ template d(n)\n"
+    "!hpf$ distribute d(block) onto Pr\n"
+    "!hpf$ align (*,:) with d :: x, y, z, w\n"
+    "forall (k=1:n)\n"
+    "  y(1:n,k) = x(1:n,k)*2 + 1\n"
+    "end forall\n"
+    "forall (k=1:n)\n"
+    "  z(1:n,k) = y(1:n,k)*x(1:n,k)\n"
+    "end forall\n"
+    "forall (k=1:n)\n"
+    "  w(1:n,k) = z(1:n,k) + y(1:n,k)*x(1:n,k)\n"
+    "end forall\n"
+    "end\n";
+
+struct SequenceRun {
+  std::map<std::string, std::vector<double>> globals;  ///< gathered arrays
+  std::uint64_t laf_bytes = 0;     ///< LAF bytes moved (reads + writes)
+  std::uint64_t laf_requests = 0;  ///< LAF requests (reads + writes)
+  std::map<std::string, io::IoStats> per_array;  ///< rank-0 stats
+};
+
+SequenceRun run_sequence(const std::vector<NodeProgram>& plans, int nprocs) {
+  TempDir dir;
+  Machine machine(nprocs, MachineCostModel::zero());
+  SequenceRun out;
+  machine.run([&](SpmdContext& ctx) {
+    auto arrays = create_sequence_arrays(
+        ctx, std::span<const NodeProgram>(plans.data(), plans.size()),
+        dir.path(), DiskModel::zero());
+    std::set<std::string> outputs;
+    for (const NodeProgram& plan : plans) {
+      for (const auto& [name, pa] : plan.arrays) {
+        if (pa.is_output) {
+          outputs.insert(name);
+        }
+      }
+    }
+    for (auto& [name, arr] : arrays) {
+      if (!outputs.contains(name)) {
+        arr->initialize(ctx, gen_x, 4096);
+      }
+      arr->laf().reset_stats();
+    }
+    ArrayBindings bindings;
+    for (auto& [name, arr] : arrays) {
+      bindings[name] = arr.get();
+    }
+    execute_sequence(ctx,
+                     std::span<const NodeProgram>(plans.data(), plans.size()),
+                     bindings);
+    for (auto& [name, arr] : arrays) {
+      const io::IoStats& s = arr->laf().stats();
+      {
+        static std::mutex mu;
+        std::lock_guard<std::mutex> lock(mu);
+        out.laf_bytes += s.bytes_read + s.bytes_written;
+        out.laf_requests += s.read_requests + s.write_requests;
+        if (ctx.rank() == 0) {
+          out.per_array[name] = s;
+        }
+      }
+      std::vector<double> g = arr->gather_global(ctx, 4096);
+      if (ctx.rank() == 0) {
+        out.globals[name] = std::move(g);
+      }
+    }
+  });
+  return out;
+}
+
+TEST(SlabFusion, ChainFusesIntoOnePlan) {
+  CompileOptions options;
+  options.memory_budget_elements = 4096;
+  const std::vector<NodeProgram> plans =
+      compiler::compile_sequence_source(kChainSource, options);
+  ASSERT_EQ(plans.size(), 1u);
+  const NodeProgram& plan = plans.front();
+  EXPECT_EQ(plan.kind, ProgramKind::kElementwise);
+  ASSERT_EQ(plan.statements.size(), 3u);
+  EXPECT_EQ(plan.statements[0].lhs, "y");
+  EXPECT_EQ(plan.statements[2].lhs, "w");
+  EXPECT_EQ(plan.arrays.size(), 4u);
+  EXPECT_NE(plan.cost.rationale.find("fused 3"), std::string::npos);
+
+  // The sweep reads only x (y and z flow buffer-to-buffer) and writes all
+  // three produced arrays.
+  ASSERT_EQ(plan.steps.size(), 1u);
+  ASSERT_EQ(plan.steps.front().kind, StepKind::kForEachSlab);
+  int reads = 0;
+  int writes = 0;
+  for (const compiler::Step& s : plan.steps.front().body) {
+    if (s.kind == StepKind::kReadSlab) {
+      ++reads;
+      EXPECT_EQ(s.array, "x");
+    }
+    if (s.kind == StepKind::kWriteSlab) {
+      ++writes;
+    }
+  }
+  EXPECT_EQ(reads, 1);
+  EXPECT_EQ(writes, 3);
+}
+
+TEST(SlabFusion, FusedAndUnfusedAreBitIdentical) {
+  CompileOptions options;
+  options.memory_budget_elements = 4096;
+  const std::vector<NodeProgram> fused =
+      compiler::compile_sequence_source(kChainSource, options);
+  options.enable_statement_fusion = false;
+  const std::vector<NodeProgram> unfused =
+      compiler::compile_sequence_source(kChainSource, options);
+  ASSERT_EQ(fused.size(), 1u);
+  ASSERT_EQ(unfused.size(), 3u);
+
+  const SequenceRun a = run_sequence(fused, 4);
+  const SequenceRun b = run_sequence(unfused, 4);
+  ASSERT_EQ(a.globals.size(), b.globals.size());
+  for (const auto& [name, want] : b.globals) {
+    const auto it = a.globals.find(name);
+    ASSERT_NE(it, a.globals.end()) << name;
+    ASSERT_EQ(it->second.size(), want.size()) << name;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      // Exact equality: fusion only changes where values are staged, never
+      // the floating-point evaluation order.
+      EXPECT_EQ(it->second[i], want[i]) << name << "[" << i << "]";
+    }
+  }
+  // And the fusion actually removed the intermediate LAF round-trips:
+  // unfused moves x three times and y twice, fused reads x once.
+  EXPECT_GE(static_cast<double>(b.laf_bytes),
+            2.0 * static_cast<double>(a.laf_bytes));
+}
+
+TEST(SlabFusion, InPlaceChainOnOneArray) {
+  // Two statements updating the same array fuse into one sweep with a
+  // single staged read and a single write per slab.
+  const std::string src =
+      "parameter (n=8, p=2)\n"
+      "real x(n,n)\n"
+      "!hpf$ processors Pr(p)\n"
+      "!hpf$ template d(n)\n"
+      "!hpf$ distribute d(block) onto Pr\n"
+      "!hpf$ align (*,:) with d :: x\n"
+      "forall (k=1:n)\n"
+      "  x(1:n,k) = x(1:n,k)*2\n"
+      "end forall\n"
+      "forall (k=1:n)\n"
+      "  x(1:n,k) = x(1:n,k) + k\n"
+      "end forall\n"
+      "end\n";
+  CompileOptions options;
+  options.memory_budget_elements = 4096;
+  const std::vector<NodeProgram> plans =
+      compiler::compile_sequence_source(src, options);
+  ASSERT_EQ(plans.size(), 1u);
+  ASSERT_EQ(plans.front().statements.size(), 2u);
+
+  TempDir dir;
+  Machine machine(2, MachineCostModel::zero());
+  machine.run([&](SpmdContext& ctx) {
+    auto arrays = create_plan_arrays(ctx, plans.front(), dir.path(),
+                                     DiskModel::zero());
+    arrays.at("x")->initialize(
+        ctx,
+        [](std::int64_t r, std::int64_t c) {
+          return static_cast<double>(r + 10 * c);
+        },
+        4096);
+    ArrayBindings bindings{{"x", arrays.at("x").get()}};
+    execute(ctx, plans.front(), bindings);
+    std::vector<double> got = arrays.at("x")->gather_global(ctx, 4096);
+    if (ctx.rank() == 0) {
+      for (std::int64_t c = 0; c < 8; ++c) {
+        for (std::int64_t r = 0; r < 8; ++r) {
+          const double want =
+              static_cast<double>(r + 10 * c) * 2 + static_cast<double>(c + 1);
+          ASSERT_DOUBLE_EQ(got[static_cast<std::size_t>(c * 8 + r)], want);
+        }
+      }
+    }
+  });
+}
+
+TEST(SlabFusion, MismatchedDistributionsDoNotFuse) {
+  // y/x are column-distributed, w/v row-distributed: sweeps do not align.
+  const std::string src =
+      "parameter (n=16, p=4)\n"
+      "real x(n,n), y(n,n), v(n,n), w(n,n)\n"
+      "!hpf$ processors Pr(p)\n"
+      "!hpf$ template d(n)\n"
+      "!hpf$ distribute d(block) onto Pr\n"
+      "!hpf$ align (*,:) with d :: x, y\n"
+      "!hpf$ align (:,*) with d :: v, w\n"
+      "forall (k=1:n)\n"
+      "  y(1:n,k) = x(1:n,k) + 1\n"
+      "end forall\n"
+      "forall (k=1:n)\n"
+      "  w(1:n,k) = v(1:n,k) - 1\n"
+      "end forall\n"
+      "end\n";
+  CompileOptions options;
+  options.memory_budget_elements = 4096;
+  const std::vector<NodeProgram> plans =
+      compiler::compile_sequence_source(src, options);
+  EXPECT_EQ(plans.size(), 2u);
+}
+
+TEST(SlabFusion, TightBudgetFallsBackToUnfused) {
+  // The union of three arrays does not fit one column per buffer, but each
+  // individual statement's pair does — fusion must decline, not throw.
+  const std::string src =
+      "parameter (n=24, p=4)\n"
+      "real x(n,n), y(n,n), z(n,n)\n"
+      "!hpf$ processors Pr(p)\n"
+      "!hpf$ template d(n)\n"
+      "!hpf$ distribute d(block) onto Pr\n"
+      "!hpf$ align (*,:) with d :: x, y, z\n"
+      "forall (k=1:n)\n"
+      "  y(1:n,k) = x(1:n,k) + 1\n"
+      "end forall\n"
+      "forall (k=1:n)\n"
+      "  z(1:n,k) = y(1:n,k)*2\n"
+      "end forall\n"
+      "end\n";
+  CompileOptions options;
+  options.memory_budget_elements = 64;  // 64/2 = 32 >= 24, 64/3 = 21 < 24
+  const std::vector<NodeProgram> plans =
+      compiler::compile_sequence_source(src, options);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].statements.size(), 1u);
+  EXPECT_EQ(plans[1].statements.size(), 1u);
+}
+
+TEST(StepPricing, MatchesMeasuredCountersForFusedSweep) {
+  CompileOptions options;
+  options.memory_budget_elements = 4096;
+  const std::vector<NodeProgram> plans =
+      compiler::compile_sequence_source(kChainSource, options);
+  ASSERT_EQ(plans.size(), 1u);
+  const std::map<std::string, compiler::StepIoCost> price =
+      compiler::price_steps(plans.front());
+  const SequenceRun run = run_sequence(plans, 4);
+  for (const auto& [name, cost] : price) {
+    const io::IoStats& s = run.per_array.at(name);
+    EXPECT_DOUBLE_EQ(static_cast<double>(s.read_requests),
+                     cost.read_requests)
+        << name;
+    EXPECT_DOUBLE_EQ(static_cast<double>(s.bytes_read) / 8.0,
+                     cost.elements_read)
+        << name;
+    EXPECT_DOUBLE_EQ(static_cast<double>(s.write_requests),
+                     cost.write_requests)
+        << name;
+    EXPECT_DOUBLE_EQ(static_cast<double>(s.bytes_written) / 8.0,
+                     cost.elements_written)
+        << name;
+  }
+}
+
+TEST(StepPricing, MatchesSchemaEstimatorForGaxpy) {
+  // The step walker must agree with the closed-form Figure 9/12 estimator
+  // on the plan the compiler actually chose (evenly dividing sizes).
+  for (const bool reorganize : {true, false}) {
+    CompileOptions options;
+    options.memory_budget_elements = 4096;
+    options.enable_access_reorganization = reorganize;
+    const NodeProgram plan =
+        compiler::compile_source(hpf::gaxpy_source(32, 4), options);
+    compiler::GaxpyCostQuery q;
+    q.n = 32;
+    q.nprocs = 4;
+    q.slab_a = plan.memory.slab_a;
+    q.slab_b = plan.memory.slab_b;
+    q.slab_c = plan.memory.slab_c;
+    const compiler::CandidateCost schema =
+        compiler::estimate_gaxpy_cost(plan.a_orientation, q);
+    const std::map<std::string, compiler::StepIoCost> steps =
+        compiler::price_steps(plan);
+    EXPECT_DOUBLE_EQ(steps.at(plan.a).read_requests,
+                     schema.cost_of("a").fetch_requests);
+    EXPECT_DOUBLE_EQ(steps.at(plan.a).elements_read,
+                     schema.cost_of("a").data_elements);
+    EXPECT_DOUBLE_EQ(steps.at(plan.b).read_requests,
+                     schema.cost_of("b").fetch_requests);
+    EXPECT_DOUBLE_EQ(steps.at(plan.b).elements_read,
+                     schema.cost_of("b").data_elements);
+    EXPECT_DOUBLE_EQ(steps.at(plan.c).write_requests,
+                     schema.cost_of("c").fetch_requests);
+    EXPECT_DOUBLE_EQ(steps.at(plan.c).elements_written,
+                     schema.cost_of("c").data_elements);
+  }
+}
+
+TEST(StepExecutor, GaxpyBitIdenticalToHandcodedKernels) {
+  // The generic step executor must reproduce the hand-coded Figure 9/12
+  // kernels exactly — same accumulation order, same reductions — for both
+  // orientations.
+  for (const bool reorganize : {true, false}) {
+    CompileOptions options;
+    options.memory_budget_elements = 4096;
+    options.enable_access_reorganization = reorganize;
+    const NodeProgram plan =
+        compiler::compile_source(hpf::gaxpy_source(16, 4), options);
+
+    std::vector<double> generic;
+    std::vector<double> handcoded;
+    for (const bool use_generic : {true, false}) {
+      TempDir dir;
+      Machine machine(4, MachineCostModel::zero());
+      machine.run([&](SpmdContext& ctx) {
+        auto arrays =
+            create_plan_arrays(ctx, plan, dir.path(), DiskModel::zero());
+        arrays.at("a")->initialize(ctx, gen_x, 4096);
+        arrays.at("b")->initialize(
+            ctx,
+            [](std::int64_t r, std::int64_t c) {
+              return std::cos(static_cast<double>(r * 7 + c)) - 0.4;
+            },
+            4096);
+        if (use_generic) {
+          ArrayBindings bindings;
+          for (auto& [name, arr] : arrays) {
+            bindings[name] = arr.get();
+          }
+          execute(ctx, plan, bindings);
+        } else {
+          gaxpy::GaxpyConfig config;
+          config.slab_a_elements = plan.memory.slab_a;
+          config.slab_b_elements = plan.memory.slab_b;
+          config.slab_c_elements = plan.memory.slab_c;
+          config.prefetch = plan.prefetch;
+          runtime::MemoryBudget budget(plan.memory_budget_elements);
+          if (plan.a_orientation ==
+              runtime::SlabOrientation::kColumnSlabs) {
+            gaxpy::ooc_gaxpy_column_slabs(ctx, *arrays.at("a"),
+                                          *arrays.at("b"), *arrays.at("c"),
+                                          budget, config);
+          } else {
+            gaxpy::ooc_gaxpy_row_slabs(ctx, *arrays.at("a"), *arrays.at("b"),
+                                       *arrays.at("c"), budget, config);
+          }
+        }
+        std::vector<double> got = arrays.at("c")->gather_global(ctx, 4096);
+        if (ctx.rank() == 0) {
+          (use_generic ? generic : handcoded) = std::move(got);
+        }
+      });
+    }
+    ASSERT_EQ(generic.size(), handcoded.size());
+    for (std::size_t i = 0; i < generic.size(); ++i) {
+      EXPECT_EQ(generic[i], handcoded[i])
+          << "reorganize=" << reorganize << " i=" << i;
+    }
+  }
+}
+
+TEST(SequenceErrors, ConflictingStorageOrdersAcrossStatements) {
+  // A GAXPY statement reorganizes 'a' to row-major; a following
+  // elementwise statement expects it column-major. The plans lower, but
+  // creating the sequence's arrays must fail with a specific diagnostic.
+  CompileOptions options;
+  options.memory_budget_elements = 1 << 14;
+  std::vector<NodeProgram> plans;
+  plans.push_back(
+      compiler::compile_source(hpf::gaxpy_source(16, 2), options));
+  const std::string elementwise_src =
+      "parameter (n=16, p=2)\n"
+      "real a(n,n), t(n,n)\n"
+      "!hpf$ processors Pr(p)\n"
+      "!hpf$ template d(n)\n"
+      "!hpf$ distribute d(block) onto Pr\n"
+      "!hpf$ align (*,:) with d :: a, t\n"
+      "forall (k=1:n)\n"
+      "  t(1:n,k) = a(1:n,k)*2\n"
+      "end forall\n"
+      "end\n";
+  plans.push_back(compiler::compile_source(elementwise_src, options));
+  ASSERT_EQ(plans[0].array("a").storage, io::StorageOrder::kRowMajor);
+  ASSERT_EQ(plans[1].array("a").storage, io::StorageOrder::kColumnMajor);
+
+  TempDir dir;
+  Machine machine(2, MachineCostModel::zero());
+  try {
+    machine.run([&](SpmdContext& ctx) {
+      (void)create_sequence_arrays(
+          ctx, std::span<const NodeProgram>(plans.data(), plans.size()),
+          dir.path(), DiskModel::zero());
+    });
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCompileError);
+    EXPECT_NE(std::string(e.what()).find("storage"), std::string::npos);
+  }
+}
+
+TEST(SequenceErrors, ConflictingDistributionsAcrossStatements) {
+  // Same array name distributed differently by two plans (possible when
+  // plans come from separately compiled sources).
+  CompileOptions options;
+  options.memory_budget_elements = 1 << 14;
+  auto src_with_align = [](const char* align) {
+    return std::string("parameter (n=16, p=2)\n"
+                       "real x(n,n), y(n,n)\n"
+                       "!hpf$ processors Pr(p)\n"
+                       "!hpf$ template d(n)\n"
+                       "!hpf$ distribute d(block) onto Pr\n"
+                       "!hpf$ align ") +
+           align +
+           " with d :: x, y\n"
+           "forall (k=1:n)\n"
+           "  y(1:n,k) = x(1:n,k)*2\n"
+           "end forall\n"
+           "end\n";
+  };
+  std::vector<NodeProgram> plans;
+  plans.push_back(compiler::compile_source(src_with_align("(*,:)"), options));
+  plans.push_back(compiler::compile_source(src_with_align("(:,*)"), options));
+
+  TempDir dir;
+  Machine machine(2, MachineCostModel::zero());
+  try {
+    machine.run([&](SpmdContext& ctx) {
+      (void)create_sequence_arrays(
+          ctx, std::span<const NodeProgram>(plans.data(), plans.size()),
+          dir.path(), DiskModel::zero());
+    });
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCompileError);
+    EXPECT_NE(std::string(e.what()).find("distributed differently"),
+              std::string::npos);
+  }
+}
+
+TEST(StepProgramText, RendersLoopsAndSteps) {
+  CompileOptions options;
+  options.memory_budget_elements = 1 << 16;
+  const NodeProgram gaxpy =
+      compiler::compile_source(hpf::gaxpy_source(256, 4), options);
+  const std::string text = compiler::step_program_text(gaxpy);
+  EXPECT_NE(text.find("for-each-slab A"), std::string::npos) << text;
+  EXPECT_NE(text.find("reduce-sum -> c"), std::string::npos) << text;
+  EXPECT_NE(text.find("compute-gaxpy-partial"), std::string::npos) << text;
+
+  const std::vector<NodeProgram> fused =
+      compiler::compile_sequence_source(kChainSource, options);
+  const std::string etext = compiler::step_program_text(fused.front());
+  EXPECT_NE(etext.find("read-slab x"), std::string::npos) << etext;
+  EXPECT_NE(etext.find("write-slab w"), std::string::npos) << etext;
+  EXPECT_NE(etext.find("compute-elementwise stmt#2"), std::string::npos)
+      << etext;
+}
+
+}  // namespace
+}  // namespace oocc::exec

@@ -92,6 +92,26 @@ TEST(MemoryBudgetTest, ReserveAndRelease) {
   EXPECT_EQ(b.remaining(), 60);
 }
 
+TEST(MemoryBudgetTest, OverReleaseClampsAndIsCounted) {
+  // Regression: release() used to clamp silently, so a double release
+  // could mask a real leak elsewhere. It must clamp *and* be observable.
+  MemoryBudget b(100);
+  b.reserve(30, "x");
+  b.release(30);
+  EXPECT_EQ(b.over_releases(), 0);
+  b.release(30);  // double release
+  EXPECT_EQ(b.used(), 0);
+  EXPECT_EQ(b.remaining(), 100);
+  EXPECT_EQ(b.over_releases(), 1);
+  b.reserve(10, "y");
+  b.release(25);  // partial over-release: clamps to zero, not negative
+  EXPECT_EQ(b.used(), 0);
+  EXPECT_EQ(b.over_releases(), 2);
+  // The accounting still works after the event.
+  b.reserve(100, "z");
+  EXPECT_EQ(b.remaining(), 0);
+}
+
 TEST(MemoryBudgetTest, OversubscriptionThrowsResourceExhausted) {
   MemoryBudget b(100);
   b.reserve(80, "big");
@@ -490,6 +510,43 @@ TEST(PrefetchTest, OverlapHidesIoBehindCompute) {
   // 8 slabs; each read is 1 request: 1 ms + 4096B/1MBps ~ 5.1 ms.
   // Without prefetch: 8*(read+compute); with: first read + 8*compute.
   EXPECT_NEAR(without_prefetch - with_prefetch, 7 * (1e-3 + 4096e-6), 1e-3);
+}
+
+TEST(PrefetchTest, ResetRestartsSweepAndReReadsSlabs) {
+  // A re-sweep after reset() must start at slab 0 again and pay its I/O
+  // (cached slabs are invalidated — the cost model counts every pass).
+  TempDir dir;
+  for (bool prefetch : {false, true}) {
+    Machine machine(1, MachineCostModel::zero());
+    machine.run([&](SpmdContext& ctx) {
+      io::LocalArrayFile laf(dir.file(prefetch ? "r1.laf" : "r0.laf"), 4, 8,
+                             StorageOrder::kColumnMajor, DiskModel::zero());
+      std::vector<double> all(32);
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        all[i] = static_cast<double>(i);
+      }
+      laf.write_full(ctx, std::span<const double>(all.data(), all.size()));
+      laf.reset_stats();
+
+      SlabIterator slabs(4, 8, SlabOrientation::kColumnSlabs, 8);
+      MemoryBudget budget(1000);
+      PrefetchingSlabReader reader(ctx, laf, slabs, budget, "rs", prefetch);
+      for (int sweep = 0; sweep < 3; ++sweep) {
+        double sum = 0.0;
+        for (std::int64_t s = 0; s < reader.slab_count(); ++s) {
+          for (double v : reader.acquire(ctx, s).data()) {
+            sum += v;
+          }
+        }
+        EXPECT_DOUBLE_EQ(sum, 31.0 * 32.0 / 2.0)
+            << "sweep " << sweep << " prefetch=" << prefetch;
+        reader.reset();
+      }
+      // Every sweep re-reads all four slabs (prefetch may read one slab
+      // ahead within a sweep, but never carries data across resets).
+      EXPECT_GE(laf.stats().read_requests, 12u);
+    });
+  }
 }
 
 TEST(PrefetchTest, OutOfOrderAcquireRejected) {

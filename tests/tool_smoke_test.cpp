@@ -61,6 +61,45 @@ TEST_F(OoccCompileSmoke, CompilesBundledGaxpyProgram) {
   EXPECT_NE(output.find("node program"), std::string::npos) << output;
 }
 
+TEST_F(OoccCompileSmoke, DumpPlanPrintsStepProgram) {
+  oocc::io::TempDir dir("oocc-smoke");
+  const auto program = dir.file("chain.hpf");
+  {
+    std::ofstream out(program);
+    out << "parameter (n=16, p=2)\n"
+           "real x(n,n), y(n,n), z(n,n)\n"
+           "!hpf$ processors Pr(p)\n"
+           "!hpf$ template d(n)\n"
+           "!hpf$ distribute d(block) onto Pr\n"
+           "!hpf$ align (*,:) with d :: x, y, z\n"
+           "forall (k=1:n)\n"
+           "  y(1:n,k) = x(1:n,k)*2 + 1\n"
+           "end forall\n"
+           "forall (k=1:n)\n"
+           "  z(1:n,k) = y(1:n,k)*y(1:n,k)\n"
+           "end forall\n"
+           "end\n";
+  }
+  const auto stdout_path = dir.file("out.txt");
+  const auto stderr_path = dir.file("err.txt");
+  const std::string cmd = std::string("\"") + OOCC_COMPILE_BIN + "\" \"" +
+                          program.string() + "\" --dump-plan > \"" +
+                          stdout_path.string() + "\" 2> \"" +
+                          stderr_path.string() + "\"";
+  const int rc = std::system(cmd.c_str());
+  EXPECT_EQ(rc, 0) << "stderr:\n" << read_file(stderr_path);
+
+  const std::string output = read_file(stdout_path);
+  // The two statements fuse into one sweep whose step IR reads x once and
+  // writes both produced arrays; the step price table rides along.
+  EXPECT_NE(output.find("step program"), std::string::npos) << output;
+  EXPECT_NE(output.find("for-each-slab"), std::string::npos) << output;
+  EXPECT_NE(output.find("read-slab x"), std::string::npos) << output;
+  EXPECT_NE(output.find("write-slab z"), std::string::npos) << output;
+  EXPECT_NE(output.find("step I/O price"), std::string::npos) << output;
+  EXPECT_EQ(output.find("read-slab y"), std::string::npos) << output;
+}
+
 TEST_F(OoccCompileSmoke, RejectsMissingInputWithUsage) {
   oocc::io::TempDir dir("oocc-smoke");
   const auto stderr_path = dir.file("err.txt");

@@ -7,14 +7,17 @@
 //   --equal-split          equal memory division instead of access-weighted
 //   --no-access-reorg      disable Figure 14 orientation selection
 //   --no-storage-reorg     disable on-disk storage reorganization
+//   --no-fuse              disable inter-statement slab fusion
 //   --prefetch             double-buffer the dominant array's slabs
 //   --ast                  print the parsed program and exit
+//   --dump-plan            print the step-level slab-program IR and its
+//                          step-walking I/O price instead of pseudo-code
 //   --run                  execute the plan on the simulated machine
 //   --verify               with --run: check the result against a serial
 //                          reference (GAXPY plans only)
 //
 // Prints the compilation decision report and the generated node program
-// (Figure 9/12-style pseudo-code).
+// (Figure 9/12-style pseudo-code, or the raw step IR with --dump-plan).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,7 +37,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: oocc-compile <program.hpf> [--memory N] "
                "[--equal-split] [--no-access-reorg] [--no-storage-reorg] "
-               "[--prefetch] [--ast] [--run] [--verify]\n");
+               "[--no-fuse] [--prefetch] [--ast] [--dump-plan] [--run] "
+               "[--verify]\n");
 }
 
 double gen_a(std::int64_t r, std::int64_t c) {
@@ -58,6 +62,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::int64_t memory = 0;
   bool ast_only = false;
+  bool dump_plan = false;
   bool run = false;
   bool verify = false;
   compiler::CompileOptions options;
@@ -73,10 +78,14 @@ int main(int argc, char** argv) {
       options.enable_access_reorganization = false;
     } else if (std::strcmp(arg, "--no-storage-reorg") == 0) {
       options.enable_storage_reorganization = false;
+    } else if (std::strcmp(arg, "--no-fuse") == 0) {
+      options.enable_statement_fusion = false;
     } else if (std::strcmp(arg, "--prefetch") == 0) {
       options.prefetch = true;
     } else if (std::strcmp(arg, "--ast") == 0) {
       ast_only = true;
+    } else if (std::strcmp(arg, "--dump-plan") == 0) {
+      dump_plan = true;
     } else if (std::strcmp(arg, "--run") == 0) {
       run = true;
     } else if (std::strcmp(arg, "--verify") == 0) {
@@ -128,12 +137,26 @@ int main(int argc, char** argv) {
         compiler::compile_sequence(bound, options);
     for (std::size_t i = 0; i < plans.size(); ++i) {
       if (plans.size() > 1) {
-        std::printf("--- statement %zu of %zu ---\n", i + 1, plans.size());
+        std::printf("--- plan %zu of %zu ---\n", i + 1, plans.size());
       }
       std::printf("=== decision report ===\n%s\n",
                   compiler::decision_report(plans[i]).c_str());
-      std::printf("=== node program ===\n%s\n",
-                  compiler::pseudo_code(plans[i]).c_str());
+      if (dump_plan) {
+        std::printf("=== step program ===\n%s",
+                    compiler::step_program_text(plans[i]).c_str());
+        std::printf("=== step I/O price (per processor 0) ===\n");
+        for (const auto& [name, cost] : compiler::price_steps(plans[i])) {
+          std::printf(
+              "%s: reads %.0f req / %.0f elems, writes %.0f req / %.0f "
+              "elems\n",
+              name.c_str(), cost.read_requests, cost.elements_read,
+              cost.write_requests, cost.elements_written);
+        }
+        std::printf("\n");
+      } else {
+        std::printf("=== node program ===\n%s\n",
+                    compiler::pseudo_code(plans[i]).c_str());
+      }
     }
     const compiler::NodeProgram& plan = plans.front();
 
