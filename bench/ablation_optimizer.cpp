@@ -64,7 +64,8 @@ int main() {
     options.enable_access_reorganization = stage.access;
     options.enable_storage_reorganization = stage.storage;
     options.memory_strategy = stage.memory;
-    options.prefetch = stage.prefetch;
+    options.prefetch = stage.prefetch ? compiler::PrefetchMode::kOn
+                                      : compiler::PrefetchMode::kOff;
     options.disk = io::DiskModel::touchstone_delta_cfs();
     const compiler::NodeProgram plan =
         compiler::compile_source(hpf::gaxpy_source(n, p), options);
@@ -92,7 +93,12 @@ int main() {
       for (auto& [name, arr] : arrays) {
         bindings[name] = arr.get();
       }
-      exec::execute(ctx, plan, bindings);
+      // The ablation isolates the *compiler* optimizations on the paper's
+      // machine semantics; the runtime slab cache is measured separately
+      // (bench/cache_reuse).
+      exec::ExecOptions exec_options;
+      exec_options.use_cache = false;
+      exec::execute(ctx, plan, bindings, exec_options);
     });
 
     const double t = report.max_sim_time_s();

@@ -49,7 +49,12 @@ int main() {
     for (auto& [name, arr] : arrays) {
       bindings[name] = arr.get();
     }
-    exec::execute(ctx, plan, bindings);
+    // The comparison proves the compiled plan equals the hand-coded kernel;
+    // the hand-coded path has no slab cache, so run the executor without
+    // one too.
+    exec::ExecOptions exec_options;
+    exec_options.use_cache = false;
+    exec::execute(ctx, plan, bindings, exec_options);
   });
 
   // Hand-coded path with the compiler's slab sizes.

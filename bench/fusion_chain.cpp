@@ -96,10 +96,16 @@ ChainResult run_chain(std::int64_t n, int p, bool fuse) {
     for (auto& [name, arr] : arrays) {
       bindings[name] = arr.get();
     }
+    // This bench isolates *fusion*: with the slab cache on, the unfused
+    // chain would recover most of its re-reads from the pool and the
+    // comparison would measure caching instead (that is bench/cache_reuse's
+    // job). Run both arms uncached.
+    exec::ExecOptions exec_options;
+    exec_options.use_cache = false;
     exec::execute_sequence(
         ctx,
         std::span<const compiler::NodeProgram>(plans.data(), plans.size()),
-        bindings);
+        bindings, exec_options);
     std::lock_guard<std::mutex> lock(mu);
     for (auto& [name, arr] : arrays) {
       const io::IoStats& s = arr->laf().stats();

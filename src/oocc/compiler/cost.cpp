@@ -187,12 +187,281 @@ CostDecision choose_access_reorganization(const GaxpyCostQuery& query,
 
 namespace {
 
+/// Shape-only mirror of runtime::SlabBufferPool for the pricer: entries are
+/// (section, reuse hint, recency, dirty, pin) tuples against a capacity in
+/// elements; lookup is exact / containment / full-height column coverage
+/// and eviction is farthest-reuse-first with an LRU tie-break — the same
+/// policy as bufferpool.cpp, so priced hits match measured ones. Capacity
+/// is soft: when every entry is pinned the sim briefly over-subscribes
+/// instead of throwing (the executor would have failed louder).
+class CacheSim {
+ public:
+  struct Entry {
+    io::Section sec;
+    double hint = -1.0;
+    std::uint64_t last_use = 0;
+    bool dirty = false;
+    int pins = 0;
+  };
+
+  void set_capacity(std::int64_t cap) noexcept { capacity_ = cap; }
+
+  /// Sections written back by an operation, to be charged by the caller.
+  using WriteBacks = std::vector<std::pair<std::string, io::Section>>;
+
+  /// Demand read: returns true on a hit. Either way the requested section
+  /// ends pinned and resident (assembled entries mirror the pool's copies).
+  bool acquire_read(const std::string& array, const io::Section& s,
+                    double hint, WriteBacks& wb) {
+    if (Entry* e = find_exact(array, s)) {
+      e->last_use = ++tick_;
+      e->hint = hint;
+      ++e->pins;
+      return true;
+    }
+    const std::vector<io::Section> sources = covering_sections(array, s);
+    if (!sources.empty()) {
+      // The pool pins the covering entries while it assembles the new
+      // one, so eviction during the insert cannot pick them — mirror that
+      // or the resident sets diverge at tight budgets.
+      for (const io::Section& src : sources) {
+        adjust_pins(array, src, +1);
+      }
+      insert(array, s, hint, wb).pins = 1;
+      for (const io::Section& src : sources) {
+        adjust_pins(array, src, -1);
+      }
+      return true;
+    }
+    // Miss: the pool writes back dirty entries overlapping the request
+    // before reading the disk (the read must see current data).
+    flush_overlapping_dirty(array, s, wb);
+    insert(array, s, hint, wb).pins = 1;
+    return false;
+  }
+
+  /// Staging for a write: drops (write-back first) other overlapping
+  /// ranges, pins the exact entry.
+  void acquire_write(const std::string& array, const io::Section& s,
+                     double hint, WriteBacks& wb) {
+    auto it = entries_.find(array);
+    if (it != entries_.end()) {
+      for (std::size_t i = 0; i < it->second.size();) {
+        Entry& e = it->second[i];
+        if (!(e.sec == s) && e.sec.overlaps(s)) {
+          if (e.dirty) {
+            wb.emplace_back(array, e.sec);
+          }
+          used_ -= e.sec.elements();
+          it->second.erase(it->second.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+    if (Entry* e = find_exact(array, s)) {
+      e->last_use = ++tick_;
+      ++e->pins;
+      return;
+    }
+    insert(array, s, hint, wb).pins = 1;
+  }
+
+  void mark_dirty(const std::string& array, const io::Section& s,
+                  double hint) {
+    if (Entry* e = find_exact(array, s)) {
+      e->dirty = true;
+      e->hint = hint;
+      e->last_use = ++tick_;
+    }
+  }
+
+  void unpin(const std::string& array, const io::Section& s) {
+    if (Entry* e = find_exact(array, s)) {
+      if (e->pins > 0) {
+        --e->pins;
+      }
+    }
+  }
+
+  /// Write back and drop every entry of `array` (the OwnedColumnWriter
+  /// bypass makes cached slabs stale).
+  void invalidate(const std::string& array, WriteBacks& wb) {
+    const auto it = entries_.find(array);
+    if (it == entries_.end()) {
+      return;
+    }
+    for (const Entry& e : it->second) {
+      if (e.dirty) {
+        wb.emplace_back(array, e.sec);
+      }
+      used_ -= e.sec.elements();
+    }
+    entries_.erase(it);
+  }
+
+  /// Write back every dirty entry, in the pool's deterministic flush order.
+  void flush(WriteBacks& wb) {
+    for (auto& [array, list] : entries_) {
+      std::vector<Entry*> dirty;
+      for (Entry& e : list) {
+        if (e.dirty) {
+          dirty.push_back(&e);
+        }
+      }
+      std::sort(dirty.begin(), dirty.end(),
+                [](const Entry* a, const Entry* b) {
+                  if (a->sec.col0 != b->sec.col0) {
+                    return a->sec.col0 < b->sec.col0;
+                  }
+                  return a->sec.row0 < b->sec.row0;
+                });
+      for (Entry* e : dirty) {
+        wb.emplace_back(array, e->sec);
+        e->dirty = false;
+      }
+    }
+  }
+
+ private:
+  Entry* find_exact(const std::string& array, const io::Section& s) {
+    const auto it = entries_.find(array);
+    if (it == entries_.end()) {
+      return nullptr;
+    }
+    for (Entry& e : it->second) {
+      if (e.sec == s) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Sections of the entries that cover `s` (same rule as the pool's
+  /// covering_entries); empty when `s` is not covered. Sections rather
+  /// than pointers: eviction reshuffles the entry vectors.
+  std::vector<io::Section> covering_sections(const std::string& array,
+                                             const io::Section& s) const {
+    const auto it = entries_.find(array);
+    if (it == entries_.end()) {
+      return {};
+    }
+    for (const Entry& e : it->second) {
+      if (e.sec.contains(s)) {
+        return {e.sec};
+      }
+    }
+    std::vector<io::Section> sources;
+    for (std::int64_t c = s.col0; c < s.col1;) {
+      const Entry* found = nullptr;
+      for (const Entry& e : it->second) {
+        if (e.sec.row0 == s.row0 && e.sec.row1 == s.row1 && e.sec.col0 <= c &&
+            c < e.sec.col1) {
+          found = &e;
+          break;
+        }
+      }
+      if (found == nullptr) {
+        return {};
+      }
+      sources.push_back(found->sec);
+      c = found->sec.col1;
+    }
+    return sources;
+  }
+
+  void adjust_pins(const std::string& array, const io::Section& s,
+                   int delta) {
+    if (Entry* e = find_exact(array, s)) {
+      e->pins += delta;
+    }
+  }
+
+  void flush_overlapping_dirty(const std::string& array, const io::Section& s,
+                               WriteBacks& wb) {
+    const auto it = entries_.find(array);
+    if (it == entries_.end()) {
+      return;
+    }
+    for (Entry& e : it->second) {
+      if (e.dirty && e.sec.overlaps(s)) {
+        wb.emplace_back(array, e.sec);
+        e.dirty = false;
+      }
+    }
+  }
+
+  Entry& insert(const std::string& array, const io::Section& s, double hint,
+                WriteBacks& wb) {
+    while (used_ + s.elements() > capacity_) {
+      if (!evict_one(wb)) {
+        break;  // soft capacity: everything pinned
+      }
+    }
+    Entry e;
+    e.sec = s;
+    e.hint = hint;
+    e.last_use = ++tick_;
+    entries_[array].push_back(e);
+    used_ += s.elements();
+    return entries_[array].back();
+  }
+
+  static double rank(double hint) noexcept {
+    return hint < 0 ? std::numeric_limits<double>::infinity() : hint;
+  }
+
+  bool evict_one(WriteBacks& wb) {
+    std::string* varr = nullptr;
+    std::size_t vidx = 0;
+    const Entry* victim = nullptr;
+    for (auto& [array, list] : entries_) {
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        const Entry& e = list[i];
+        if (e.pins > 0) {
+          continue;
+        }
+        if (victim == nullptr || rank(e.hint) > rank(victim->hint) ||
+            (rank(e.hint) == rank(victim->hint) &&
+             e.last_use < victim->last_use)) {
+          varr = const_cast<std::string*>(&array);
+          vidx = i;
+          victim = &e;
+        }
+      }
+    }
+    if (victim == nullptr) {
+      return false;
+    }
+    if (victim->dirty) {
+      wb.emplace_back(*varr, victim->sec);
+    }
+    used_ -= victim->sec.elements();
+    auto& list = entries_[*varr];
+    list.erase(list.begin() + static_cast<std::ptrdiff_t>(vidx));
+    return true;
+  }
+
+  std::map<std::string, std::vector<Entry>> entries_;
+  std::int64_t capacity_ = 0;
+  std::int64_t used_ = 0;
+  std::uint64_t tick_ = 0;
+};
+
 /// Symbolic execution of a plan's step tree for one processor: tracks the
 /// same loop, reduction, and output-writer state as exec's StepExecutor,
-/// but charges extent counts instead of doing I/O.
+/// but charges extent counts instead of doing I/O. With a CacheSim it also
+/// mirrors the executor's slab pool, pricing hits as avoided traffic.
 class StepPricer {
  public:
-  StepPricer(const NodeProgram& plan, int proc) : plan_(plan), proc_(proc) {
+  /// `all_arrays` resolves arrays that live in *other* plans of the
+  /// sequence being priced (a persistent cache can evict another
+  /// statement's dirty slab mid-walk); null for single-plan pricing.
+  StepPricer(const NodeProgram& plan, int proc, CacheSim* cache,
+             const std::map<std::string, const PlanArray*>* all_arrays =
+                 nullptr)
+      : plan_(plan), proc_(proc), cache_(cache), all_arrays_(all_arrays) {
     for (const SlabLoop& loop : plan_.loops) {
       const PlanArray& space = plan_.array(loop.space);
       states_.emplace(
@@ -204,12 +473,19 @@ class StepPricer {
     }
   }
 
-  std::map<std::string, StepIoCost> run() {
+  PlanPrice run() {
+    if (cache_ != nullptr && plan_.kind == ProgramKind::kGaxpy) {
+      // The executor write-backs + drops cached slabs of arrays written
+      // through the OwnedColumnWriter bypass before running the plan.
+      CacheSim::WriteBacks wb;
+      cache_->invalidate(plan_.c, wb);
+      charge_writebacks(wb);
+    }
     walk(plan_.steps);
     if (writer_) {
       flush_writer();
     }
-    return std::move(out_);
+    return std::move(price_);
   }
 
  private:
@@ -220,7 +496,10 @@ class StepPricer {
     const SlabLoop* decl;
     runtime::SlabIterator iter;
     io::Section section{};
+    std::int64_t index = -1;
     std::int64_t column = -1;
+    /// Cache entries pinned during the current slab iteration (cache mode).
+    std::vector<std::pair<std::string, io::Section>> pinned;
   };
 
   /// The same batching core the executor's OwnedColumnWriter wraps, minus
@@ -246,17 +525,35 @@ class StepPricer {
     return it->second;
   }
 
+  const PlanArray& resolve_array(const std::string& array) const {
+    const auto it = plan_.arrays.find(array);
+    if (it != plan_.arrays.end()) {
+      return it->second;
+    }
+    OOCC_CHECK(all_arrays_ != nullptr && all_arrays_->contains(array),
+               ErrorCode::kInvalidArgument,
+               "priced cache holds array '" << array
+                                            << "' unknown to the sequence");
+    return *all_arrays_->at(array);
+  }
+
   void charge(const std::string& array, const io::Section& s, bool is_read) {
-    const PlanArray& pa = plan_.array(array);
+    const PlanArray& pa = resolve_array(array);
     const double extents = static_cast<double>(io::section_extent_count(
         s, pa.dist.local_rows(proc_), pa.dist.local_cols(proc_), pa.storage));
-    StepIoCost& cost = out_[array];
+    StepIoCost& cost = price_.arrays[array];
     if (is_read) {
       cost.read_requests += extents;
       cost.elements_read += static_cast<double>(s.elements());
     } else {
       cost.write_requests += extents;
       cost.elements_written += static_cast<double>(s.elements());
+    }
+  }
+
+  void charge_writebacks(const CacheSim::WriteBacks& wb) {
+    for (const auto& [array, sec] : wb) {
+      charge(array, sec, /*is_read=*/false);
     }
   }
 
@@ -282,9 +579,18 @@ class StepPricer {
       case StepKind::kForEachSlab: {
         LoopState& loop = state(step.loop);
         for (std::int64_t i = 0; i < loop.iter.count(); ++i) {
+          loop.index = i;
           loop.section = loop.iter.section(i);
           walk(step.body);
+          if (cache_ != nullptr) {
+            for (auto it = loop.pinned.rbegin(); it != loop.pinned.rend();
+                 ++it) {
+              cache_->unpin(it->first, it->second);
+            }
+            loop.pinned.clear();
+          }
         }
+        loop.index = -1;
         return;
       }
       case StepKind::kForEachColumn: {
@@ -297,17 +603,37 @@ class StepPricer {
         return;
       }
       case StepKind::kReadSlab:
-        charge(step.array, state(step.loop).section, /*is_read=*/true);
+        price_read(step);
         return;
       case StepKind::kWriteSlab:
-        charge(step.array, state(step.loop).section, /*is_read=*/false);
+        if (cache_ != nullptr) {
+          // Deferred: the dirty slab is charged at write-back time.
+          cache_->mark_dirty(step.array, state(step.loop).section,
+                             step.reuse_distance);
+        } else {
+          charge(step.array, state(step.loop).section, /*is_read=*/false);
+        }
         return;
-      case StepKind::kComputeElementwise:
+      case StepKind::kComputeElementwise: {
+        LoopState& loop = state(step.loop);
+        price_.flops += static_cast<double>(loop.section.elements());
+        if (cache_ != nullptr) {
+          const std::string& lhs =
+              plan_.statements.at(static_cast<std::size_t>(step.stmt)).lhs;
+          CacheSim::WriteBacks wb;
+          cache_->acquire_write(lhs, loop.section, step.reuse_distance, wb);
+          charge_writebacks(wb);
+          loop.pinned.emplace_back(lhs, loop.section);
+        }
+        return;
+      }
       case StepKind::kBarrier:
         return;
       case StepKind::kComputeGaxpyPartial: {
+        const LoopState& a_loop = state(step.loop);
+        price_.flops += 2.0 * static_cast<double>(a_loop.section.rows()) *
+                        static_cast<double>(a_loop.section.cols());
         if (fresh_column_) {
-          const LoopState& a_loop = state(step.loop);
           temp_r0_ = a_loop.section.row0;
           temp_r1_ = a_loop.section.row1;
           full_rows_ = a_loop.iter.section(0).rows();
@@ -318,6 +644,32 @@ class StepPricer {
       case StepKind::kReduceSum:
         price_reduce(step);
         return;
+    }
+  }
+
+  void price_read(const Step& step) {
+    LoopState& loop = state(step.loop);
+    const io::Section& s = loop.section;
+    if (cache_ != nullptr) {
+      CacheSim::WriteBacks wb;
+      const bool hit =
+          cache_->acquire_read(step.array, s, step.reuse_distance, wb);
+      charge_writebacks(wb);
+      loop.pinned.emplace_back(step.array, s);
+      if (hit) {
+        price_.cache_hits += 1.0;
+        price_.elements_avoided += static_cast<double>(s.elements());
+        return;
+      }
+    }
+    charge(step.array, s, /*is_read=*/true);
+    if (loop.decl->prefetch && loop.index > 0) {
+      const PlanArray& pa = plan_.array(step.array);
+      price_.overlappable_read_requests +=
+          static_cast<double>(io::section_extent_count(
+              s, pa.dist.local_rows(proc_), pa.dist.local_cols(proc_),
+              pa.storage));
+      price_.overlappable_read_elements += static_cast<double>(s.elements());
     }
   }
 
@@ -345,8 +697,10 @@ class StepPricer {
 
   const NodeProgram& plan_;
   int proc_;
+  CacheSim* cache_;
+  const std::map<std::string, const PlanArray*>* all_arrays_;
   std::map<std::string, LoopState> states_;
-  std::map<std::string, StepIoCost> out_;
+  PlanPrice price_;
   bool fresh_column_ = false;
   std::int64_t temp_r0_ = 0;
   std::int64_t temp_r1_ = 0;
@@ -354,14 +708,307 @@ class StepPricer {
   std::optional<WriterSim> writer_;
 };
 
+/// The budget the executor reserves outside the pool for a GAXPY plan (the
+/// reduction temporary and the staged-output-column buffer), mirrored so
+/// the modelled cache sees the same capacity the real one does.
+std::int64_t gaxpy_side_reservation(const NodeProgram& plan, int proc) {
+  if (plan.kind != ProgramKind::kGaxpy) {
+    return 0;
+  }
+  for (const SlabLoop& loop : plan.loops) {
+    if (loop.space == plan.a) {
+      const PlanArray& pa = plan.array(plan.a);
+      const runtime::SlabIterator iter(pa.dist.local_rows(proc),
+                                       pa.dist.local_cols(proc),
+                                       loop.orientation,
+                                       loop.capacity_elements);
+      const std::int64_t full_rows = iter.section(0).rows();
+      return full_rows + std::max(plan.memory.slab_c, full_rows);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
+
+double PlanPrice::total_requests() const noexcept {
+  double t = 0.0;
+  for (const auto& [name, c] : arrays) {
+    t += c.read_requests + c.write_requests;
+  }
+  return t;
+}
+
+double PlanPrice::total_elements() const noexcept {
+  double t = 0.0;
+  for (const auto& [name, c] : arrays) {
+    t += c.elements_read + c.elements_written;
+  }
+  return t;
+}
+
+double PlanPrice::io_time_s(const io::DiskModel& disk,
+                            int nprocs) const noexcept {
+  return total_requests() * disk.request_overhead_s +
+         total_elements() * static_cast<double>(sizeof(double)) /
+             disk.effective_bandwidth(nprocs);
+}
 
 std::map<std::string, StepIoCost> price_steps(const NodeProgram& plan,
                                               int proc) {
+  return price_plan(plan, proc).arrays;
+}
+
+PlanPrice price_plan(const NodeProgram& plan, int proc,
+                     const PriceOptions& options) {
   OOCC_REQUIRE(proc >= 0 && proc < plan.nprocs,
                "processor " << proc << " outside the plan's 0.."
                             << plan.nprocs - 1);
-  return StepPricer(plan, proc).run();
+  if (!options.model_cache) {
+    return StepPricer(plan, proc, nullptr).run();
+  }
+  CacheSim cache;
+  const std::int64_t budget = options.cache_budget_elements > 0
+                                  ? options.cache_budget_elements
+                                  : plan.memory_budget_elements;
+  cache.set_capacity(
+      std::max<std::int64_t>(0, budget - gaxpy_side_reservation(plan, proc)));
+  PlanPrice price = StepPricer(plan, proc, &cache).run();
+  // Charge the end-of-run flush (the executor flushes its pool there too).
+  CacheSim::WriteBacks wb;
+  cache.flush(wb);
+  for (const auto& [array, sec] : wb) {
+    const PlanArray& pa = plan.array(array);
+    StepIoCost& cost = price.arrays[array];
+    cost.write_requests += static_cast<double>(io::section_extent_count(
+        sec, pa.dist.local_rows(proc), pa.dist.local_cols(proc), pa.storage));
+    cost.elements_written += static_cast<double>(sec.elements());
+  }
+  return price;
+}
+
+std::vector<PlanPrice> price_sequence(std::span<const NodeProgram> plans,
+                                      int proc, const PriceOptions& options) {
+  std::vector<PlanPrice> out;
+  if (plans.empty()) {
+    return out;
+  }
+  if (!options.model_cache) {
+    for (const NodeProgram& plan : plans) {
+      out.push_back(price_plan(plan, proc, options));
+    }
+    return out;
+  }
+  std::int64_t budget = options.cache_budget_elements;
+  if (budget == 0) {
+    for (const NodeProgram& plan : plans) {
+      budget = std::max(budget, plan.memory_budget_elements);
+    }
+  }
+  // Union of the sequence's arrays: a persistent cache can write back one
+  // statement's slab while a later statement (which may not mention the
+  // array at all) is being priced.
+  std::map<std::string, const PlanArray*> all_arrays;
+  for (const NodeProgram& plan : plans) {
+    for (const auto& [name, pa] : plan.arrays) {
+      all_arrays.emplace(name, &pa);
+    }
+  }
+  CacheSim cache;
+  for (const NodeProgram& plan : plans) {
+    cache.set_capacity(std::max<std::int64_t>(
+        0, budget - gaxpy_side_reservation(plan, proc)));
+    out.push_back(StepPricer(plan, proc, &cache, &all_arrays).run());
+  }
+  // The sequence-end flush lands on the last plan, where the executor
+  // performs it.
+  CacheSim::WriteBacks wb;
+  cache.flush(wb);
+  for (const auto& [array, sec] : wb) {
+    const PlanArray& pa = *all_arrays.at(array);
+    StepIoCost& cost = out.back().arrays[array];
+    cost.write_requests += static_cast<double>(io::section_extent_count(
+        sec, pa.dist.local_rows(proc), pa.dist.local_cols(proc), pa.storage));
+    cost.elements_written += static_cast<double>(sec.elements());
+  }
+  return out;
+}
+
+double estimate_plan_time_s(const NodeProgram& plan, const io::DiskModel& disk,
+                            const sim::MachineCostModel& machine) {
+  PriceOptions options;
+  options.model_cache = true;
+  const PlanPrice price = price_plan(plan, 0, options);
+  const double io = price.io_time_s(disk, plan.nprocs);
+  const double comp = machine.compute.flops_time(price.flops);
+  const double overlappable =
+      price.overlappable_read_requests * disk.request_overhead_s +
+      price.overlappable_read_elements * static_cast<double>(sizeof(double)) /
+          disk.effective_bandwidth(plan.nprocs);
+  return io + comp - std::min(overlappable, comp);
+}
+
+namespace {
+
+/// Replays one plan's dynamic slab schedule, appending (step, array,
+/// section, is-read) events. Mirrors the pricer's loop handling; mutable so
+/// the events can write the annotations back.
+class TraceCollector {
+ public:
+  struct Event {
+    Step* step;
+    const std::string* array;
+    io::Section sec;
+    bool is_read;
+  };
+
+  TraceCollector(NodeProgram& plan, int proc, std::vector<Event>& out,
+                 std::size_t max_events)
+      : plan_(plan), out_(out), max_events_(max_events) {
+    for (const SlabLoop& loop : plan.loops) {
+      const PlanArray& space = plan.array(loop.space);
+      states_.emplace(
+          loop.name,
+          State{&loop,
+                runtime::SlabIterator(space.dist.local_rows(proc),
+                                      space.dist.local_cols(proc),
+                                      loop.orientation,
+                                      loop.capacity_elements),
+                io::Section{}});
+    }
+  }
+
+  /// Returns false when the event cap was hit (annotation is skipped).
+  bool collect() { return walk(plan_.steps); }
+
+ private:
+  struct State {
+    const SlabLoop* decl;
+    runtime::SlabIterator iter;
+    io::Section section;
+  };
+
+  bool walk(std::vector<Step>& steps) {
+    for (Step& step : steps) {
+      if (!walk(step)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool push(Step& step, const std::string& array, const io::Section& sec,
+            bool is_read) {
+    if (out_.size() >= max_events_) {
+      return false;
+    }
+    out_.push_back(Event{&step, &array, sec, is_read});
+    return true;
+  }
+
+  bool walk(Step& step) {
+    switch (step.kind) {
+      case StepKind::kForEachSlab: {
+        State& loop = states_.at(step.loop);
+        for (std::int64_t i = 0; i < loop.iter.count(); ++i) {
+          loop.section = loop.iter.section(i);
+          if (!walk(step.body)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      case StepKind::kForEachColumn: {
+        State& loop = states_.at(step.loop);
+        // The per-column body re-executes once per column of the current
+        // slab; the slab I/O steps inside it see the same sections each
+        // time, so one pass per column is replayed faithfully.
+        for (std::int64_t m = 0; m < loop.section.cols(); ++m) {
+          if (!walk(step.body)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      case StepKind::kReadSlab:
+        return push(step, step.array, states_.at(step.loop).section, true);
+      case StepKind::kWriteSlab:
+        return push(step, step.array, states_.at(step.loop).section, false);
+      case StepKind::kComputeElementwise:
+        return push(
+            step,
+            plan_.statements.at(static_cast<std::size_t>(step.stmt)).lhs,
+            states_.at(step.loop).section, false);
+      case StepKind::kComputeGaxpyPartial:
+      case StepKind::kReduceSum:
+      case StepKind::kBarrier:
+        return true;  // reduction output bypasses the pool
+    }
+    return true;
+  }
+
+  NodeProgram& plan_;
+  std::vector<Event>& out_;
+  std::size_t max_events_;
+  std::map<std::string, State> states_;
+};
+
+void reset_distances(std::vector<Step>& steps) {
+  for (Step& step : steps) {
+    step.reuse_distance = -1.0;
+    reset_distances(step.body);
+  }
+}
+
+}  // namespace
+
+void annotate_reuse_distances(std::span<NodeProgram> plans, int proc) {
+  constexpr std::size_t kMaxEvents = std::size_t{1} << 20;
+  for (NodeProgram& plan : plans) {
+    reset_distances(plan.steps);
+  }
+  std::vector<TraceCollector::Event> trace;
+  for (NodeProgram& plan : plans) {
+    if (!TraceCollector(plan, proc, trace, kMaxEvents).collect()) {
+      // Pathologically long schedule: leave every distance at -1 (the pool
+      // degrades to plain LRU) rather than annotate from a partial trace.
+      for (NodeProgram& p : plans) {
+        reset_distances(p.steps);
+      }
+      return;
+    }
+  }
+  // Backward scan: for each event, the nearest later read overlapping its
+  // section gives the distance; the static step keeps the minimum over its
+  // dynamic executions. future[array] holds later read events, most recent
+  // (smallest position) last.
+  std::map<std::string, std::vector<std::pair<std::size_t, io::Section>>>
+      future;
+  // Scanning outward from the nearest future read finds the overlap
+  // within ~one sweep's slab count for real schedules; the bound keeps the
+  // pass linear on adversarial ones (an unfound overlap just leaves the
+  // hint at -1, i.e. evict-first — conservative).
+  constexpr std::size_t kMaxScan = 4096;
+  for (std::size_t i = trace.size(); i-- > 0;) {
+    const TraceCollector::Event& ev = trace[i];
+    auto& reads = future[*ev.array];
+    double dist = -1.0;
+    std::size_t scanned = 0;
+    for (auto it = reads.rbegin(); it != reads.rend() && scanned < kMaxScan;
+         ++it, ++scanned) {
+      if (it->second.overlaps(ev.sec)) {
+        dist = static_cast<double>(it->first - i);
+        break;
+      }
+    }
+    if (dist >= 0 && (ev.step->reuse_distance < 0 ||
+                      dist < ev.step->reuse_distance)) {
+      ev.step->reuse_distance = dist;
+    }
+    if (ev.is_read) {
+      reads.emplace_back(i, ev.sec);
+    }
+  }
 }
 
 TotalCostEstimate estimate_gaxpy_total(runtime::SlabOrientation orientation,

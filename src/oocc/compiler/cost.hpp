@@ -13,6 +13,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,8 @@ struct CostDecision {
   std::vector<double> candidate_total_s;
   std::string dominant_array;  ///< array with the largest I/O requirement
   std::string rationale;       ///< human-readable derivation
+  /// --prefetch=auto derivation (empty unless the auto decision ran).
+  std::string prefetch_rationale;
 };
 
 /// Runs Figure 14: estimate each candidate, find the dominant array, pick
@@ -119,5 +122,61 @@ struct StepIoCost {
 /// only still needed *before* lowering, to rank candidate orientations.
 std::map<std::string, StepIoCost> price_steps(const NodeProgram& plan,
                                               int proc = 0);
+
+/// Options for price_plan / price_sequence.
+struct PriceOptions {
+  /// Model the executor's slab buffer pool: demand reads served by the
+  /// modelled cache are not charged (they show up as cache_hits /
+  /// elements_avoided instead) and staged writes are charged at write-back
+  /// time, mirroring runtime::SlabBufferPool's lookup and eviction policy.
+  bool model_cache = false;
+  /// Cache/working-set budget in elements; 0 = the plan's own
+  /// memory_budget_elements (for price_sequence: the max across plans,
+  /// matching the pool execute_sequence shares).
+  std::int64_t cache_budget_elements = 0;
+};
+
+/// Full price of one plan on one processor: per-array LAF traffic plus the
+/// compute the executor will charge and, with model_cache, the traffic the
+/// slab pool saves.
+struct PlanPrice {
+  std::map<std::string, StepIoCost> arrays;
+  double flops = 0.0;
+  double cache_hits = 0.0;        ///< demand reads served from the cache
+  double elements_avoided = 0.0;  ///< LAF elements those hits saved
+  /// Reads issued under prefetching slab loops past each loop's first
+  /// slab — the read I/O a read-ahead queue can overlap with compute.
+  double overlappable_read_requests = 0.0;
+  double overlappable_read_elements = 0.0;
+
+  double total_requests() const noexcept;
+  double total_elements() const noexcept;
+  /// Disk service time implied by the *charged* counts.
+  double io_time_s(const io::DiskModel& disk, int nprocs) const noexcept;
+};
+
+PlanPrice price_plan(const NodeProgram& plan, int proc = 0,
+                     const PriceOptions& options = {});
+
+/// Prices a statement sequence with one modelled cache persisting across
+/// plans (the executor shares one pool across execute_sequence, so a slab
+/// statement i staged can satisfy statement j's demand read).
+std::vector<PlanPrice> price_sequence(std::span<const NodeProgram> plans,
+                                      int proc = 0,
+                                      const PriceOptions& options = {});
+
+/// Annotates every ReadSlab / WriteSlab / ComputeElementwise step of the
+/// sequence with its forward reuse distance (see Step::reuse_distance) by
+/// replaying the steps' dynamic slab schedule for processor `proc` across
+/// all plans in order. Called by the compiler after step emission; safe to
+/// re-run (distances are reset first).
+void annotate_reuse_distances(std::span<NodeProgram> plans, int proc = 0);
+
+/// Predicted makespan of one plan under the executor's defaults (slab
+/// cache on): charged disk service + compute, minus the read I/O the
+/// plan's prefetching loops can overlap with compute. The --prefetch=auto
+/// decision compares this with and without the double-buffered layout.
+double estimate_plan_time_s(const NodeProgram& plan, const io::DiskModel& disk,
+                            const sim::MachineCostModel& machine);
 
 }  // namespace oocc::compiler

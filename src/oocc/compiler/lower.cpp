@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 #include <optional>
+#include <span>
+#include <sstream>
 
 #include "oocc/compiler/access.hpp"
 #include "oocc/compiler/pretty.hpp"
@@ -156,7 +158,10 @@ void collect_ref_names(const Expr& e, std::vector<std::string>& out) {
 /// sweep over the first lhs; per slab, read every array consumed before the
 /// group produces it, evaluate the statements in order (later statements
 /// read earlier results from memory), then write every produced array.
-void finish_elementwise_plan(NodeProgram& plan, const CompileOptions& options) {
+/// `enable_prefetch` double-buffers the pure-input streams (re-runnable:
+/// the --prefetch=auto pass builds both layouts and keeps one).
+void finish_elementwise_plan(NodeProgram& plan, const CompileOptions& options,
+                             bool enable_prefetch) {
   OOCC_ASSERT(!plan.statements.empty(), "no elementwise statements");
 
   // Which arrays does the group produce, and which must be fetched because
@@ -192,7 +197,7 @@ void finish_elementwise_plan(NodeProgram& plan, const CompileOptions& options) {
   std::sort(pure_reads.begin(), pure_reads.end());
   std::sort(staged_reads.begin(), staged_reads.end());
 
-  const bool prefetch = options.prefetch && !pure_reads.empty();
+  const bool prefetch = enable_prefetch && !pure_reads.empty();
   const std::int64_t buffers =
       static_cast<std::int64_t>(plan.arrays.size()) +
       (prefetch ? static_cast<std::int64_t>(pure_reads.size()) : 0);
@@ -587,8 +592,9 @@ NodeProgram lower_gaxpy(const BoundProgram& program, const GaxpyMatch& match,
                     ? col_mem
                     : row_mem;
 
-  // Prefetch double-buffers A: halve its slab so two buffers fit.
-  plan.prefetch = options.prefetch &&
+  // Prefetch double-buffers A: halve its slab so two buffers fit. (kAuto
+  // is decided after lowering, when the plan can be priced.)
+  plan.prefetch = options.prefetch == PrefetchMode::kOn &&
                   plan.a_orientation == runtime::SlabOrientation::kRowSlabs;
   if (plan.prefetch) {
     const std::int64_t nlc = (match.n + program.nprocs - 1) / program.nprocs;
@@ -657,7 +663,8 @@ NodeProgram lower_elementwise(const BoundProgram& program,
     }
   }
   plan.arrays = std::move(arrays);
-  finish_elementwise_plan(plan, options);
+  finish_elementwise_plan(plan, options,
+                          options.prefetch == PrefetchMode::kOn);
   return plan;
 }
 
@@ -681,9 +688,10 @@ bool can_fuse(const NodeProgram& head, const NodeProgram& next,
     return false;
   }
   // Conservative capacity check: every buffer (plus a second one per array
-  // when prefetching) must still hold one column.
-  const std::int64_t buffers = static_cast<std::int64_t>(union_array_count) *
-                               (options.prefetch ? 2 : 1);
+  // when prefetching — assumed for kAuto too) must still hold one column.
+  const std::int64_t buffers =
+      static_cast<std::int64_t>(union_array_count) *
+      (options.prefetch != PrefetchMode::kOff ? 2 : 1);
   return options.memory_budget_elements / buffers >= a.dist.local_rows(0);
 }
 
@@ -713,7 +721,8 @@ std::vector<NodeProgram> fuse_statement_plans(std::vector<NodeProgram> plans,
       head.cost.rationale =
           "fused " + std::to_string(head.statements.size()) +
           " communication-free elementwise statements into one slab sweep";
-      finish_elementwise_plan(head, options);
+      finish_elementwise_plan(head, options,
+                              options.prefetch == PrefetchMode::kOn);
       continue;
     }
     out.push_back(std::move(plan));
@@ -721,23 +730,128 @@ std::vector<NodeProgram> fuse_statement_plans(std::vector<NodeProgram> plans,
   return out;
 }
 
+// ------------------------------------------------------ prefetch=auto
+
+std::string prefetch_rationale(bool enabled, double t_on, double t_off) {
+  std::ostringstream oss;
+  oss << "auto: prefetch " << (enabled ? "enabled" : "disabled")
+      << " (predicted " << t_on << "s double-buffered vs " << t_off
+      << "s synchronous)";
+  return oss.str();
+}
+
+/// Prices one freshly (re-)emitted candidate layout. The steps must carry
+/// their reuse annotations first — the modelled cache evicts by them, and
+/// pricing an unannotated plan would assume a different retention policy
+/// than the one the executor runs.
+double price_candidate(NodeProgram& plan, const CompileOptions& options) {
+  annotate_reuse_distances(std::span<NodeProgram>(&plan, 1));
+  return estimate_plan_time_s(plan, options.disk, options.machine);
+}
+
+/// --prefetch=auto for an elementwise plan: build the synchronous and the
+/// double-buffered layouts, price both under the executor's defaults (slab
+/// cache on), and keep whichever the model predicts faster.
+void auto_prefetch_elementwise(NodeProgram& plan,
+                               const CompileOptions& options) {
+  finish_elementwise_plan(plan, options, /*enable_prefetch=*/false);
+  const double t_off = price_candidate(plan, options);
+  try {
+    finish_elementwise_plan(plan, options, /*enable_prefetch=*/true);
+  } catch (const Error&) {
+    // The doubled buffers do not fit the budget: stay synchronous.
+    finish_elementwise_plan(plan, options, /*enable_prefetch=*/false);
+    plan.cost.prefetch_rationale =
+        "auto: prefetch disabled (double buffers exceed the memory budget)";
+    return;
+  }
+  if (!plan.loops.front().prefetch) {
+    // No pure-input stream to double-buffer (e.g. a purely in-place sweep).
+    plan.cost.prefetch_rationale =
+        "auto: prefetch disabled (no pure-input slab stream)";
+    return;
+  }
+  const double t_on = price_candidate(plan, options);
+  if (t_on < t_off) {
+    plan.cost.prefetch_rationale = prefetch_rationale(true, t_on, t_off);
+    return;
+  }
+  finish_elementwise_plan(plan, options, /*enable_prefetch=*/false);
+  plan.cost.prefetch_rationale = prefetch_rationale(false, t_on, t_off);
+}
+
+/// --prefetch=auto for a GAXPY plan: only the row-slab translation streams
+/// A through a prefetchable loop; compare it with the halved-slab
+/// double-buffered variant.
+void auto_prefetch_gaxpy(NodeProgram& plan, const BoundProgram& program,
+                         const CompileOptions& options) {
+  if (plan.a_orientation != runtime::SlabOrientation::kRowSlabs) {
+    plan.cost.prefetch_rationale =
+        "auto: prefetch disabled (column-slab translation re-sweeps A; only "
+        "the row-slab stream double-buffers)";
+    return;
+  }
+  const double t_off = price_candidate(plan, options);
+  const std::int64_t saved_slab_a = plan.memory.slab_a;
+  const std::int64_t nlc =
+      (plan.n + program.nprocs - 1) / program.nprocs;
+  plan.prefetch = true;
+  plan.memory.slab_a = std::max<std::int64_t>(nlc, saved_slab_a / 2);
+  plan.arrays.at(plan.a).slab_elements = plan.memory.slab_a;
+  emit_gaxpy_steps(plan);
+  const double t_on = price_candidate(plan, options);
+  if (t_on < t_off) {
+    plan.cost.prefetch_rationale = prefetch_rationale(true, t_on, t_off);
+    return;
+  }
+  plan.prefetch = false;
+  plan.memory.slab_a = saved_slab_a;
+  plan.arrays.at(plan.a).slab_elements = saved_slab_a;
+  emit_gaxpy_steps(plan);
+  plan.cost.prefetch_rationale = prefetch_rationale(false, t_on, t_off);
+}
+
 }  // namespace
+
+std::string_view prefetch_mode_name(PrefetchMode m) noexcept {
+  switch (m) {
+    case PrefetchMode::kOff:
+      return "off";
+    case PrefetchMode::kOn:
+      return "on";
+    case PrefetchMode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
 
 NodeProgram compile(const BoundProgram& program,
                     const CompileOptions& options) {
   OOCC_REQUIRE(options.memory_budget_elements >= 1,
                "memory budget must be positive");
-  if (auto gaxpy = match_gaxpy(program)) {
-    return lower_gaxpy(program, *gaxpy, options);
-  }
-  hpf::StmtPtr normalized;  // keeps a synthesized FORALL alive through lowering
-  if (auto elementwise = match_elementwise(program, normalized)) {
-    return lower_elementwise(program, *elementwise, options);
-  }
-  OOCC_THROW(ErrorCode::kCompileError,
-             "no supported statement pattern: expected the GAXPY reduction "
-             "nest (do/forall/SUM) or a single elementwise FORALL over "
-             "aligned sections");
+  NodeProgram plan = [&]() -> NodeProgram {
+    if (auto gaxpy = match_gaxpy(program)) {
+      NodeProgram p = lower_gaxpy(program, *gaxpy, options);
+      if (options.prefetch == PrefetchMode::kAuto) {
+        auto_prefetch_gaxpy(p, program, options);
+      }
+      return p;
+    }
+    hpf::StmtPtr normalized;  // keeps a synthesized FORALL alive
+    if (auto elementwise = match_elementwise(program, normalized)) {
+      NodeProgram p = lower_elementwise(program, *elementwise, options);
+      if (options.prefetch == PrefetchMode::kAuto) {
+        auto_prefetch_elementwise(p, options);
+      }
+      return p;
+    }
+    OOCC_THROW(ErrorCode::kCompileError,
+               "no supported statement pattern: expected the GAXPY reduction "
+               "nest (do/forall/SUM) or a single elementwise FORALL over "
+               "aligned sections");
+  }();
+  annotate_reuse_distances(std::span<NodeProgram>(&plan, 1));
+  return plan;
 }
 
 NodeProgram compile_source(std::string_view source,
@@ -770,7 +884,20 @@ std::vector<NodeProgram> compile_sequence(const BoundProgram& program,
   }
   if (options.enable_statement_fusion) {
     plans = fuse_statement_plans(std::move(plans), options);
+    // Fusion re-emits the fused sweeps with the static prefetch setting;
+    // re-run the auto decision on the merged plans.
+    if (options.prefetch == PrefetchMode::kAuto) {
+      for (NodeProgram& plan : plans) {
+        if (plan.kind == ProgramKind::kElementwise &&
+            plan.statements.size() > 1) {
+          auto_prefetch_elementwise(plan, options);
+        }
+      }
+    }
   }
+  // Reuse distances span statement boundaries: annotate the whole sequence
+  // so the runtime pool knows which slabs a *later* statement will read.
+  annotate_reuse_distances(std::span<NodeProgram>(plans.data(), plans.size()));
   return plans;
 }
 

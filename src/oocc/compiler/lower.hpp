@@ -20,6 +20,17 @@
 
 namespace oocc::compiler {
 
+/// Prefetch (double-buffering) policy for slab streams.
+enum class PrefetchMode {
+  kOff,  ///< synchronous slab reads (the pre-prefetch baseline)
+  kOn,   ///< force double-buffering of the eligible streams
+  kAuto  ///< per-plan decision: price_steps + the disk model compare the
+         ///< sweep with and without the double-buffered layout and keep
+         ///< whichever the cost model predicts faster
+};
+
+std::string_view prefetch_mode_name(PrefetchMode m) noexcept;
+
 struct CompileOptions {
   /// Per-processor node memory available for ICLAs, in elements.
   std::int64_t memory_budget_elements = 1 << 20;
@@ -34,8 +45,9 @@ struct CompileOptions {
 
   /// Double-buffer the dominant array's slabs (halves its slab size). For
   /// elementwise sweeps this double-buffers the pure-input slab streams
-  /// (shrinking every array's share so the extra buffers fit).
-  bool prefetch = false;
+  /// (shrinking every array's share so the extra buffers fit). kAuto lets
+  /// the cost model decide per plan.
+  PrefetchMode prefetch = PrefetchMode::kOff;
 
   /// Inter-statement slab fusion: consecutive communication-free
   /// elementwise statements with aligned distributions merge into one

@@ -93,6 +93,13 @@ struct Step {
   std::string array;
   std::string with;
   int stmt = -1;
+  /// Forward reuse distance, annotated by annotate_reuse_distances (cost.hpp)
+  /// on kReadSlab / kWriteSlab / kComputeElementwise steps: the minimum
+  /// number of slab I/O events between an execution of this step and the
+  /// next read of the data it touches, anywhere in the compiled sequence;
+  /// -1 when the data is never read again. The runtime slab pool uses it as
+  /// an eviction hint (farthest-next-use goes first).
+  double reuse_distance = -1.0;
   std::vector<Step> body;
 };
 

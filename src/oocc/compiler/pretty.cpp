@@ -123,6 +123,9 @@ void emit_steps(std::ostringstream& oss, const std::vector<Step>& steps,
       case StepKind::kReadSlab:
       case StepKind::kWriteSlab:
         oss << " " << s.array << " [" << s.loop << "]";
+        if (s.reuse_distance >= 0) {
+          oss << " (reuse " << s.reuse_distance << ")";
+        }
         break;
       case StepKind::kComputeElementwise:
         oss << " stmt#" << s.stmt;
@@ -218,6 +221,9 @@ std::string decision_report(const NodeProgram& plan) {
     if (!plan.cost.rationale.empty()) {
       oss << "rationale: " << plan.cost.rationale << "\n";
     }
+  }
+  if (!plan.cost.prefetch_rationale.empty()) {
+    oss << "prefetch: " << plan.cost.prefetch_rationale << "\n";
   }
   return oss.str();
 }

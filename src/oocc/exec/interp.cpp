@@ -5,10 +5,12 @@
 #include <vector>
 
 #include "oocc/exec/eval.hpp"
+#include "oocc/runtime/bufferpool.hpp"
 #include "oocc/runtime/prefetch.hpp"
 #include "oocc/runtime/slab_iter.hpp"
 #include "oocc/runtime/slab_writer.hpp"
 #include "oocc/sim/collectives.hpp"
+#include "oocc/util/env.hpp"
 #include "oocc/util/error.hpp"
 
 namespace oocc::exec {
@@ -45,15 +47,17 @@ void check_binding(const compiler::NodeProgram& plan,
 /// executor is schema-free: every behavior (which arrays stream through
 /// which loops, where partial products accumulate, when the global sum
 /// runs) is read off the step tree, so new kernels are new step programs,
-/// not new executors.
+/// not new executors. With a SlabBufferPool all slab I/O routes through it
+/// (pinned per slab iteration, staged outputs write back lazily); without
+/// one the pre-pool paths run: per-loop PrefetchingSlabReaders and direct
+/// write-through staging.
 class StepExecutor {
  public:
   StepExecutor(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
-               const ArrayBindings& arrays)
-      : ctx_(ctx),
-        plan_(plan),
-        arrays_(arrays),
-        budget_(plan.memory_budget_elements) {
+               const ArrayBindings& arrays, runtime::MemoryBudget& budget,
+               runtime::SlabBufferPool* pool)
+      : ctx_(ctx), plan_(plan), arrays_(arrays), budget_(budget),
+        pool_(pool) {
     for (const compiler::SlabLoop& loop : plan_.loops) {
       const runtime::OutOfCoreArray& space = bound(arrays_, loop.space);
       states_.emplace(
@@ -66,6 +70,11 @@ class StepExecutor {
   }
 
   void run() {
+    if (pool_ != nullptr && plan_.kind == compiler::ProgramKind::kGaxpy) {
+      // The reduction output is written through the OwnedColumnWriter,
+      // which bypasses the pool: cached slabs of it would go stale.
+      pool_->invalidate(ctx_, plan_.c);
+    }
     run_steps(plan_.steps);
     if (writer_) {
       writer_->flush(ctx_);
@@ -74,6 +83,14 @@ class StepExecutor {
     if (temp_reserved_ > 0) {
       budget_.release(temp_reserved_);
       temp_reserved_ = 0;
+    }
+    if (pool_ != nullptr) {
+      // Pin-count leak detection: every slab iteration must have unpinned
+      // what it acquired.
+      OOCC_CHECK(pool_->pinned_count() == 0, ErrorCode::kRuntimeError,
+                 "slab pool pin leak: " << pool_->pinned_count()
+                                        << " entries still pinned after the "
+                                           "sweep");
     }
   }
 
@@ -87,11 +104,17 @@ class StepExecutor {
     std::int64_t index = -1;       ///< current slab, -1 outside the loop
     io::Section section{};         ///< current slab's section
     std::int64_t column = -1;      ///< ForEachColumn position
-    /// One double-bufferable reader per array streamed through this loop.
+    /// One double-bufferable reader per array streamed through this loop
+    /// (cache-off mode only).
     std::map<std::string, std::unique_ptr<runtime::PrefetchingSlabReader>>
         readers;
     /// Buffers holding the current slab of each streamed array.
     std::map<std::string, const runtime::IclaBuffer*> loaded;
+    /// Pool entries pinned during the current slab iteration (cache mode).
+    std::vector<std::pair<std::string, io::Section>> pinned;
+    /// Read-ahead queue for this loop's upcoming ReadSlab schedule.
+    runtime::IoScheduler scheduler;
+    int lookahead = 0;  ///< reads to keep in flight (streamed array count)
   };
 
   LoopState& state(const std::string& name) {
@@ -125,15 +148,48 @@ class StepExecutor {
     switch (step.kind) {
       case StepKind::kForEachSlab: {
         LoopState& loop = state(step.loop);
-        for (auto& [name, reader] : loop.readers) {
-          reader->reset();  // a re-sweep re-reads; cached slabs are stale
+        if (pool_ == nullptr) {
+          for (auto& [name, reader] : loop.readers) {
+            reader->reset();  // a re-sweep re-reads; cached slabs are stale
+          }
+        } else if (loop.decl->prefetch) {
+          // Hand the loop's full upcoming ReadSlab schedule to the
+          // read-ahead queue: every pure-input stream, every slab, in
+          // demand order.
+          loop.scheduler.clear();
+          loop.lookahead = 0;
+          std::vector<const compiler::Step*> reads;
+          for (const compiler::Step& s : step.body) {
+            if (s.kind == StepKind::kReadSlab &&
+                !plan_.array(s.array).is_output) {
+              reads.push_back(&s);
+              ++loop.lookahead;
+            }
+          }
+          for (std::int64_t i = 0; i < loop.iter.count(); ++i) {
+            for (const compiler::Step* s : reads) {
+              loop.scheduler.enqueue(runtime::IoScheduler::Request{
+                  &bound(arrays_, s->array).laf(), s->array,
+                  loop.iter.section(i), s->reuse_distance});
+            }
+          }
         }
         for (std::int64_t i = 0; i < loop.iter.count(); ++i) {
           loop.index = i;
           loop.section = loop.iter.section(i);
           run_steps(step.body);
+          if (pool_ != nullptr) {
+            for (auto it = loop.pinned.rbegin(); it != loop.pinned.rend();
+                 ++it) {
+              pool_->unpin(it->first, it->second);
+            }
+            loop.pinned.clear();
+          }
         }
         loop.index = -1;
+        if (pool_ != nullptr) {
+          loop.scheduler.clear();
+        }
         return;
       }
       case StepKind::kForEachColumn: {
@@ -151,6 +207,13 @@ class StepExecutor {
         return;
       case StepKind::kWriteSlab: {
         LoopState& loop = state(step.loop);
+        if (pool_ != nullptr) {
+          // Deferred write-back: the dirty slab reaches the LAF on eviction
+          // or at the end-of-sequence flush; meanwhile a later statement's
+          // read of it is a hit.
+          pool_->mark_dirty(step.array, loop.section, step.reuse_distance);
+          return;
+        }
         const auto it = staging_.find(step.array);
         OOCC_CHECK(it != staging_.end(), ErrorCode::kRuntimeError,
                    "write-slab of '" << step.array
@@ -178,6 +241,16 @@ class StepExecutor {
   void read_slab(const compiler::Step& step) {
     LoopState& loop = state(step.loop);
     runtime::OutOfCoreArray& array = bound(arrays_, step.array);
+    if (pool_ != nullptr) {
+      runtime::IclaBuffer& buf = pool_->acquire_read(
+          ctx_, array.laf(), step.array, loop.section, step.reuse_distance);
+      loop.pinned.emplace_back(step.array, loop.section);
+      loop.loaded[step.array] = &buf;
+      if (loop.decl->prefetch) {
+        loop.scheduler.pump(ctx_, *pool_, loop.lookahead);
+      }
+      return;
+    }
     if (plan_.array(step.array).is_output) {
       // An array the program also produces is staged in a writable buffer;
       // its initial read (the in-place update case) loads straight into it
@@ -206,10 +279,20 @@ class StepExecutor {
     LoopState& loop = state(step.loop);
     const io::Section sec = loop.section;
     runtime::OutOfCoreArray& lhs = bound(arrays_, st.lhs);
-    runtime::IclaBuffer& out = staging(st.lhs, loop.iter.slab_elements());
-    // Re-target without clearing: an in-place load or an earlier statement
-    // of the fused group may already have staged this slab's data.
-    out.reset_section(sec);
+    runtime::IclaBuffer* out_ptr;
+    if (pool_ != nullptr) {
+      // Stage into a pool entry: an in-place load or an earlier statement
+      // of the fused group already created it (data preserved).
+      out_ptr = &pool_->acquire_write(ctx_, lhs.laf(), st.lhs, sec,
+                                      step.reuse_distance);
+      loop.pinned.emplace_back(st.lhs, sec);
+    } else {
+      out_ptr = &staging(st.lhs, loop.iter.slab_elements());
+      // Re-target without clearing: an in-place load or an earlier
+      // statement of the fused group may already have staged this data.
+      out_ptr->reset_section(sec);
+    }
+    runtime::IclaBuffer& out = *out_ptr;
     // Safe to install before evaluating: each element is written only from
     // values of the same (row, column), read before the write. Later
     // statements of a fused group read this result from memory.
@@ -240,6 +323,9 @@ class StepExecutor {
     const io::Section asec = a_buf->section();
     if (fresh_column_) {
       if (temp_reserved_ == 0) {
+        if (pool_ != nullptr) {
+          pool_->ensure_available(ctx_, asec.rows());
+        }
         budget_.reserve(asec.rows(), "temp column");
         temp_reserved_ = asec.rows();
       }
@@ -285,9 +371,13 @@ class StepExecutor {
       if (!c_buf_) {
         // Room for at least one full-height output (sub)column per flush.
         const std::int64_t full_rows = partial_loop_->iter.section(0).rows();
-        c_buf_ = std::make_unique<runtime::IclaBuffer>(
-            budget_, std::max(plan_.memory.slab_c, full_rows),
-            "icla_" + step.array);
+        const std::int64_t capacity =
+            std::max(plan_.memory.slab_c, full_rows);
+        if (pool_ != nullptr) {
+          pool_->ensure_available(ctx_, capacity);
+        }
+        c_buf_ = std::make_unique<runtime::IclaBuffer>(budget_, capacity,
+                                                       "icla_" + step.array);
       }
       writer_ = std::make_unique<runtime::OwnedColumnWriter>(
           c, *c_buf_, temp_row0_, temp_row1_);
@@ -300,7 +390,8 @@ class StepExecutor {
   sim::SpmdContext& ctx_;
   const compiler::NodeProgram& plan_;
   const ArrayBindings& arrays_;
-  runtime::MemoryBudget budget_;
+  runtime::MemoryBudget& budget_;
+  runtime::SlabBufferPool* pool_;
   std::map<std::string, LoopState> states_;
   std::map<std::string, std::unique_ptr<runtime::IclaBuffer>> staging_;
 
@@ -329,8 +420,10 @@ create_plan_arrays(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
   return out;
 }
 
-void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
-             const ArrayBindings& arrays) {
+namespace {
+
+void check_plan(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
+                const ArrayBindings& arrays) {
   OOCC_CHECK(ctx.nprocs() == plan.nprocs, ErrorCode::kRuntimeError,
              "plan was compiled for " << plan.nprocs
                                       << " processors but the machine has "
@@ -340,7 +433,38 @@ void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
   for (const auto& [name, pa] : plan.arrays) {
     check_binding(plan, bound(arrays, name));
   }
-  StepExecutor(ctx, plan, arrays).run();
+}
+
+}  // namespace
+
+ExecOptions default_exec_options() {
+  ExecOptions options;
+  if (env_flag("OOCC_NO_CACHE")) {
+    options.use_cache = false;
+  }
+  return options;
+}
+
+void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
+             const ArrayBindings& arrays) {
+  execute(ctx, plan, arrays, default_exec_options());
+}
+
+void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
+             const ArrayBindings& arrays, const ExecOptions& options) {
+  check_plan(ctx, plan, arrays);
+  runtime::MemoryBudget budget(
+      std::max(plan.memory_budget_elements, options.budget_elements));
+  if (!options.use_cache) {
+    StepExecutor(ctx, plan, arrays, budget, nullptr).run();
+    return;
+  }
+  runtime::SlabBufferPool pool(budget, "pool");
+  StepExecutor(ctx, plan, arrays, budget, &pool).run();
+  pool.flush(ctx);
+  if (options.cache_stats != nullptr) {
+    options.cache_stats->merge(pool.stats());
+  }
 }
 
 std::map<std::string, std::unique_ptr<runtime::OutOfCoreArray>>
@@ -381,7 +505,14 @@ create_sequence_arrays(sim::SpmdContext& ctx,
 void execute_sequence(sim::SpmdContext& ctx,
                       std::span<const compiler::NodeProgram> plans,
                       const ArrayBindings& arrays) {
-  for (const compiler::NodeProgram& plan : plans) {
+  execute_sequence(ctx, plans, arrays, default_exec_options());
+}
+
+void execute_sequence(sim::SpmdContext& ctx,
+                      std::span<const compiler::NodeProgram> plans,
+                      const ArrayBindings& arrays,
+                      const ExecOptions& options) {
+  const auto subset_for = [&](const compiler::NodeProgram& plan) {
     ArrayBindings subset;
     for (const auto& [name, pa] : plan.arrays) {
       const auto it = arrays.find(name);
@@ -389,7 +520,34 @@ void execute_sequence(sim::SpmdContext& ctx,
                  "sequence binding is missing array '" << name << "'");
       subset[name] = it->second;
     }
-    execute(ctx, plan, subset);
+    return subset;
+  };
+  if (plans.empty()) {
+    return;
+  }
+  if (!options.use_cache) {
+    for (const compiler::NodeProgram& plan : plans) {
+      execute(ctx, plan, subset_for(plan), options);
+    }
+    return;
+  }
+  // One pool spans the whole sequence: slabs one statement read or staged
+  // satisfy later statements' demand reads, which is where multi-statement
+  // chains recover their shared traffic.
+  std::int64_t budget_elements = options.budget_elements;
+  for (const compiler::NodeProgram& plan : plans) {
+    budget_elements = std::max(budget_elements, plan.memory_budget_elements);
+  }
+  runtime::MemoryBudget budget(budget_elements);
+  runtime::SlabBufferPool pool(budget, "pool");
+  for (const compiler::NodeProgram& plan : plans) {
+    const ArrayBindings subset = subset_for(plan);
+    check_plan(ctx, plan, subset);
+    StepExecutor(ctx, plan, subset, budget, &pool).run();
+  }
+  pool.flush(ctx);
+  if (options.cache_stats != nullptr) {
+    options.cache_stats->merge(pool.stats());
   }
 }
 

@@ -5,10 +5,16 @@
 // execution on the distributed-memory machine. There is one generic
 // executor: it walks the plan's slab-program IR (ForEachSlab /
 // ForEachColumn structure with ReadSlab, WriteSlab, ComputeElementwise,
-// ComputeGaxpyPartial, ReduceSum, Barrier leaves), streaming every slab
-// read through runtime::PrefetchingSlabReader so double-buffering is a
-// per-loop flag rather than a per-kernel rewrite. The GAXPY and
-// elementwise translations are just different step programs.
+// ComputeGaxpyPartial, ReduceSum, Barrier leaves). By default every
+// ReadSlab/WriteSlab routes through a runtime::SlabBufferPool shared
+// across the statements of a sequence, so slabs a statement staged (or a
+// re-sweep already fetched) are served from memory, guided by the
+// compiler's reuse-distance annotations; prefetching loops drive an
+// IoScheduler read-ahead queue. With the cache disabled (ExecOptions /
+// OOCC_NO_CACHE) slab streams fall back to per-loop
+// runtime::PrefetchingSlabReaders and direct write-through — bit-identical
+// to the pre-pool executor. The GAXPY and elementwise translations are
+// just different step programs.
 #pragma once
 
 #include <filesystem>
@@ -17,12 +23,30 @@
 #include <span>
 
 #include "oocc/compiler/plan.hpp"
+#include "oocc/runtime/bufferpool.hpp"
 #include "oocc/runtime/ooc_array.hpp"
 
 namespace oocc::exec {
 
 /// Per-processor set of arrays bound to a plan.
 using ArrayBindings = std::map<std::string, runtime::OutOfCoreArray*>;
+
+/// Per-run executor knobs.
+struct ExecOptions {
+  /// Route slab I/O through a reuse-aware SlabBufferPool (shared across a
+  /// sequence's statements). Off reproduces the pre-pool executor exactly:
+  /// per-loop readers, every sweep re-reads, writes go straight through.
+  bool use_cache = true;
+  /// Memory available to the executor in elements; 0 = the plan's own
+  /// memory_budget_elements (for a sequence: the max across its plans).
+  /// Values above the plan budget give the pool headroom to retain slabs.
+  std::int64_t budget_elements = 0;
+  /// When non-null, the pool's counters are merged into it after the run.
+  runtime::SlabCacheStats* cache_stats = nullptr;
+};
+
+/// ExecOptions honouring the environment: OOCC_NO_CACHE disables the pool.
+ExecOptions default_exec_options();
 
 /// Creates one OutOfCoreArray per plan array (with the plan's storage
 /// orders) under `dir`. Call inside the SPMD region.
@@ -37,6 +61,8 @@ create_plan_arrays(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
 /// rank calls it. Throws Error(kRuntimeError) on binding mismatches.
 void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
              const ArrayBindings& arrays);
+void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
+             const ArrayBindings& arrays, const ExecOptions& options);
 
 /// Creates the union of arrays across a compiled statement sequence.
 /// Throws Error(kCompileError) if two plans disagree about an array's
@@ -52,5 +78,9 @@ create_sequence_arrays(sim::SpmdContext& ctx,
 void execute_sequence(sim::SpmdContext& ctx,
                       std::span<const compiler::NodeProgram> plans,
                       const ArrayBindings& arrays);
+void execute_sequence(sim::SpmdContext& ctx,
+                      std::span<const compiler::NodeProgram> plans,
+                      const ArrayBindings& arrays,
+                      const ExecOptions& options);
 
 }  // namespace oocc::exec

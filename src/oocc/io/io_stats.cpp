@@ -9,6 +9,12 @@ std::string IoStats::summary() const {
   oss << "reads=" << read_requests << " writes=" << write_requests
       << " bytes_read=" << bytes_read << " bytes_written=" << bytes_written
       << " io_time=" << time_s << "s";
+  if (cache_hits + cache_misses + cache_evictions + cache_writebacks > 0) {
+    oss << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses
+        << " cache_evictions=" << cache_evictions
+        << " cache_writebacks=" << cache_writebacks
+        << " bytes_cache_hit=" << bytes_cache_hit;
+  }
   return oss.str();
 }
 

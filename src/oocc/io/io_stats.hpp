@@ -16,6 +16,16 @@ struct IoStats {
   std::uint64_t bytes_written = 0;
   double time_s = 0.0;  ///< simulated disk service time charged
 
+  // Slab-cache activity against this file (runtime::SlabBufferPool): demand
+  // reads served from memory instead of disk, and the pool's eviction /
+  // dirty write-back traffic. Hits do not appear in the request/byte
+  // counters above — bytes_cache_hit is exactly the LAF volume they avoided.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_writebacks = 0;
+  std::uint64_t bytes_cache_hit = 0;
+
   std::uint64_t total_requests() const noexcept {
     return read_requests + write_requests;
   }
@@ -29,6 +39,11 @@ struct IoStats {
     bytes_read += other.bytes_read;
     bytes_written += other.bytes_written;
     time_s += other.time_s;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_evictions += other.cache_evictions;
+    cache_writebacks += other.cache_writebacks;
+    bytes_cache_hit += other.bytes_cache_hit;
   }
 
   std::string summary() const;

@@ -42,6 +42,18 @@ struct Section {
   std::int64_t cols() const noexcept { return col1 - col0; }
   std::int64_t elements() const noexcept { return rows() * cols(); }
   bool empty() const noexcept { return rows() <= 0 || cols() <= 0; }
+
+  friend bool operator==(const Section&, const Section&) = default;
+
+  /// True when the two rectangles share at least one element.
+  bool overlaps(const Section& o) const noexcept {
+    return row0 < o.row1 && o.row0 < row1 && col0 < o.col1 && o.col0 < col1;
+  }
+  /// True when `o` lies entirely inside this section.
+  bool contains(const Section& o) const noexcept {
+    return row0 <= o.row0 && o.row1 <= row1 && col0 <= o.col0 &&
+           o.col1 <= col1;
+  }
 };
 
 /// One contiguous byte range of the file backing part of a section.
@@ -77,6 +89,16 @@ class LocalArrayFile {
   const DiskModel& disk() const noexcept { return disk_; }
   const IoStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = IoStats{}; }
+
+  /// Slab-cache accounting hooks (runtime::SlabBufferPool): a hit avoids
+  /// traffic on this file but should stay visible next to its counters.
+  void note_cache_hit(std::uint64_t bytes) noexcept {
+    ++stats_.cache_hits;
+    stats_.bytes_cache_hit += bytes;
+  }
+  void note_cache_miss() noexcept { ++stats_.cache_misses; }
+  void note_cache_eviction() noexcept { ++stats_.cache_evictions; }
+  void note_cache_writeback() noexcept { ++stats_.cache_writebacks; }
   FileBackend& backend() noexcept { return backend_; }
 
   /// Whole-array section.

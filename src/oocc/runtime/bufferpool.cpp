@@ -1,0 +1,472 @@
+#include "oocc/runtime/bufferpool.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "oocc/util/log.hpp"
+
+namespace oocc::runtime {
+
+namespace {
+
+/// Eviction rank: larger = better victim. -1 (no known reuse) evicts first.
+double eviction_rank(double reuse_hint) noexcept {
+  return reuse_hint < 0 ? std::numeric_limits<double>::infinity() : reuse_hint;
+}
+
+}  // namespace
+
+SlabBufferPool::SlabBufferPool(MemoryBudget& budget, std::string name,
+                               bool mirror_laf_stats)
+    : budget_(budget),
+      name_(std::move(name)),
+      mirror_laf_stats_(mirror_laf_stats) {}
+
+SlabBufferPool::~SlabBufferPool() {
+  for (const auto& [array, list] : entries_) {
+    for (const auto& e : list) {
+      if (e->pins > 0) {
+        OOCC_WARN("bufferpool", "pool '" << name_ << "' destroyed with '"
+                                         << array << "' slab still pinned "
+                                         << e->pins << " time(s)");
+      }
+      if (e->dirty) {
+        OOCC_WARN("bufferpool", "pool '" << name_
+                                         << "' destroyed with dirty '"
+                                         << array
+                                         << "' slab (missing flush?)");
+      }
+    }
+  }
+}
+
+SlabBufferPool::Entry* SlabBufferPool::find_exact(
+    const std::string& array, const io::Section& s) noexcept {
+  const auto it = entries_.find(array);
+  if (it == entries_.end()) {
+    return nullptr;
+  }
+  for (const auto& e : it->second) {
+    if (e->sec == s) {
+      return e.get();
+    }
+  }
+  return nullptr;
+}
+
+const SlabBufferPool::Entry* SlabBufferPool::find_exact(
+    const std::string& array, const io::Section& s) const noexcept {
+  return const_cast<SlabBufferPool*>(this)->find_exact(array, s);
+}
+
+std::vector<SlabBufferPool::Entry*> SlabBufferPool::covering_entries(
+    const std::string& array, const io::Section& s) {
+  const auto it = entries_.find(array);
+  if (it == entries_.end()) {
+    return {};
+  }
+  // Single entry containing the whole request (any geometry).
+  for (const auto& e : it->second) {
+    if (e->sec.contains(s)) {
+      return {e.get()};
+    }
+  }
+  // Multi-entry assembly only for full-height column sections covered by
+  // full-height entries (the shape every column-slab sweep uses); column c
+  // is served by the first entry spanning it.
+  std::vector<Entry*> sources;
+  for (std::int64_t c = s.col0; c < s.col1;) {
+    Entry* found = nullptr;
+    for (const auto& e : it->second) {
+      if (e->sec.row0 == s.row0 && e->sec.row1 == s.row1 &&
+          e->sec.col0 <= c && c < e->sec.col1) {
+        found = e.get();
+        break;
+      }
+    }
+    if (found == nullptr) {
+      return {};
+    }
+    sources.push_back(found);
+    c = found->sec.col1;
+  }
+  return sources;
+}
+
+bool SlabBufferPool::resident(const std::string& array,
+                              const io::Section& s) const {
+  return !const_cast<SlabBufferPool*>(this)->covering_entries(array, s)
+              .empty();
+}
+
+void SlabBufferPool::read_into(sim::SpmdContext& ctx, Entry& e) {
+  // Model asynchronous issue exactly like the classic double buffer: the
+  // host read runs now and charges its service time, then the clock rewinds
+  // to the issue point and the completion timestamp is queued behind any
+  // earlier outstanding request (one disk per processor).
+  const double t_issue = ctx.clock().now();
+  e.buf->load(ctx, *e.laf, e.sec);
+  const double service = ctx.clock().now() - t_issue;
+  const double start = std::max(t_issue, disk_free_time_s_);
+  e.ready_time_s = start + service;
+  disk_free_time_s_ = e.ready_time_s;
+  ctx.clock().rewind_to(t_issue);
+}
+
+void SlabBufferPool::write_back(sim::SpmdContext& ctx, Entry& e) {
+  if (!e.dirty) {
+    return;
+  }
+  e.buf->store_as(ctx, *e.laf, e.sec);
+  e.dirty = false;
+  ++stats_.writebacks;
+  if (mirror_laf_stats_) {
+    e.laf->note_cache_writeback();
+  }
+}
+
+bool SlabBufferPool::evict_one(sim::SpmdContext& ctx) {
+  const std::string* victim_array = nullptr;
+  Entry* victim = nullptr;
+  for (auto& [array, list] : entries_) {
+    for (const auto& e : list) {
+      if (e->pins > 0) {
+        continue;
+      }
+      if (victim == nullptr ||
+          eviction_rank(e->reuse_hint) > eviction_rank(victim->reuse_hint) ||
+          (eviction_rank(e->reuse_hint) == eviction_rank(victim->reuse_hint) &&
+           e->last_use < victim->last_use)) {
+        victim_array = &array;
+        victim = e.get();
+      }
+    }
+  }
+  if (victim == nullptr) {
+    return false;
+  }
+  write_back(ctx, *victim);
+  ++stats_.evictions;
+  if (mirror_laf_stats_) {
+    victim->laf->note_cache_eviction();
+  }
+  erase_entry(*victim_array, victim);
+  return true;
+}
+
+void SlabBufferPool::erase_entry(const std::string& array,
+                                 const Entry* e) noexcept {
+  const auto it = entries_.find(array);
+  if (it == entries_.end()) {
+    return;
+  }
+  EntryList& list = it->second;
+  for (auto lit = list.begin(); lit != list.end(); ++lit) {
+    if (lit->get() == e) {
+      resident_elements_ -= e->sec.elements();
+      list.erase(lit);  // ~IclaBuffer releases the budget
+      break;
+    }
+  }
+  if (list.empty()) {
+    entries_.erase(it);
+  }
+}
+
+void SlabBufferPool::ensure_available(sim::SpmdContext& ctx,
+                                      std::int64_t elements) {
+  while (budget_.remaining() < elements) {
+    if (!evict_one(ctx)) {
+      OOCC_THROW(ErrorCode::kResourceExhausted,
+                 "slab pool '" << name_ << "' cannot free " << elements
+                               << " elements: " << budget_.remaining()
+                               << " free, " << pinned_count()
+                               << " entries pinned");
+    }
+  }
+}
+
+SlabBufferPool::Entry& SlabBufferPool::insert_entry(sim::SpmdContext& ctx,
+                                                    io::LocalArrayFile& laf,
+                                                    const std::string& array,
+                                                    const io::Section& s,
+                                                    double reuse_hint) {
+  ensure_available(ctx, s.elements());
+  auto e = std::make_unique<Entry>();
+  e->sec = s;
+  e->laf = &laf;
+  e->reuse_hint = reuse_hint;
+  e->last_use = ++tick_;
+  e->buf = std::make_unique<IclaBuffer>(budget_, s.elements(),
+                                        name_ + ":" + array);
+  e->buf->reset_section(s);
+  Entry& ref = *e;
+  entries_[array].push_back(std::move(e));
+  resident_elements_ += s.elements();
+  return ref;
+}
+
+IclaBuffer& SlabBufferPool::acquire_read(sim::SpmdContext& ctx,
+                                         io::LocalArrayFile& laf,
+                                         const std::string& array,
+                                         const io::Section& s,
+                                         double reuse_hint) {
+  OOCC_REQUIRE(!s.empty(), "cannot acquire empty section of '" << array
+                                                               << "'");
+  if (Entry* e = find_exact(array, s)) {
+    e->last_use = ++tick_;
+    e->reuse_hint = reuse_hint;
+    ++e->pins;
+    ctx.clock().wait_until(e->ready_time_s);
+    if (e->prefetched) {
+      // The double-buffer path: the bytes did move, just earlier.
+      e->prefetched = false;
+    } else {
+      ++stats_.hits;
+      stats_.elements_hit += static_cast<std::uint64_t>(s.elements());
+      if (mirror_laf_stats_) {
+        laf.note_cache_hit(static_cast<std::uint64_t>(s.elements()) *
+                           sizeof(double));
+      }
+    }
+    return *e->buf;
+  }
+
+  std::vector<Entry*> sources = covering_entries(array, s);
+  if (!sources.empty()) {
+    // Assemble the requested section from cached data: pin the sources so
+    // allocation cannot evict them, copy column by column, unpin.
+    double ready = ctx.clock().now();
+    for (Entry* src : sources) {
+      ++src->pins;
+      ready = std::max(ready, src->ready_time_s);
+    }
+    Entry& e = insert_entry(ctx, laf, array, s, reuse_hint);
+    for (std::int64_t c = s.col0; c < s.col1; ++c) {
+      const Entry* src = nullptr;
+      for (const Entry* cand : sources) {
+        if (cand->sec.col0 <= c && c < cand->sec.col1) {
+          src = cand;
+          break;
+        }
+      }
+      OOCC_ASSERT(src != nullptr, "coverage lost during assembly");
+      const double* from =
+          &src->buf->at(s.row0 - src->sec.row0, c - src->sec.col0);
+      double* to = &e.buf->at(0, c - s.col0);
+      std::memcpy(to, from, static_cast<std::size_t>(s.rows()) *
+                                sizeof(double));
+    }
+    for (Entry* src : sources) {
+      --src->pins;
+    }
+    e.ready_time_s = ready;
+    e.pins = 1;
+    ctx.clock().wait_until(ready);
+    ++stats_.hits;
+    stats_.elements_hit += static_cast<std::uint64_t>(s.elements());
+    if (mirror_laf_stats_) {
+      laf.note_cache_hit(static_cast<std::uint64_t>(s.elements()) *
+                         sizeof(double));
+    }
+    return *e.buf;
+  }
+
+  // Miss: read from disk into a fresh entry. Dirty entries overlapping the
+  // request hold data the disk does not have yet — write them back first
+  // or the read returns stale bytes (the partially-evicted cross-geometry
+  // case).
+  flush_overlapping_dirty(ctx, array, s);
+  ++stats_.misses;
+  if (mirror_laf_stats_) {
+    laf.note_cache_miss();
+  }
+  Entry& e = insert_entry(ctx, laf, array, s, reuse_hint);
+  read_into(ctx, e);
+  e.pins = 1;
+  ctx.clock().wait_until(e.ready_time_s);
+  return *e.buf;
+}
+
+void SlabBufferPool::flush_overlapping_dirty(sim::SpmdContext& ctx,
+                                             const std::string& array,
+                                             const io::Section& s) {
+  const auto it = entries_.find(array);
+  if (it == entries_.end()) {
+    return;
+  }
+  for (const auto& e : it->second) {
+    if (e->dirty && e->sec.overlaps(s)) {
+      write_back(ctx, *e);
+    }
+  }
+}
+
+IclaBuffer& SlabBufferPool::acquire_write(sim::SpmdContext& ctx,
+                                          io::LocalArrayFile& laf,
+                                          const std::string& array,
+                                          const io::Section& s,
+                                          double reuse_hint) {
+  OOCC_REQUIRE(!s.empty(), "cannot stage empty section of '" << array << "'");
+  // Every other cached range overlapping s goes stale once this buffer is
+  // computed into: write dirty ones back, then drop them.
+  const auto it = entries_.find(array);
+  if (it != entries_.end()) {
+    std::vector<Entry*> stale;
+    for (const auto& e : it->second) {
+      if (!(e->sec == s) && e->sec.overlaps(s)) {
+        OOCC_CHECK(e->pins == 0, ErrorCode::kRuntimeError,
+                   "staging '" << array
+                               << "' would invalidate a pinned cached slab");
+        stale.push_back(e.get());
+      }
+    }
+    for (Entry* e : stale) {
+      write_back(ctx, *e);
+      erase_entry(array, e);
+    }
+  }
+  Entry* e = find_exact(array, s);
+  if (e == nullptr) {
+    e = &insert_entry(ctx, laf, array, s, reuse_hint);
+  } else {
+    e->last_use = ++tick_;
+  }
+  ++e->pins;
+  return *e->buf;
+}
+
+void SlabBufferPool::mark_dirty(const std::string& array,
+                                const io::Section& s, double reuse_hint) {
+  Entry* e = find_exact(array, s);
+  OOCC_CHECK(e != nullptr, ErrorCode::kRuntimeError,
+             "mark_dirty of '" << array
+                               << "' before any compute staged the slab");
+  e->dirty = true;
+  e->reuse_hint = reuse_hint;
+  e->last_use = ++tick_;
+}
+
+void SlabBufferPool::unpin(const std::string& array, const io::Section& s) {
+  Entry* e = find_exact(array, s);
+  OOCC_CHECK(e != nullptr && e->pins > 0, ErrorCode::kRuntimeError,
+             "unpin of '" << array << "' slab that is not pinned");
+  --e->pins;
+}
+
+bool SlabBufferPool::read_ahead(sim::SpmdContext& ctx,
+                                io::LocalArrayFile& laf,
+                                const std::string& array,
+                                const io::Section& s, double reuse_hint) {
+  if (resident(array, s)) {
+    return true;
+  }
+  if (budget_.remaining() < s.elements()) {
+    return false;  // read-ahead never evicts
+  }
+  flush_overlapping_dirty(ctx, array, s);
+  Entry& e = insert_entry(ctx, laf, array, s, reuse_hint);
+  e.prefetched = true;
+  read_into(ctx, e);
+  return true;
+}
+
+void SlabBufferPool::flush(sim::SpmdContext& ctx) {
+  // Deterministic order: arrays by name (map order), sections ascending.
+  for (auto& [array, list] : entries_) {
+    std::vector<Entry*> dirty;
+    for (const auto& e : list) {
+      if (e->dirty) {
+        dirty.push_back(e.get());
+      }
+    }
+    std::sort(dirty.begin(), dirty.end(), [](const Entry* a, const Entry* b) {
+      if (a->sec.col0 != b->sec.col0) {
+        return a->sec.col0 < b->sec.col0;
+      }
+      return a->sec.row0 < b->sec.row0;
+    });
+    for (Entry* e : dirty) {
+      write_back(ctx, *e);
+    }
+  }
+}
+
+void SlabBufferPool::invalidate(sim::SpmdContext& ctx,
+                                const std::string& array) {
+  const auto it = entries_.find(array);
+  if (it == entries_.end()) {
+    return;
+  }
+  for (const auto& e : it->second) {
+    OOCC_CHECK(e->pins == 0, ErrorCode::kRuntimeError,
+               "invalidate of '" << array << "' with pinned slabs");
+    write_back(ctx, *e);
+    resident_elements_ -= e->sec.elements();
+  }
+  entries_.erase(it);
+}
+
+void SlabBufferPool::drop_clean(const std::string& array) noexcept {
+  const auto it = entries_.find(array);
+  if (it == entries_.end()) {
+    return;
+  }
+  EntryList& list = it->second;
+  for (auto lit = list.begin(); lit != list.end();) {
+    if (!(*lit)->dirty && (*lit)->pins == 0) {
+      resident_elements_ -= (*lit)->sec.elements();
+      lit = list.erase(lit);
+    } else {
+      ++lit;
+    }
+  }
+  if (list.empty()) {
+    entries_.erase(it);
+  }
+}
+
+void SlabBufferPool::drop_clean(const std::string& array,
+                                const io::Section& s) noexcept {
+  Entry* e = find_exact(array, s);
+  if (e != nullptr && !e->dirty && e->pins == 0) {
+    erase_entry(array, e);
+  }
+}
+
+std::int64_t SlabBufferPool::pinned_count() const noexcept {
+  std::int64_t n = 0;
+  for (const auto& [array, list] : entries_) {
+    for (const auto& e : list) {
+      if (e->pins > 0) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+void IoScheduler::pump(sim::SpmdContext& ctx, SlabBufferPool& pool,
+                       int lookahead) {
+  while (!queue_.empty() &&
+         pool.resident(queue_.front().array, queue_.front().section)) {
+    queue_.pop_front();
+  }
+  int in_flight = 0;
+  for (const Request& r : queue_) {
+    if (in_flight >= lookahead) {
+      break;
+    }
+    if (pool.resident(r.array, r.section)) {
+      ++in_flight;
+      continue;
+    }
+    if (!pool.read_ahead(ctx, *r.laf, r.array, r.section, r.reuse_hint)) {
+      break;  // no spare room; try again after the next demand read
+    }
+    ++in_flight;
+  }
+}
+
+}  // namespace oocc::runtime

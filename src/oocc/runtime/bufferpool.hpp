@@ -1,0 +1,246 @@
+// Reuse-aware slab buffer pool and I/O scheduler.
+//
+// The paper's whole argument (§2.3, §4.2.1) is that out-of-core performance
+// is decided by how few LAF bytes each sweep moves. The step-program IR
+// knows the full future reference string of a compiled sweep, but without a
+// cache the runtime forgets a slab the moment the loop iteration ends —
+// chains like `c = a*b; e = c + a*b` re-read data that was in memory
+// microseconds earlier. SlabBufferPool is the per-processor substrate that
+// closes that gap:
+//
+//  * entries are keyed by (array name, slab section) and charged against
+//    the node's MemoryBudget, exactly like the ICLAs they replace;
+//  * consumers pin entries for the duration of a slab iteration (pin/unpin
+//    refcounts; eviction never touches a pinned entry);
+//  * eviction is LRU refined by the compiler's forward-reuse hints
+//    (Step::reuse_distance): the entry whose next use is farthest away —
+//    or unknown — goes first, ties broken least-recently-used;
+//  * dirty entries (staged outputs) write back through their Local Array
+//    File on eviction and at flush(), so deferring the write never changes
+//    which bytes reach disk;
+//  * reads are modelled with the same conservative async-I/O trick the old
+//    double-buffer used: the host performs the read immediately, the
+//    simulated clock is rewound to the issue point, and the entry carries
+//    its completion timestamp; a demand acquire waits for it, a read-ahead
+//    does not. One outstanding request per pool (one disk per processor).
+//
+// IoScheduler is the read-ahead front: the executor enqueues the upcoming
+// ReadSlab schedule of a prefetching slab loop and pumps the queue after
+// each demand read, which generalizes the old two-buffer prefetch to any
+// lookahead the budget can hold.
+//
+// Lookup is containment-aware: a request hits when one cached entry holds
+// exactly or a superset of the section, and full-height column sections
+// (the shape every column-slab sweep uses) also hit when their columns are
+// covered by several cached entries — the pool assembles the requested
+// section in memory. This is what lets two statements with different slab
+// widths share data.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "oocc/io/laf.hpp"
+#include "oocc/runtime/icla.hpp"
+#include "oocc/sim/machine.hpp"
+
+namespace oocc::runtime {
+
+/// Aggregate counters for one pool. Per-array counts are also mirrored into
+/// the owning LocalArrayFile's IoStats (cache_hits etc.).
+struct SlabCacheStats {
+  std::uint64_t hits = 0;         ///< demand reads served without disk I/O
+  std::uint64_t misses = 0;       ///< demand reads that went to the LAF
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;   ///< dirty slabs written back to their LAF
+  std::uint64_t elements_hit = 0; ///< LAF elements the hits avoided moving
+
+  void merge(const SlabCacheStats& o) noexcept {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    writebacks += o.writebacks;
+    elements_hit += o.elements_hit;
+  }
+};
+
+/// Per-processor cache of slab-sized buffers over the Local Array Files.
+/// Not thread-safe; one pool per simulated processor, like every other
+/// runtime object.
+///
+/// NOTE: compiler/cost.cpp's CacheSim is the shape-only mirror of this
+/// class — any change to the lookup rule (exact / containment / column
+/// coverage), the eviction rank, the miss-path dirty-overlap flush, or the
+/// flush order must be made in both, or the asserted priced-equals-
+/// measured invariant (tests/fusion_test.cpp) breaks.
+class SlabBufferPool {
+ public:
+  /// Entries are reserved against `budget` as they are created and released
+  /// as they are evicted; `name` prefixes buffer names for diagnostics.
+  /// `mirror_laf_stats` controls whether hits/misses/evictions/write-backs
+  /// are also recorded on each LocalArrayFile's IoStats — the executor's
+  /// shared pool does, while PrefetchingSlabReader's private window does
+  /// not (a --no-cache run must not report phantom cache activity).
+  SlabBufferPool(MemoryBudget& budget, std::string name,
+                 bool mirror_laf_stats = true);
+  ~SlabBufferPool();
+
+  SlabBufferPool(const SlabBufferPool&) = delete;
+  SlabBufferPool& operator=(const SlabBufferPool&) = delete;
+
+  /// Demand-reads section `s` of `array` and returns the buffer holding
+  /// exactly it, pinned. Served from the cache when resident (or
+  /// assemblable); otherwise read from `laf`, evicting unpinned entries as
+  /// needed. `reuse_hint` is the compiler's forward reuse distance (-1 =
+  /// no known reuse). Blocks (in simulated time) until the data is ready.
+  IclaBuffer& acquire_read(sim::SpmdContext& ctx, io::LocalArrayFile& laf,
+                           const std::string& array, const io::Section& s,
+                           double reuse_hint);
+
+  /// Returns a pinned buffer targeted at `s` for staging output data; no
+  /// disk read happens. An existing entry for exactly `s` keeps its data
+  /// (the in-place-update and fused-statement cases); any *other* cached
+  /// range overlapping `s` is written back (if dirty) and dropped, since it
+  /// would go stale the moment this buffer is computed into.
+  IclaBuffer& acquire_write(sim::SpmdContext& ctx, io::LocalArrayFile& laf,
+                            const std::string& array, const io::Section& s,
+                            double reuse_hint);
+
+  /// Marks the entry holding exactly `s` dirty: its contents supersede the
+  /// LAF and will be written back on eviction or flush. Updates the entry's
+  /// reuse hint (the write step knows the distance to the next read).
+  void mark_dirty(const std::string& array, const io::Section& s,
+                  double reuse_hint);
+
+  /// Drops one pin from the entry holding exactly `s`.
+  void unpin(const std::string& array, const io::Section& s);
+
+  /// True when a demand read of `s` would be served from memory.
+  bool resident(const std::string& array, const io::Section& s) const;
+
+  /// Fetches `s` into the cache without pinning, modelled asynchronously
+  /// (the caller's clock is not advanced by the service time). Returns true
+  /// when the section is resident or was issued; false when it would not
+  /// fit without eviction — read-ahead never evicts.
+  bool read_ahead(sim::SpmdContext& ctx, io::LocalArrayFile& laf,
+                  const std::string& array, const io::Section& s,
+                  double reuse_hint);
+
+  /// Writes back every dirty entry (deterministically: arrays in name
+  /// order, sections in ascending (col0, row0) order). Called at the end of
+  /// a sweep/sequence so the LAFs are the source of truth again.
+  void flush(sim::SpmdContext& ctx);
+
+  /// Writes back and drops every entry of `array`. Used before a plan
+  /// writes the array through a path that bypasses the pool (the GAXPY
+  /// OwnedColumnWriter), after which cached slabs would be stale.
+  void invalidate(sim::SpmdContext& ctx, const std::string& array);
+
+  /// Drops the clean, unpinned entries of `array` without I/O; dirty or
+  /// pinned entries are left alone. Lets PrefetchingSlabReader::reset()
+  /// stay noexcept (its entries are never dirty).
+  void drop_clean(const std::string& array) noexcept;
+
+  /// Drops the entry holding exactly `s` if it is resident, clean and
+  /// unpinned (the reader wrapper's trailing-buffer discard).
+  void drop_clean(const std::string& array, const io::Section& s) noexcept;
+
+  /// Evicts unpinned entries until `elements` fit in the budget; throws
+  /// Error(kResourceExhausted) when pinned entries make that impossible.
+  /// Used before reserving non-pool buffers (reduction temporaries) from
+  /// the shared budget.
+  void ensure_available(sim::SpmdContext& ctx, std::int64_t elements);
+
+  /// Number of entries with a nonzero pin count (leak detection: a sweep
+  /// must end with zero).
+  std::int64_t pinned_count() const noexcept;
+
+  std::int64_t resident_elements() const noexcept { return resident_elements_; }
+  const SlabCacheStats& stats() const noexcept { return stats_; }
+  MemoryBudget& budget() noexcept { return budget_; }
+
+ private:
+  struct Entry {
+    io::Section sec;
+    std::unique_ptr<IclaBuffer> buf;
+    io::LocalArrayFile* laf = nullptr;
+    int pins = 0;
+    bool dirty = false;
+    /// First demand acquire of a read-ahead entry is the double-buffer
+    /// path, not a reuse hit; cleared after that acquire.
+    bool prefetched = false;
+    double reuse_hint = -1.0;
+    std::uint64_t last_use = 0;
+    double ready_time_s = 0.0;
+  };
+  using EntryList = std::vector<std::unique_ptr<Entry>>;
+
+  Entry* find_exact(const std::string& array, const io::Section& s) noexcept;
+  const Entry* find_exact(const std::string& array,
+                          const io::Section& s) const noexcept;
+
+  /// Entries of `array` that together cover every column of the full-height
+  /// column section `s` (or one entry containing `s`). Empty on failure.
+  std::vector<Entry*> covering_entries(const std::string& array,
+                                       const io::Section& s);
+
+  /// Allocates a fresh entry for `s`, evicting unpinned entries for room.
+  Entry& insert_entry(sim::SpmdContext& ctx, io::LocalArrayFile& laf,
+                      const std::string& array, const io::Section& s,
+                      double reuse_hint);
+
+  /// Performs the (modelled-async) disk read of `e.sec` into `e.buf`.
+  void read_into(sim::SpmdContext& ctx, Entry& e);
+
+  /// Writes back (without dropping) every dirty entry of `array` that
+  /// overlaps `s`, so a following disk read of `s` sees current data.
+  void flush_overlapping_dirty(sim::SpmdContext& ctx,
+                               const std::string& array,
+                               const io::Section& s);
+
+  void write_back(sim::SpmdContext& ctx, Entry& e);
+  bool evict_one(sim::SpmdContext& ctx);
+  void erase_entry(const std::string& array, const Entry* e) noexcept;
+
+  MemoryBudget& budget_;
+  std::string name_;
+  bool mirror_laf_stats_;
+  std::map<std::string, EntryList> entries_;
+  SlabCacheStats stats_;
+  std::int64_t resident_elements_ = 0;
+  double disk_free_time_s_ = 0.0;
+  std::uint64_t tick_ = 0;
+};
+
+/// Read-ahead queue over a SlabBufferPool: the executor enqueues a slab
+/// loop's upcoming ReadSlab schedule and pumps after each demand read, so
+/// the next reads are issued (asynchronously, in schedule order) while the
+/// current slab computes. Lookahead is bounded by the caller and by what
+/// fits the budget without eviction.
+class IoScheduler {
+ public:
+  struct Request {
+    io::LocalArrayFile* laf = nullptr;
+    std::string array;
+    io::Section section;
+    double reuse_hint = -1.0;
+  };
+
+  void clear() { queue_.clear(); }
+  void enqueue(Request r) { queue_.push_back(std::move(r)); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Pops requests already satisfied (resident) from the front, then issues
+  /// read-aheads until `lookahead` upcoming requests are resident or in
+  /// flight, stopping early when the pool has no spare room.
+  void pump(sim::SpmdContext& ctx, SlabBufferPool& pool, int lookahead);
+
+ private:
+  std::deque<Request> queue_;
+};
+
+}  // namespace oocc::runtime

@@ -8,40 +8,31 @@ PrefetchingSlabReader::PrefetchingSlabReader(sim::SpmdContext& ctx,
                                              MemoryBudget& budget,
                                              const std::string& name,
                                              bool enable_prefetch)
-    : laf_(laf), slabs_(slabs), prefetch_(enable_prefetch) {
+    : laf_(laf),
+      slabs_(slabs),
+      prefetch_(enable_prefetch),
+      // The private window is not a reuse cache: a --no-cache run must not
+      // report cache activity on the LAFs it streams.
+      pool_(budget, name, /*mirror_laf_stats=*/false) {
   (void)ctx;
-  bufs_[0].buffer = std::make_unique<IclaBuffer>(
-      budget, slabs_.slab_elements(), name + "[buf0]");
-  if (prefetch_) {
-    bufs_[1].buffer = std::make_unique<IclaBuffer>(
-        budget, slabs_.slab_elements(), name + "[buf1]");
-  }
 }
 
-void PrefetchingSlabReader::issue(sim::SpmdContext& ctx, std::int64_t i,
-                                  BufferState& state) {
-  const double t_issue = ctx.clock().now();
-  state.buffer->load(ctx, laf_, slabs_.section(i));
-  const double service = ctx.clock().now() - t_issue;
-  const double start = std::max(t_issue, disk_free_time_s_);
-  state.ready_time_s = start + service;
-  disk_free_time_s_ = state.ready_time_s;
-  state.slab = i;
-  if (prefetch_) {
-    // Model asynchrony: the CPU resumes at the issue point; the data
-    // becomes usable at ready_time_s.
-    ctx.clock().rewind_to(t_issue);
-  } else {
-    // Synchronous read: the CPU also waits for any queued earlier request.
-    ctx.clock().wait_until(state.ready_time_s);
+PrefetchingSlabReader::~PrefetchingSlabReader() {
+  if (holding_) {
+    pool_.unpin(kStream, held_);
+    holding_ = false;
   }
 }
 
 void PrefetchingSlabReader::reset() noexcept {
-  next_expected_ = 0;
-  for (BufferState& state : bufs_) {
-    state.slab = -1;
+  if (holding_) {
+    // unpin() throws only on a pool/reader state mismatch, which cannot
+    // arise here: held_ is exactly the section we pinned.
+    pool_.unpin(kStream, held_);
+    holding_ = false;
   }
+  pool_.drop_clean(kStream);
+  next_expected_ = 0;
 }
 
 const IclaBuffer& PrefetchingSlabReader::acquire(sim::SpmdContext& ctx,
@@ -53,21 +44,25 @@ const IclaBuffer& PrefetchingSlabReader::acquire(sim::SpmdContext& ctx,
              "slab " << i << " outside [0, " << slabs_.count() << ")");
   ++next_expected_;
 
-  BufferState& current =
-      bufs_[prefetch_ ? static_cast<std::size_t>(i % 2) : 0];
-  if (current.slab != i) {
-    issue(ctx, i, current);
+  if (holding_) {
+    pool_.unpin(kStream, held_);
+    holding_ = false;
   }
-  // Block until the (possibly prefetched) slab is complete.
-  ctx.clock().wait_until(current.ready_time_s);
+  if (i > 0) {
+    // The classic window: the buffer behind the sweep is recycled.
+    pool_.drop_clean(kStream, slabs_.section(i - 1));
+  }
+  // No reuse hint: within a sweep each slab is visited once, and re-sweeps
+  // go through reset() which re-reads by design.
+  const IclaBuffer& buf =
+      pool_.acquire_read(ctx, laf_, kStream, slabs_.section(i), -1.0);
+  held_ = slabs_.section(i);
+  holding_ = true;
 
   if (prefetch_ && i + 1 < slabs_.count()) {
-    BufferState& next = bufs_[static_cast<std::size_t>((i + 1) % 2)];
-    if (next.slab != i + 1) {
-      issue(ctx, i + 1, next);
-    }
+    pool_.read_ahead(ctx, laf_, kStream, slabs_.section(i + 1), -1.0);
   }
-  return *current.buffer;
+  return buf;
 }
 
 }  // namespace oocc::runtime

@@ -2,20 +2,26 @@
 // strategies as a compiler concern; PASSION provided asynchronous slab
 // reads).
 //
-// The simulator's I/O calls are synchronous, so asynchrony is *modelled*:
-// when a prefetch is issued at simulated time t, the read is performed
-// immediately (host-side) and its service time D is charged, then the
-// clock is rewound to t and the slab's ready-time is recorded as
-// max(t, disk_free) + D. A consumer that later acquires the slab waits
-// until the ready-time. One outstanding request is allowed (one disk per
-// processor), matching double-buffering on real hardware.
+// Since the slab buffer pool landed, this reader is a thin window over a
+// private SlabBufferPool: acquire(i) demand-reads slab i (pinned), issues
+// the read-ahead of slab i+1 when prefetching, and drops slab i-1 so the
+// working set never exceeds the classic one/two buffers. Unlike the old
+// fixed buffer pair this allocates one pool entry per slab; the host-side
+// cost is dominated by the file read that fills it, and recycling buffers
+// through the pool would break its exact-fit budget accounting, so the
+// simpler shape wins. The asynchronous
+// overlap model (immediate host read, clock rewound to the issue point,
+// completion timestamp honoured at acquire) lives in the pool; this class
+// only adds the sequential-sweep discipline. It remains the executor's
+// slab-stream primitive when the cache is disabled (OOCC_NO_CACHE) — in
+// that configuration every sweep re-reads, exactly like the pre-pool
+// runtime.
 #pragma once
 
-#include <array>
 #include <cstdint>
-#include <memory>
 
 #include "oocc/io/laf.hpp"
+#include "oocc/runtime/bufferpool.hpp"
 #include "oocc/runtime/icla.hpp"
 #include "oocc/runtime/slab_iter.hpp"
 #include "oocc/sim/machine.hpp"
@@ -27,11 +33,12 @@ namespace oocc::runtime {
 /// slab reads (the ablation baseline).
 class PrefetchingSlabReader {
  public:
-  /// Two ICLA buffers are reserved against `budget`, each of the iterator's
-  /// full slab size (with prefetching off, only one is reserved).
+  /// Buffers come from a private pool charged against `budget`: at most one
+  /// slab (no prefetch) or two slabs (prefetch) are ever resident.
   PrefetchingSlabReader(sim::SpmdContext& ctx, io::LocalArrayFile& laf,
                         const SlabIterator& slabs, MemoryBudget& budget,
                         const std::string& name, bool enable_prefetch);
+  ~PrefetchingSlabReader();
 
   std::int64_t slab_count() const noexcept { return slabs_.count(); }
 
@@ -45,21 +52,16 @@ class PrefetchingSlabReader {
   void reset() noexcept;
 
  private:
-  struct BufferState {
-    std::unique_ptr<IclaBuffer> buffer;
-    std::int64_t slab = -1;      ///< slab index held, -1 = empty
-    double ready_time_s = 0.0;   ///< simulated completion time
-  };
-
-  /// Performs the read of slab `i` into `state`, modelling async issue.
-  void issue(sim::SpmdContext& ctx, std::int64_t i, BufferState& state);
+  /// Single stream: every pool entry belongs to this pseudo-array.
+  static constexpr const char* kStream = "slab";
 
   io::LocalArrayFile& laf_;
   SlabIterator slabs_;
   bool prefetch_;
-  double disk_free_time_s_ = 0.0;
+  SlabBufferPool pool_;
   std::int64_t next_expected_ = 0;
-  std::array<BufferState, 2> bufs_;
+  bool holding_ = false;
+  io::Section held_{};
 };
 
 }  // namespace oocc::runtime

@@ -363,7 +363,7 @@ TEST(LowerTest, PrefetchHalvesDominantSlab) {
   CompileOptions options;
   options.memory_budget_elements = 1 << 16;
   const NodeProgram base = compile_source(hpf::gaxpy_source(256, 4), options);
-  options.prefetch = true;
+  options.prefetch = PrefetchMode::kOn;
   const NodeProgram pf = compile_source(hpf::gaxpy_source(256, 4), options);
   EXPECT_TRUE(pf.prefetch);
   EXPECT_LE(pf.memory.slab_a, base.memory.slab_a / 2 + 64);

@@ -60,9 +60,17 @@ struct SequenceRun {
   std::uint64_t laf_bytes = 0;     ///< LAF bytes moved (reads + writes)
   std::uint64_t laf_requests = 0;  ///< LAF requests (reads + writes)
   std::map<std::string, io::IoStats> per_array;  ///< rank-0 stats
+  runtime::SlabCacheStats cache;   ///< pool counters summed over ranks
 };
 
-SequenceRun run_sequence(const std::vector<NodeProgram>& plans, int nprocs) {
+ExecOptions no_cache() {
+  ExecOptions options;
+  options.use_cache = false;
+  return options;
+}
+
+SequenceRun run_sequence(const std::vector<NodeProgram>& plans, int nprocs,
+                         const ExecOptions& exec_options = ExecOptions{}) {
   TempDir dir;
   Machine machine(nprocs, MachineCostModel::zero());
   SequenceRun out;
@@ -88,9 +96,17 @@ SequenceRun run_sequence(const std::vector<NodeProgram>& plans, int nprocs) {
     for (auto& [name, arr] : arrays) {
       bindings[name] = arr.get();
     }
+    ExecOptions options = exec_options;
+    runtime::SlabCacheStats local_cache;
+    options.cache_stats = &local_cache;
     execute_sequence(ctx,
                      std::span<const NodeProgram>(plans.data(), plans.size()),
-                     bindings);
+                     bindings, options);
+    {
+      static std::mutex mu;
+      std::lock_guard<std::mutex> lock(mu);
+      out.cache.merge(local_cache);
+    }
     for (auto& [name, arr] : arrays) {
       const io::IoStats& s = arr->laf().stats();
       {
@@ -155,8 +171,10 @@ TEST(SlabFusion, FusedAndUnfusedAreBitIdentical) {
   ASSERT_EQ(fused.size(), 1u);
   ASSERT_EQ(unfused.size(), 3u);
 
-  const SequenceRun a = run_sequence(fused, 4);
-  const SequenceRun b = run_sequence(unfused, 4);
+  // Uncached on both sides: this test isolates what *fusion* removes (the
+  // slab pool would recover the unfused chain's re-reads on its own).
+  const SequenceRun a = run_sequence(fused, 4, no_cache());
+  const SequenceRun b = run_sequence(unfused, 4, no_cache());
   ASSERT_EQ(a.globals.size(), b.globals.size());
   for (const auto& [name, want] : b.globals) {
     const auto it = a.globals.find(name);
@@ -282,7 +300,7 @@ TEST(StepPricing, MatchesMeasuredCountersForFusedSweep) {
   ASSERT_EQ(plans.size(), 1u);
   const std::map<std::string, compiler::StepIoCost> price =
       compiler::price_steps(plans.front());
-  const SequenceRun run = run_sequence(plans, 4);
+  const SequenceRun run = run_sequence(plans, 4, no_cache());
   for (const auto& [name, cost] : price) {
     const io::IoStats& s = run.per_array.at(name);
     EXPECT_DOUBLE_EQ(static_cast<double>(s.read_requests),
@@ -394,6 +412,192 @@ TEST(StepExecutor, GaxpyBitIdenticalToHandcodedKernels) {
       EXPECT_EQ(generic[i], handcoded[i])
           << "reorganize=" << reorganize << " i=" << i;
     }
+  }
+}
+
+TEST(SlabCache, OutputsBitIdenticalWithAndWithoutCache) {
+  // The pool only changes *where* bytes come from, never their values or
+  // the evaluation order: cached and uncached runs must agree exactly, for
+  // both the fused sweep and the statement-at-a-time translation.
+  CompileOptions options;
+  options.memory_budget_elements = 4096;
+  for (const bool fuse : {true, false}) {
+    options.enable_statement_fusion = fuse;
+    const std::vector<NodeProgram> plans =
+        compiler::compile_sequence_source(kChainSource, options);
+    const SequenceRun cached = run_sequence(plans, 4);
+    const SequenceRun plain = run_sequence(plans, 4, no_cache());
+    ASSERT_EQ(cached.globals.size(), plain.globals.size());
+    for (const auto& [name, want] : plain.globals) {
+      const auto it = cached.globals.find(name);
+      ASSERT_NE(it, cached.globals.end()) << name;
+      ASSERT_EQ(it->second.size(), want.size()) << name;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(it->second[i], want[i])
+            << "fuse=" << fuse << " " << name << "[" << i << "]";
+      }
+    }
+  }
+}
+
+TEST(SlabCache, UnfusedChainRecoversSharedTrafficFromPool) {
+  // Statement-at-a-time, the chain re-reads x three times and y/z once
+  // each; with the pool those demand reads hit slabs an earlier statement
+  // read or staged. The budget (4096 elements vs 4*144 live data) holds
+  // the whole working set, so only the first read of x misses.
+  CompileOptions options;
+  options.memory_budget_elements = 4096;
+  options.enable_statement_fusion = false;
+  const std::vector<NodeProgram> plans =
+      compiler::compile_sequence_source(kChainSource, options);
+  ASSERT_EQ(plans.size(), 3u);
+  const SequenceRun cached = run_sequence(plans, 4);
+  const SequenceRun plain = run_sequence(plans, 4, no_cache());
+  EXPECT_GT(cached.cache.hits, 0u);
+  EXPECT_GT(cached.cache.elements_hit, 0u);
+  EXPECT_LT(cached.laf_bytes, plain.laf_bytes);
+  // x re-reads (2 sweeps) + y (1) + z (1) are recovered: >= 1.5x fewer
+  // LAF bytes than the uncached statement-at-a-time translation.
+  EXPECT_GE(2 * plain.laf_bytes, 3 * cached.laf_bytes);
+}
+
+TEST(SlabCache, SequencePriceWithCacheMatchesMeasuredCounters) {
+  // price_sequence with model_cache walks the same schedule the executor
+  // runs and mirrors the pool's lookup/eviction policy, so priced traffic
+  // and hit counts must match the measured ones exactly at this budget.
+  CompileOptions options;
+  options.memory_budget_elements = 4096;
+  options.enable_statement_fusion = false;
+  const std::vector<NodeProgram> plans =
+      compiler::compile_sequence_source(kChainSource, options);
+  compiler::PriceOptions popts;
+  popts.model_cache = true;
+  const std::vector<compiler::PlanPrice> priced = compiler::price_sequence(
+      std::span<const NodeProgram>(plans.data(), plans.size()), 0, popts);
+  std::map<std::string, compiler::StepIoCost> total;
+  double hits = 0.0;
+  for (const compiler::PlanPrice& p : priced) {
+    for (const auto& [name, cost] : p.arrays) {
+      compiler::StepIoCost& t = total[name];
+      t.read_requests += cost.read_requests;
+      t.elements_read += cost.elements_read;
+      t.write_requests += cost.write_requests;
+      t.elements_written += cost.elements_written;
+    }
+    hits += p.cache_hits;
+  }
+  const SequenceRun run = run_sequence(plans, 4);
+  EXPECT_DOUBLE_EQ(static_cast<double>(run.cache.hits) / 4.0, hits);
+  for (const auto& [name, cost] : total) {
+    const io::IoStats& s = run.per_array.at(name);
+    EXPECT_DOUBLE_EQ(static_cast<double>(s.read_requests),
+                     cost.read_requests)
+        << name;
+    EXPECT_DOUBLE_EQ(static_cast<double>(s.bytes_read) / 8.0,
+                     cost.elements_read)
+        << name;
+    EXPECT_DOUBLE_EQ(static_cast<double>(s.write_requests),
+                     cost.write_requests)
+        << name;
+    EXPECT_DOUBLE_EQ(static_cast<double>(s.bytes_written) / 8.0,
+                     cost.elements_written)
+        << name;
+  }
+}
+
+TEST(SlabCache, GaxpyCachedPriceMatchesMeasuredCounters) {
+  // The column-slab GAXPY re-sweeps A once per output column; with the
+  // pool (and a budget that retains A) the re-sweeps hit. The cached
+  // pricer must mirror that exactly — this is the reduction-side
+  // counterpart of the elementwise exactness test, covering the
+  // OwnedColumnWriter invalidation and the gaxpy side reservations.
+  CompileOptions options;
+  options.memory_budget_elements = 4096;
+  options.enable_access_reorganization = false;  // force Figure 9 re-sweeps
+  const NodeProgram plan =
+      compiler::compile_source(hpf::gaxpy_source(16, 4), options);
+  compiler::PriceOptions popts;
+  popts.model_cache = true;
+  const compiler::PlanPrice priced = compiler::price_plan(plan, 0, popts);
+  ASSERT_GT(priced.cache_hits, 0.0);  // the re-sweeps must actually hit
+
+  TempDir dir;
+  Machine machine(4, MachineCostModel::zero());
+  machine.run([&](SpmdContext& ctx) {
+    auto arrays =
+        create_plan_arrays(ctx, plan, dir.path(), DiskModel::zero());
+    arrays.at("a")->initialize(ctx, gen_x, 4096);
+    arrays.at("b")->initialize(ctx, gen_x, 4096);
+    for (auto& [name, arr] : arrays) {
+      arr->laf().reset_stats();
+    }
+    ArrayBindings bindings;
+    for (auto& [name, arr] : arrays) {
+      bindings[name] = arr.get();
+    }
+    ExecOptions exec_options;
+    runtime::SlabCacheStats cache;
+    exec_options.cache_stats = &cache;
+    execute(ctx, plan, bindings, exec_options);
+    if (ctx.rank() != 0) {
+      return;
+    }
+    EXPECT_DOUBLE_EQ(static_cast<double>(cache.hits), priced.cache_hits);
+    for (const auto& [name, cost] : priced.arrays) {
+      const io::IoStats& s = arrays.at(name)->laf().stats();
+      EXPECT_DOUBLE_EQ(static_cast<double>(s.read_requests),
+                       cost.read_requests)
+          << name;
+      EXPECT_DOUBLE_EQ(static_cast<double>(s.bytes_read) / 8.0,
+                       cost.elements_read)
+          << name;
+      EXPECT_DOUBLE_EQ(static_cast<double>(s.write_requests),
+                       cost.write_requests)
+          << name;
+      EXPECT_DOUBLE_EQ(static_cast<double>(s.bytes_written) / 8.0,
+                       cost.elements_written)
+          << name;
+    }
+  });
+}
+
+TEST(SlabCache, GaxpyResultUnchangedByCache) {
+  // The GAXPY executor keeps its OwnedColumnWriter bypass; the pool serves
+  // the A/B slab streams. Values must match the uncached run exactly.
+  CompileOptions options;
+  options.memory_budget_elements = 4096;
+  const NodeProgram plan =
+      compiler::compile_source(hpf::gaxpy_source(16, 4), options);
+  std::vector<double> results[2];
+  for (const bool cache : {true, false}) {
+    TempDir dir;
+    Machine machine(4, MachineCostModel::zero());
+    machine.run([&](SpmdContext& ctx) {
+      auto arrays =
+          create_plan_arrays(ctx, plan, dir.path(), DiskModel::zero());
+      arrays.at("a")->initialize(ctx, gen_x, 4096);
+      arrays.at("b")->initialize(
+          ctx,
+          [](std::int64_t r, std::int64_t c) {
+            return std::cos(static_cast<double>(r * 5 + c)) + 0.125;
+          },
+          4096);
+      ArrayBindings bindings;
+      for (auto& [name, arr] : arrays) {
+        bindings[name] = arr.get();
+      }
+      ExecOptions exec_options;
+      exec_options.use_cache = cache;
+      execute(ctx, plan, bindings, exec_options);
+      std::vector<double> got = arrays.at("c")->gather_global(ctx, 4096);
+      if (ctx.rank() == 0) {
+        results[cache ? 0 : 1] = std::move(got);
+      }
+    });
+  }
+  ASSERT_EQ(results[0].size(), results[1].size());
+  for (std::size_t i = 0; i < results[0].size(); ++i) {
+    EXPECT_EQ(results[0][i], results[1][i]) << i;
   }
 }
 

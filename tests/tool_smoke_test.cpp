@@ -100,6 +100,69 @@ TEST_F(OoccCompileSmoke, DumpPlanPrintsStepProgram) {
   EXPECT_EQ(output.find("read-slab y"), std::string::npos) << output;
 }
 
+TEST_F(OoccCompileSmoke, AutoPrefetchAndNoCacheFlags) {
+  oocc::io::TempDir dir("oocc-smoke");
+  const auto program = dir.file("gaxpy.hpf");
+  {
+    std::ofstream out(program);
+    out << oocc::hpf::gaxpy_source(32, 2);
+  }
+  const auto stdout_path = dir.file("out.txt");
+  const auto stderr_path = dir.file("err.txt");
+  const std::string cmd = std::string("\"") + OOCC_COMPILE_BIN + "\" \"" +
+                          program.string() +
+                          "\" --prefetch=auto --no-cache --run > \"" +
+                          stdout_path.string() + "\" 2> \"" +
+                          stderr_path.string() + "\"";
+  const int rc = std::system(cmd.c_str());
+  EXPECT_EQ(rc, 0) << "stderr:\n" << read_file(stderr_path);
+
+  const std::string output = read_file(stdout_path);
+  // The auto decision is reported, and --no-cache suppresses the pool's
+  // counter line.
+  EXPECT_NE(output.find("prefetch: auto:"), std::string::npos) << output;
+  EXPECT_NE(output.find("=== execution ==="), std::string::npos) << output;
+  EXPECT_EQ(output.find("slab cache:"), std::string::npos) << output;
+}
+
+TEST_F(OoccCompileSmoke, DumpPlanPricesTheSlabCache) {
+  oocc::io::TempDir dir("oocc-smoke");
+  const auto program = dir.file("chain.hpf");
+  {
+    std::ofstream out(program);
+    out << "parameter (n=16, p=2)\n"
+           "real x(n,n), y(n,n), z(n,n)\n"
+           "!hpf$ processors Pr(p)\n"
+           "!hpf$ template d(n)\n"
+           "!hpf$ distribute d(block) onto Pr\n"
+           "!hpf$ align (*,:) with d :: x, y, z\n"
+           "forall (k=1:n)\n"
+           "  y(1:n,k) = x(1:n,k)*2 + 1\n"
+           "end forall\n"
+           "forall (k=1:n)\n"
+           "  z(1:n,k) = y(1:n,k)*x(1:n,k)\n"
+           "end forall\n"
+           "end\n";
+  }
+  const auto stdout_path = dir.file("out.txt");
+  const auto stderr_path = dir.file("err.txt");
+  // --no-fuse keeps two statements; at this budget both sweeps are single
+  // slabs of identical geometry, so statement 2's reads of x and y are
+  // exactly the two priced cache hits.
+  const std::string cmd = std::string("\"") + OOCC_COMPILE_BIN + "\" \"" +
+                          program.string() +
+                          "\" --memory 1024 --no-fuse --dump-plan > \"" +
+                          stdout_path.string() + "\" 2> \"" +
+                          stderr_path.string() + "\"";
+  const int rc = std::system(cmd.c_str());
+  EXPECT_EQ(rc, 0) << "stderr:\n" << read_file(stderr_path);
+
+  const std::string output = read_file(stdout_path);
+  EXPECT_NE(output.find("step I/O price with slab cache"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("cache hits: 2"), std::string::npos) << output;
+}
+
 TEST_F(OoccCompileSmoke, RejectsMissingInputWithUsage) {
   oocc::io::TempDir dir("oocc-smoke");
   const auto stderr_path = dir.file("err.txt");

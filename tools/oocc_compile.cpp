@@ -9,9 +9,14 @@
 //   --no-storage-reorg     disable on-disk storage reorganization
 //   --no-fuse              disable inter-statement slab fusion
 //   --prefetch             double-buffer the dominant array's slabs
+//   --prefetch=auto        let price_steps + the disk model decide per plan
+//   --no-prefetch          force synchronous slab reads (the default)
+//   --no-cache             disable the runtime slab buffer pool (--run) —
+//                          reproduces the pre-pool executor exactly
 //   --ast                  print the parsed program and exit
 //   --dump-plan            print the step-level slab-program IR and its
-//                          step-walking I/O price instead of pseudo-code
+//                          step-walking I/O price (uncached and with the
+//                          slab cache modelled) instead of pseudo-code
 //   --run                  execute the plan on the simulated machine
 //   --verify               with --run: check the result against a serial
 //                          reference (GAXPY plans only)
@@ -21,6 +26,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <set>
 #include <sstream>
 
@@ -37,8 +43,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: oocc-compile <program.hpf> [--memory N] "
                "[--equal-split] [--no-access-reorg] [--no-storage-reorg] "
-               "[--no-fuse] [--prefetch] [--ast] [--dump-plan] [--run] "
-               "[--verify]\n");
+               "[--no-fuse] [--prefetch[=auto]] [--no-prefetch] "
+               "[--no-cache] [--ast] [--dump-plan] [--run] [--verify]\n");
 }
 
 double gen_a(std::int64_t r, std::int64_t c) {
@@ -65,6 +71,7 @@ int main(int argc, char** argv) {
   bool dump_plan = false;
   bool run = false;
   bool verify = false;
+  bool use_cache = true;
   compiler::CompileOptions options;
   options.disk = io::DiskModel::touchstone_delta_cfs();
 
@@ -81,7 +88,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--no-fuse") == 0) {
       options.enable_statement_fusion = false;
     } else if (std::strcmp(arg, "--prefetch") == 0) {
-      options.prefetch = true;
+      options.prefetch = compiler::PrefetchMode::kOn;
+    } else if (std::strcmp(arg, "--prefetch=auto") == 0) {
+      options.prefetch = compiler::PrefetchMode::kAuto;
+    } else if (std::strcmp(arg, "--no-prefetch") == 0) {
+      options.prefetch = compiler::PrefetchMode::kOff;
+    } else if (std::strcmp(arg, "--no-cache") == 0) {
+      use_cache = false;
     } else if (std::strcmp(arg, "--ast") == 0) {
       ast_only = true;
     } else if (std::strcmp(arg, "--dump-plan") == 0) {
@@ -158,6 +171,33 @@ int main(int argc, char** argv) {
                     compiler::pseudo_code(plans[i]).c_str());
       }
     }
+    if (dump_plan) {
+      // Sequence-level price with the executor's slab cache modelled: hits
+      // are demand reads the pool serves from memory (cross-statement
+      // reuse included).
+      compiler::PriceOptions popts;
+      popts.model_cache = true;
+      const std::vector<compiler::PlanPrice> cached =
+          compiler::price_sequence(
+              std::span<const compiler::NodeProgram>(plans.data(),
+                                                     plans.size()),
+              0, popts);
+      double hits = 0.0;
+      double avoided = 0.0;
+      double reqs = 0.0;
+      double elems = 0.0;
+      for (const compiler::PlanPrice& p : cached) {
+        hits += p.cache_hits;
+        avoided += p.elements_avoided;
+        reqs += p.total_requests();
+        elems += p.total_elements();
+      }
+      std::printf(
+          "=== step I/O price with slab cache (sequence, processor 0) ===\n"
+          "cache hits: %.0f, elements avoided: %.0f; charged: %.0f req / "
+          "%.0f elems\n\n",
+          hits, avoided, reqs, elems);
+    }
     const compiler::NodeProgram& plan = plans.front();
 
     if (!run) {
@@ -168,6 +208,12 @@ int main(int argc, char** argv) {
     sim::Machine machine(plan.nprocs,
                          sim::MachineCostModel::touchstone_delta());
     std::vector<double> result;
+    runtime::SlabCacheStats cache_stats;
+    std::mutex stats_mu;
+    // Combines --no-cache with OOCC_NO_CACHE; also gates the counter line
+    // below, which must reflect whether the pool actually ran.
+    exec::ExecOptions base_exec_options = exec::default_exec_options();
+    base_exec_options.use_cache = base_exec_options.use_cache && use_cache;
     sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
       auto arrays = exec::create_sequence_arrays(
           ctx,
@@ -193,10 +239,17 @@ int main(int argc, char** argv) {
       for (auto& [name, arr] : arrays) {
         bindings[name] = arr.get();
       }
+      exec::ExecOptions exec_options = base_exec_options;
+      oocc::runtime::SlabCacheStats local_stats;
+      exec_options.cache_stats = &local_stats;
       exec::execute_sequence(
           ctx,
           std::span<const compiler::NodeProgram>(plans.data(), plans.size()),
-          bindings);
+          bindings, exec_options);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu);
+        cache_stats.merge(local_stats);
+      }
       if (verify && plan.kind == compiler::ProgramKind::kGaxpy) {
         std::vector<double> c =
             arrays.at(plan.c)->gather_global(ctx, memory);
@@ -213,6 +266,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.total_io_requests()),
                 static_cast<double>(report.total_io_bytes()) / 1e6,
                 static_cast<unsigned long long>(report.total_messages()));
+    if (base_exec_options.use_cache) {
+      std::printf(
+          "slab cache: %llu hits, %llu misses, %llu evictions, %llu "
+          "write-backs, %.2f MB avoided\n",
+          static_cast<unsigned long long>(cache_stats.hits),
+          static_cast<unsigned long long>(cache_stats.misses),
+          static_cast<unsigned long long>(cache_stats.evictions),
+          static_cast<unsigned long long>(cache_stats.writebacks),
+          static_cast<double>(cache_stats.elements_hit) * 8.0 / 1e6);
+    }
 
     if (verify && plan.kind == compiler::ProgramKind::kGaxpy) {
       const std::int64_t n = plan.n;
