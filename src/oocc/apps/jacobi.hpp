@@ -1,4 +1,5 @@
-// Out-of-core 2-D Jacobi relaxation on the PASSION-style runtime.
+// Out-of-core 2-D Jacobi relaxation on the PASSION-style runtime —
+// retained as the *test oracle* for the compiled stencil path.
 //
 // The class of loosely synchronous scientific application the paper's
 // introduction motivates: an N x N grid, column-block distributed, too
@@ -7,6 +8,14 @@
 // a one-column halo from the Local Array File), applies the 5-point
 // stencil to interior points, and writes the updated slab to the
 // next-state file. Global boundary rows/columns are held fixed.
+//
+// Since the stencil lowering landed (compiler/lower.cpp's match_stencil +
+// exec's convergence driver), hpf::stencil_source() compiles to a step
+// program that performs this kernel's arithmetic element for element;
+// tests/stencil_test.cpp asserts the two are bit-identical across
+// distributions and memory budgets. New stencil work should go through the
+// compiler — this hand-coded kernel exists to keep that equivalence
+// testable (and as the bench baseline).
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,7 @@
 #include "oocc/compiler/access.hpp"
 
+#include <optional>
+
 #include "oocc/util/error.hpp"
 
 namespace oocc::compiler {
@@ -10,10 +12,14 @@ std::string_view subscript_class_name(SubscriptClass c) noexcept {
       return "full-range";
     case SubscriptClass::kForallIndex:
       return "forall-index";
+    case SubscriptClass::kForallOffset:
+      return "forall-offset";
     case SubscriptClass::kOuterIndex:
       return "outer-index";
     case SubscriptClass::kConstant:
       return "constant";
+    case SubscriptClass::kConstantRange:
+      return "constant-range";
     case SubscriptClass::kOther:
       return "other";
   }
@@ -43,6 +49,35 @@ bool is_parameter_constant(const hpf::Expr& e,
   }
 }
 
+/// Recognizes `forall_var +/- c` (either operand order for +) and returns
+/// the signed offset; nullopt when `e` is not of that shape. The bare
+/// forall variable yields offset 0.
+std::optional<std::int64_t> forall_offset_of(
+    const hpf::Expr& e, const std::string& forall_var,
+    const std::map<std::string, std::int64_t>& params) {
+  if (forall_var.empty()) {
+    return std::nullopt;
+  }
+  if (is_var(e, forall_var)) {
+    return 0;
+  }
+  if (e.kind != hpf::ExprKind::kBinary ||
+      (e.op != hpf::BinOp::kAdd && e.op != hpf::BinOp::kSub)) {
+    return std::nullopt;
+  }
+  const hpf::Expr& l = *e.lhs;
+  const hpf::Expr& r = *e.rhs;
+  if (is_var(l, forall_var) && is_parameter_constant(r, params)) {
+    const std::int64_t c = hpf::evaluate_scalar(r, params);
+    return e.op == hpf::BinOp::kAdd ? c : -c;
+  }
+  if (e.op == hpf::BinOp::kAdd && is_var(r, forall_var) &&
+      is_parameter_constant(l, params)) {
+    return hpf::evaluate_scalar(l, params);
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 SubscriptClass classify_subscript(
@@ -54,8 +89,9 @@ SubscriptClass classify_subscript(
     case hpf::SubscriptKind::kFull:
       return SubscriptClass::kFullRange;
     case hpf::SubscriptKind::kRange: {
-      // 1:N over the whole dimension is a full range; anything else is a
-      // partial section we treat as kOther (conservative).
+      // 1:N over the whole dimension is a full range; other
+      // parameter-constant bounds are a partial section (the stencil
+      // matcher reads its bounds off the RefAccess).
       if (is_parameter_constant(*sub.lo, parameters) &&
           is_parameter_constant(*sub.hi, parameters)) {
         const std::int64_t lo = hpf::evaluate_scalar(*sub.lo, parameters);
@@ -63,13 +99,15 @@ SubscriptClass classify_subscript(
         if (lo == 1 && hi == extent) {
           return SubscriptClass::kFullRange;
         }
-        return SubscriptClass::kOther;
+        return SubscriptClass::kConstantRange;
       }
       return SubscriptClass::kOther;
     }
     case hpf::SubscriptKind::kScalar: {
-      if (!loops.forall_var.empty() && is_var(*sub.scalar, loops.forall_var)) {
-        return SubscriptClass::kForallIndex;
+      if (const auto off =
+              forall_offset_of(*sub.scalar, loops.forall_var, parameters)) {
+        return *off == 0 ? SubscriptClass::kForallIndex
+                         : SubscriptClass::kForallOffset;
       }
       if (!loops.outer_var.empty() && is_var(*sub.scalar, loops.outer_var)) {
         return SubscriptClass::kOuterIndex;
@@ -83,6 +121,32 @@ SubscriptClass classify_subscript(
   return SubscriptClass::kOther;
 }
 
+namespace {
+
+/// Fills one dimension's class plus the detail fields the class implies.
+void classify_dim(const hpf::Subscript& sub, const hpf::ArrayInfo& info,
+                  int dim, const LoopContext& loops,
+                  const std::map<std::string, std::int64_t>& parameters,
+                  SubscriptClass& cls, std::int64_t& offset, std::int64_t& lo,
+                  std::int64_t& hi) {
+  cls = classify_subscript(sub, info, dim, loops, parameters);
+  if (cls == SubscriptClass::kForallIndex ||
+      cls == SubscriptClass::kForallOffset) {
+    offset = *forall_offset_of(*sub.scalar, loops.forall_var, parameters);
+  } else if (cls == SubscriptClass::kConstantRange ||
+             cls == SubscriptClass::kFullRange) {
+    if (sub.kind == hpf::SubscriptKind::kRange) {
+      lo = hpf::evaluate_scalar(*sub.lo, parameters);
+      hi = hpf::evaluate_scalar(*sub.hi, parameters);
+    } else {
+      lo = 1;
+      hi = dim == 0 ? info.rows : info.cols;
+    }
+  }
+}
+
+}  // namespace
+
 RefAccess classify_reference(
     const hpf::Expr& ref, const hpf::ArrayInfo& info, const LoopContext& loops,
     const std::map<std::string, std::int64_t>& parameters, bool is_lhs) {
@@ -91,11 +155,11 @@ RefAccess classify_reference(
   RefAccess out;
   out.array = ref.name;
   out.is_lhs = is_lhs;
-  out.row_class =
-      classify_subscript(ref.subscripts[0], info, 0, loops, parameters);
+  classify_dim(ref.subscripts[0], info, 0, loops, parameters, out.row_class,
+               out.row_offset, out.row_lo, out.row_hi);
   if (ref.subscripts.size() > 1) {
-    out.col_class =
-        classify_subscript(ref.subscripts[1], info, 1, loops, parameters);
+    classify_dim(ref.subscripts[1], info, 1, loops, parameters, out.col_class,
+                 out.col_offset, out.col_lo, out.col_hi);
   } else {
     out.col_class = SubscriptClass::kConstant;  // rank-1: single column
   }

@@ -19,11 +19,13 @@
 namespace oocc::compiler {
 
 enum class SubscriptClass {
-  kFullRange,    ///< ':' or 1:N covering the whole dimension
-  kForallIndex,  ///< the FORALL (parallel/streamed) index
-  kOuterIndex,   ///< an enclosing sequential DO index
-  kConstant,     ///< loop-invariant scalar expression
-  kOther         ///< anything else (affine of several vars, etc.)
+  kFullRange,      ///< ':' or 1:N covering the whole dimension
+  kForallIndex,    ///< the FORALL (parallel/streamed) index
+  kForallOffset,   ///< forall index +/- a nonzero constant (stencil shape)
+  kOuterIndex,     ///< an enclosing sequential DO index
+  kConstant,       ///< loop-invariant scalar expression
+  kConstantRange,  ///< lo:hi with parameter-constant partial bounds
+  kOther           ///< anything else (affine of several vars, etc.)
 };
 
 std::string_view subscript_class_name(SubscriptClass c) noexcept;
@@ -34,6 +36,16 @@ struct RefAccess {
   SubscriptClass row_class = SubscriptClass::kOther;
   SubscriptClass col_class = SubscriptClass::kOther;
   bool is_lhs = false;
+
+  /// Signed constant added to the forall index; nonzero exactly when
+  /// col_class (resp. row_class) is kForallOffset. The stencil matcher's
+  /// dependence distances are the max |offset| over a statement's refs.
+  std::int64_t row_offset = 0;
+  std::int64_t col_offset = 0;
+
+  /// 1-based inclusive Fortran bounds of a kConstantRange subscript.
+  std::int64_t row_lo = 0, row_hi = 0;
+  std::int64_t col_lo = 0, col_hi = 0;
 
   /// True if no subscript depends on the outer sequential loop — the whole
   /// referenced region is needed again every outer iteration.

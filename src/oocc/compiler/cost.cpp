@@ -285,6 +285,23 @@ class CacheSim {
     }
   }
 
+  /// Drops the exact entry if clean and unpinned (the executor's halo-entry
+  /// discard after each slab iteration — SlabBufferPool::drop_clean).
+  void drop_clean(const std::string& array, const io::Section& s) {
+    const auto it = entries_.find(array);
+    if (it == entries_.end()) {
+      return;
+    }
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      Entry& e = it->second[i];
+      if (e.sec == s && !e.dirty && e.pins == 0) {
+        used_ -= e.sec.elements();
+        it->second.erase(it->second.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
   /// Write back and drop every entry of `array` (the OwnedColumnWriter
   /// bypass makes cached slabs stale).
   void invalidate(const std::string& array, WriteBacks& wb) {
@@ -500,6 +517,8 @@ class StepPricer {
     std::int64_t column = -1;
     /// Cache entries pinned during the current slab iteration (cache mode).
     std::vector<std::pair<std::string, io::Section>> pinned;
+    /// Halo entries dropped at iteration end (mirror of the executor).
+    std::vector<std::pair<std::string, io::Section>> transient;
   };
 
   /// The same batching core the executor's OwnedColumnWriter wraps, minus
@@ -588,6 +607,10 @@ class StepPricer {
               cache_->unpin(it->first, it->second);
             }
             loop.pinned.clear();
+            for (const auto& [array, sec] : loop.transient) {
+              cache_->drop_clean(array, sec);
+            }
+            loop.transient.clear();
           }
         }
         loop.index = -1;
@@ -604,6 +627,9 @@ class StepPricer {
       }
       case StepKind::kReadSlab:
         price_read(step);
+        return;
+      case StepKind::kExchangeHalo:
+        price_exchange(step);
         return;
       case StepKind::kWriteSlab:
         if (cache_ != nullptr) {
@@ -627,6 +653,9 @@ class StepPricer {
         }
         return;
       }
+      case StepKind::kComputeStencil:
+        price_stencil(step);
+        return;
       case StepKind::kBarrier:
         return;
       case StepKind::kComputeGaxpyPartial: {
@@ -649,13 +678,20 @@ class StepPricer {
 
   void price_read(const Step& step) {
     LoopState& loop = state(step.loop);
-    const io::Section& s = loop.section;
+    const PlanArray& ra = resolve_array(step.array);
+    const io::Section s =
+        step.halo > 0 ? widen_columns(loop.section, step.halo,
+                                      ra.dist.local_cols(proc_))
+                      : loop.section;
     if (cache_ != nullptr) {
       CacheSim::WriteBacks wb;
       const bool hit =
           cache_->acquire_read(step.array, s, step.reuse_distance, wb);
       charge_writebacks(wb);
       loop.pinned.emplace_back(step.array, s);
+      if (step.halo > 0) {
+        loop.transient.emplace_back(step.array, s);
+      }
       if (hit) {
         price_.cache_hits += 1.0;
         price_.elements_avoided += static_cast<double>(s.elements());
@@ -670,6 +706,66 @@ class StepPricer {
               s, pa.dist.local_rows(proc_), pa.dist.local_cols(proc_),
               pa.storage));
       price_.overlappable_read_elements += static_cast<double>(s.elements());
+    }
+  }
+
+  /// Mirrors StepExecutor::exchange_halo: the edge-column reads hit this
+  /// processor's LAF (through the modelled cache when one is active); the
+  /// messages themselves carry no LAF cost.
+  void price_exchange(const Step& step) {
+    if (plan_.nprocs == 1) {
+      return;
+    }
+    const PlanArray& pa = resolve_array(step.array);
+    const std::int64_t rows = pa.dist.local_rows(proc_);
+    const std::int64_t nlc = pa.dist.local_cols(proc_);
+    const std::int64_t d = step.halo;
+    const auto price_edge = [&](const io::Section& sec) {
+      if (cache_ != nullptr) {
+        CacheSim::WriteBacks wb;
+        const bool hit =
+            cache_->acquire_read(step.array, sec, step.reuse_distance, wb);
+        charge_writebacks(wb);
+        cache_->unpin(step.array, sec);
+        if (hit) {
+          price_.cache_hits += 1.0;
+          price_.elements_avoided += static_cast<double>(sec.elements());
+          return;
+        }
+      }
+      charge(step.array, sec, /*is_read=*/true);
+    };
+    if (proc_ > 0) {
+      price_edge(io::Section{0, rows, 0, d});
+    }
+    if (proc_ < plan_.nprocs - 1) {
+      price_edge(io::Section{0, rows, nlc - d, nlc});
+    }
+  }
+
+  /// Mirrors StepExecutor::compute_stencil: one acquire_write of the output
+  /// slab, and `binary ops x interior rows` flops per non-boundary column.
+  void price_stencil(const Step& step) {
+    const StencilStmt& st =
+        plan_.stencils.at(static_cast<std::size_t>(step.stmt));
+    LoopState& loop = state(step.loop);
+    const io::Section& sec = loop.section;
+    const PlanArray& lhs = resolve_array(st.lhs);
+    const std::int64_t gcols = lhs.dist.global_cols();
+    const std::int64_t rows = sec.rows();
+    const double ops = static_cast<double>(hpf::count_binary_ops(*st.rhs));
+    for (std::int64_t lc = sec.col0; lc < sec.col1; ++lc) {
+      const std::int64_t gc = lhs.dist.local_to_global_col(proc_, lc);
+      if (gc < st.halo || gc >= gcols - st.halo) {
+        continue;  // boundary column: copy, no flops
+      }
+      price_.flops += ops * static_cast<double>(rows - 2 * st.row_halo);
+    }
+    if (cache_ != nullptr) {
+      CacheSim::WriteBacks wb;
+      cache_->acquire_write(st.lhs, sec, step.reuse_distance, wb);
+      charge_writebacks(wb);
+      loop.pinned.emplace_back(st.lhs, sec);
     }
   }
 
@@ -862,9 +958,13 @@ class TraceCollector {
     bool is_read;
   };
 
+  /// `swapped` replays a stencil plan's odd (ping-ponged) sweep: array
+  /// names resolve to their partner, exactly as the executor's swapped
+  /// StepExecutor does.
   TraceCollector(NodeProgram& plan, int proc, std::vector<Event>& out,
-                 std::size_t max_events)
-      : plan_(plan), out_(out), max_events_(max_events) {
+                 std::size_t max_events, bool swapped = false)
+      : plan_(plan), proc_(proc), out_(out), max_events_(max_events),
+        swapped_(swapped && !plan.stencils.empty()) {
     for (const SlabLoop& loop : plan.loops) {
       const PlanArray& space = plan.array(loop.space);
       states_.emplace(
@@ -902,8 +1002,14 @@ class TraceCollector {
     if (out_.size() >= max_events_) {
       return false;
     }
-    out_.push_back(Event{&step, &array, sec, is_read});
+    out_.push_back(Event{&step, &resolve(array), sec, is_read});
     return true;
+  }
+
+  /// Ping-pong resolution for the swapped stencil replay (returns a
+  /// reference into the plan, stable for the Event pointers).
+  const std::string& resolve(const std::string& name) const {
+    return stencil_resolve(plan_, swapped_, name);
   }
 
   bool walk(Step& step) {
@@ -930,14 +1036,45 @@ class TraceCollector {
         }
         return true;
       }
-      case StepKind::kReadSlab:
-        return push(step, step.array, states_.at(step.loop).section, true);
+      case StepKind::kReadSlab: {
+        io::Section sec = states_.at(step.loop).section;
+        if (step.halo > 0) {
+          sec = widen_columns(
+              sec, step.halo,
+              plan_.array(step.array).dist.local_cols(proc_));
+        }
+        return push(step, step.array, sec, true);
+      }
+      case StepKind::kExchangeHalo: {
+        if (plan_.nprocs == 1) {
+          return true;
+        }
+        const PlanArray& pa = plan_.array(step.array);
+        const std::int64_t rows = pa.dist.local_rows(proc_);
+        const std::int64_t nlc = pa.dist.local_cols(proc_);
+        if (proc_ > 0 &&
+            !push(step, step.array, io::Section{0, rows, 0, step.halo},
+                  true)) {
+          return false;
+        }
+        if (proc_ < plan_.nprocs - 1 &&
+            !push(step, step.array,
+                  io::Section{0, rows, nlc - step.halo, nlc}, true)) {
+          return false;
+        }
+        return true;
+      }
       case StepKind::kWriteSlab:
         return push(step, step.array, states_.at(step.loop).section, false);
       case StepKind::kComputeElementwise:
         return push(
             step,
             plan_.statements.at(static_cast<std::size_t>(step.stmt)).lhs,
+            states_.at(step.loop).section, false);
+      case StepKind::kComputeStencil:
+        return push(
+            step,
+            plan_.stencils.at(static_cast<std::size_t>(step.stmt)).lhs,
             states_.at(step.loop).section, false);
       case StepKind::kComputeGaxpyPartial:
       case StepKind::kReduceSum:
@@ -948,8 +1085,10 @@ class TraceCollector {
   }
 
   NodeProgram& plan_;
+  int proc_;
   std::vector<Event>& out_;
   std::size_t max_events_;
+  bool swapped_;
   std::map<std::string, State> states_;
 };
 
@@ -976,6 +1115,19 @@ void annotate_reuse_distances(std::span<NodeProgram> plans, int proc) {
         reset_distances(p.steps);
       }
       return;
+    }
+    if (plan.kind == ProgramKind::kStencil) {
+      // The convergence driver re-runs the sweep with the ping-pong pair
+      // swapped: replay that second sweep so the write steps see the next
+      // sweep's halo reads of the very slabs they stage — the hint that
+      // keeps the previous iteration's interior slabs resident.
+      if (!TraceCollector(plan, proc, trace, kMaxEvents, /*swapped=*/true)
+               .collect()) {
+        for (NodeProgram& p : plans) {
+          reset_distances(p.steps);
+        }
+        return;
+      }
     }
   }
   // Backward scan: for each event, the nearest later read overlapping its

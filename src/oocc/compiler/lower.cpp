@@ -42,6 +42,20 @@ struct ElementwiseMatch {
   std::int64_t cols = 0;
 };
 
+/// Result of recognizing a halo-stencil FORALL: a single-source update of
+/// the interior whose rhs reads forall-index +/- constant columns and
+/// constant-shifted row ranges (the compiled Jacobi shape).
+struct StencilMatch {
+  std::string lhs;
+  std::string source;
+  const Expr* rhs = nullptr;
+  std::string forall_var;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t halo = 0;      ///< column dependence distance d
+  std::int64_t row_halo = 0;  ///< row shift magnitude (boundary rows)
+};
+
 std::optional<std::int64_t> const_bound(
     const Expr& e, const std::map<std::string, std::int64_t>& params) {
   try {
@@ -106,6 +120,36 @@ Step elementwise_step(std::string loop, int stmt) {
   s.kind = StepKind::kComputeElementwise;
   s.loop = std::move(loop);
   s.stmt = stmt;
+  return s;
+}
+
+Step halo_read_slab(std::string loop, std::string array, std::int64_t halo) {
+  Step s = read_slab(std::move(loop), std::move(array));
+  s.halo = halo;
+  return s;
+}
+
+Step exchange_halo_step(std::string loop, std::string array,
+                        std::int64_t halo) {
+  Step s;
+  s.kind = StepKind::kExchangeHalo;
+  s.loop = std::move(loop);
+  s.array = std::move(array);
+  s.halo = halo;
+  return s;
+}
+
+Step stencil_step(std::string loop, int stmt) {
+  Step s;
+  s.kind = StepKind::kComputeStencil;
+  s.loop = std::move(loop);
+  s.stmt = stmt;
+  return s;
+}
+
+Step barrier_step() {
+  Step s;
+  s.kind = StepKind::kBarrier;
   return s;
 }
 
@@ -504,6 +548,343 @@ void check_elementwise_layout(const BoundProgram& program,
   }
 }
 
+// ------------------------------------------------------- stencil lowering
+
+/// Collects every array reference expression in `e` (pre-order).
+void collect_ref_exprs(const Expr& e, std::vector<const Expr*>& out) {
+  if (e.kind == ExprKind::kArrayRef) {
+    out.push_back(&e);
+  }
+  if (e.lhs) collect_ref_exprs(*e.lhs, out);
+  if (e.rhs) collect_ref_exprs(*e.rhs, out);
+}
+
+/// True when any column subscript in `e` is forall-index +/- nonzero
+/// constant — the trigger that makes a FORALL "stencil-shaped". Once this
+/// holds, every further violation is a structured kCompileError rather than
+/// a silent fall-through to the generic diagnostic.
+bool looks_stencil_shaped(const BoundProgram& program, const Expr& rhs,
+                          const LoopContext& loops) {
+  std::vector<const Expr*> refs;
+  collect_ref_exprs(rhs, refs);
+  for (const Expr* ref : refs) {
+    if (ref->subscripts.size() != 2) {
+      continue;
+    }
+    const RefAccess acc = classify_reference(
+        *ref, program.array(ref->name), loops, program.parameters, false);
+    if (acc.col_class == SubscriptClass::kForallOffset) {
+      return true;
+    }
+  }
+  return false;
+}
+
+#define OOCC_STENCIL_CHECK(cond, msg) \
+  OOCC_CHECK(cond, ErrorCode::kCompileError, "stencil lowering: " << msg)
+
+/// Matches `forall (k=1+d : cols-d) lhs(1+r : rows-r, k) = f(source)` where
+/// every rhs reference names one source array with column subscripts
+/// `k +/- c` (c <= d) and row subscripts that are the lhs row range shifted
+/// by a constant. Returns nullopt when the statement is not stencil-shaped
+/// at all; throws a structured "stencil lowering: ..." kCompileError when
+/// it is stencil-shaped but uses an unsupported shape — lowering must fail
+/// loudly, never silently mis-lower.
+std::optional<StencilMatch> match_stencil(const BoundProgram& program) {
+  if (program.stmts.size() != 1 ||
+      program.stmts[0]->kind != StmtKind::kForall ||
+      program.stmts[0]->body.size() != 1) {
+    return std::nullopt;
+  }
+  const Stmt& forall = *program.stmts[0];
+  const Stmt& assign = *forall.body[0];
+  if (assign.kind != StmtKind::kAssign ||
+      assign.lhs->kind != ExprKind::kArrayRef) {
+    return std::nullopt;
+  }
+  const LoopContext loops{"", forall.loop_var};
+  if (!looks_stencil_shaped(program, *assign.rhs, loops)) {
+    return std::nullopt;
+  }
+
+  StencilMatch m;
+  m.forall_var = forall.loop_var;
+  m.lhs = assign.lhs->name;
+  m.rhs = assign.rhs.get();
+  const ArrayInfo& lhs_info = program.array(m.lhs);
+  m.rows = lhs_info.rows;
+  m.cols = lhs_info.cols;
+
+  // The lhs: rows are a (possibly interior) constant range, columns the
+  // bare forall index.
+  const RefAccess lhs_acc = classify_reference(*assign.lhs, lhs_info, loops,
+                                               program.parameters, true);
+  OOCC_STENCIL_CHECK(lhs_acc.col_class == SubscriptClass::kForallIndex,
+                     "the assignment target's column subscript must be the "
+                     "bare FORALL index; '"
+                         << m.lhs << "' uses a "
+                         << subscript_class_name(lhs_acc.col_class)
+                         << " subscript");
+  OOCC_STENCIL_CHECK(lhs_acc.row_class == SubscriptClass::kFullRange ||
+                         lhs_acc.row_class == SubscriptClass::kConstantRange,
+                     "the assignment target's row subscript must be a "
+                     "constant range; '"
+                         << m.lhs << "' uses a "
+                         << subscript_class_name(lhs_acc.row_class)
+                         << " subscript (row-subscript stencils are "
+                            "unsupported: only forall-index column stencils "
+                            "lower)");
+
+  // The rhs: one source array, column offsets k +/- c, row ranges shifted
+  // from the lhs range by a constant.
+  std::vector<const Expr*> refs;
+  collect_ref_exprs(*m.rhs, refs);
+  std::int64_t dpos = 0;
+  std::int64_t dneg = 0;
+  std::int64_t row_shift_max = 0;
+  for (const Expr* ref : refs) {
+    OOCC_STENCIL_CHECK(ref->subscripts.size() == 2,
+                       "reference to '" << ref->name
+                                        << "' must be rank-2 in a stencil "
+                                           "statement");
+    if (m.source.empty()) {
+      m.source = ref->name;
+    }
+    OOCC_STENCIL_CHECK(ref->name == m.source,
+                       "stencil statements read exactly one source array; "
+                       "found both '"
+                           << m.source << "' and '" << ref->name << "'");
+    const RefAccess acc = classify_reference(
+        *ref, program.array(ref->name), loops, program.parameters, false);
+    OOCC_STENCIL_CHECK(acc.col_class == SubscriptClass::kForallIndex ||
+                           acc.col_class == SubscriptClass::kForallOffset,
+                       "column subscript of '"
+                           << ref->name << "' must be the FORALL index +/- a "
+                           << "constant; got "
+                           << subscript_class_name(acc.col_class));
+    dpos = std::max(dpos, acc.col_offset);
+    dneg = std::max(dneg, -acc.col_offset);
+    OOCC_STENCIL_CHECK(
+        acc.row_class == SubscriptClass::kFullRange ||
+            acc.row_class == SubscriptClass::kConstantRange,
+        "row subscript of '"
+            << ref->name << "' must be a constant range; got "
+            << subscript_class_name(acc.row_class)
+            << " (row-subscript stencils are unsupported: only forall-index "
+               "column stencils lower)");
+    OOCC_STENCIL_CHECK(acc.row_hi - acc.row_lo == lhs_acc.row_hi - lhs_acc.row_lo,
+                       "row range of '" << ref->name << "' ("
+                                        << acc.row_lo << ":" << acc.row_hi
+                                        << ") must have the same length as "
+                                           "the target's ("
+                                        << lhs_acc.row_lo << ":"
+                                        << lhs_acc.row_hi << ")");
+    row_shift_max =
+        std::max(row_shift_max, std::abs(acc.row_lo - lhs_acc.row_lo));
+  }
+  OOCC_STENCIL_CHECK(!m.source.empty(),
+                     "the right-hand side references no array");
+  // Free scalars: only the FORALL index and parameters (folded to
+  // constants during normalization) may appear outside subscripts — the
+  // executor's stencil evaluator binds nothing else.
+  std::function<void(const Expr&)> check_scalars = [&](const Expr& e) {
+    if (e.kind == ExprKind::kVarRef) {
+      OOCC_STENCIL_CHECK(e.name == m.forall_var ||
+                             program.parameters.contains(e.name),
+                         "free scalar '" << e.name
+                                         << "' is neither the FORALL index "
+                                            "nor a parameter");
+    }
+    if (e.kind == ExprKind::kArrayRef) {
+      return;  // subscripts were classified above
+    }
+    if (e.lhs) check_scalars(*e.lhs);
+    if (e.rhs) check_scalars(*e.rhs);
+  };
+  check_scalars(*m.rhs);
+  OOCC_STENCIL_CHECK(m.source != m.lhs,
+                     "in-place stencils (the target '"
+                         << m.lhs << "' appearing on the right-hand side) "
+                         << "are unsupported; use a ping-pong array pair");
+  OOCC_STENCIL_CHECK(dpos == dneg,
+                     "mixed stencil distances (-" << dneg << "/+" << dpos
+                                                  << ") are unsupported; the "
+                                                     "halo must be symmetric");
+  m.halo = dpos;
+  OOCC_STENCIL_CHECK(m.halo >= 1, "no nonzero column offset found");
+  m.row_halo = row_shift_max;
+
+  // FORALL bounds and the lhs row range must exclude exactly the halo.
+  const auto flo = const_bound(*forall.lo, program.parameters);
+  const auto fhi = const_bound(*forall.hi, program.parameters);
+  OOCC_STENCIL_CHECK(flo && fhi && *flo == 1 + m.halo &&
+                         *fhi == m.cols - m.halo,
+                     "the FORALL range must exclude the halo: expected ("
+                         << m.forall_var << "=" << 1 + m.halo << ":"
+                         << m.cols - m.halo << ")");
+  OOCC_STENCIL_CHECK(lhs_acc.row_lo == 1 + m.row_halo &&
+                         lhs_acc.row_hi == m.rows - m.row_halo,
+                     "the target's row range must exclude the row shift: "
+                     "expected ("
+                         << 1 + m.row_halo << ":" << m.rows - m.row_halo
+                         << ")");
+  // Every rhs row range stays inside the array.
+  for (const Expr* ref : refs) {
+    const RefAccess acc = classify_reference(
+        *ref, program.array(ref->name), loops, program.parameters, false);
+    OOCC_STENCIL_CHECK(acc.row_lo >= 1 && acc.row_hi <= m.rows,
+                       "row range of '" << ref->name << "' (" << acc.row_lo
+                                        << ":" << acc.row_hi
+                                        << ") leaves the array bounds");
+  }
+  return m;
+}
+
+/// Distribution/shape requirements of the ghost exchange: both arrays share
+/// one column-BLOCK distribution (or run on a single processor) and every
+/// processor's panel is at least `halo` columns wide, so ghost columns come
+/// from the immediate neighbours only.
+void check_stencil_layout(const BoundProgram& program,
+                          const StencilMatch& m) {
+  const ArrayInfo& lhs = program.array(m.lhs);
+  const ArrayInfo& src = program.array(m.source);
+  OOCC_STENCIL_CHECK(lhs.rows == src.rows && lhs.cols == src.cols,
+                     "'" << m.lhs << "' and '" << m.source
+                         << "' must have identical shapes");
+  OOCC_STENCIL_CHECK(lhs.dist == src.dist,
+                     "'" << m.lhs << "' (" << lhs.dist.to_string()
+                         << ") and '" << m.source << "' ("
+                         << src.dist.to_string()
+                         << ") must share one distribution");
+  if (program.nprocs > 1) {
+    OOCC_STENCIL_CHECK(
+        lhs.dist.axis() == hpf::DistAxis::kCols &&
+            lhs.dist.col_dist().kind() == hpf::DistKind::kBlock,
+        "the ghost exchange requires a column-BLOCK distribution; got "
+            << lhs.dist.to_string());
+    for (int proc = 0; proc < program.nprocs; ++proc) {
+      OOCC_STENCIL_CHECK(lhs.dist.local_cols(proc) >= m.halo,
+                         "halo distance " << m.halo
+                                          << " exceeds processor " << proc
+                                          << "'s panel of "
+                                          << lhs.dist.local_cols(proc)
+                                          << " columns");
+    }
+  }
+}
+
+/// Rewrites the cloned rhs into stencil-normalized form: every array
+/// reference's subscripts become two integer constants (row shift, column
+/// offset) relative to the element being computed, and parameter scalars
+/// fold to integer constants (the executor's stencil evaluator binds only
+/// the FORALL index).
+void normalize_stencil_refs(Expr& e, const BoundProgram& program,
+                            const LoopContext& loops,
+                            std::int64_t lhs_row_lo) {
+  if (e.kind == ExprKind::kVarRef &&
+      program.parameters.contains(e.name)) {
+    e.int_value = program.parameters.at(e.name);
+    e.kind = ExprKind::kIntConst;
+    e.name.clear();
+    return;
+  }
+  if (e.kind == ExprKind::kArrayRef) {
+    const RefAccess acc = classify_reference(
+        e, program.array(e.name), loops, program.parameters, false);
+    const std::int64_t row_shift = acc.row_lo - lhs_row_lo;
+    e.subscripts.clear();
+    hpf::Subscript row;
+    row.kind = hpf::SubscriptKind::kScalar;
+    row.scalar = hpf::make_int(row_shift, e.line);
+    e.subscripts.push_back(std::move(row));
+    hpf::Subscript col;
+    col.kind = hpf::SubscriptKind::kScalar;
+    col.scalar = hpf::make_int(acc.col_offset, e.line);
+    e.subscripts.push_back(std::move(col));
+    return;
+  }
+  if (e.lhs) normalize_stencil_refs(*e.lhs, program, loops, lhs_row_lo);
+  if (e.rhs) normalize_stencil_refs(*e.rhs, program, loops, lhs_row_lo);
+}
+
+NodeProgram lower_stencil(const BoundProgram& program,
+                          const StencilMatch& match,
+                          const CompileOptions& options) {
+  check_stencil_layout(program, match);
+  NodeProgram plan;
+  plan.kind = ProgramKind::kStencil;
+  plan.nprocs = program.nprocs;
+  plan.n = match.rows;
+  plan.elementwise_cols = match.cols;
+  plan.memory_budget_elements = options.memory_budget_elements;
+
+  StencilStmt stmt;
+  stmt.lhs = match.lhs;
+  stmt.source = match.source;
+  stmt.forall_var = match.forall_var;
+  stmt.halo = match.halo;
+  stmt.row_halo = match.row_halo;
+  stmt.rhs = hpf::clone_expr(*match.rhs);
+  const LoopContext loops{"", match.forall_var};
+  normalize_stencil_refs(*stmt.rhs, program, loops, 1 + match.row_halo);
+  plan.stencils.push_back(std::move(stmt));
+
+  // Memory plan: the source's halo-widened slab plus the output slab must
+  // fit, and the slab pool needs transient headroom to assemble a widened
+  // section while the entries covering it stay pinned (worst case: the
+  // covering slabs of one sweep plus the new assembled copy). Sizing the
+  // width as w = budget / (4 rows) - d bounds that peak by the budget.
+  const ArrayInfo& lhs_info = program.array(match.lhs);
+  const std::int64_t local_rows = lhs_info.dist.local_rows(0);
+  const std::int64_t d = match.halo;
+  const std::int64_t w =
+      options.memory_budget_elements / (4 * local_rows) - d;
+  OOCC_STENCIL_CHECK(w >= 1,
+                     "memory budget of "
+                         << options.memory_budget_elements
+                         << " elements cannot hold the sweep's working set "
+                            "(two "
+                         << local_rows << "-row buffers plus " << 2 * d
+                         << " halo columns and their in-memory assembly)");
+  OOCC_STENCIL_CHECK(d <= w,
+                     "halo distance " << d << " exceeds the slab width " << w
+                                      << " this memory budget allows; raise "
+                                         "--memory");
+  plan.memory.strategy = options.memory_strategy;
+  plan.memory.slab_a = (w + 2 * d) * local_rows;  // source (halo-widened)
+  plan.memory.slab_b = w * local_rows;            // output
+  plan.memory.slab_c = 0;
+  plan.memory.temp_elements = 0;
+
+  plan.arrays[match.source] =
+      PlanArray{match.source, program.array(match.source).dist,
+                io::StorageOrder::kColumnMajor,
+                runtime::SlabOrientation::kColumnSlabs, plan.memory.slab_a,
+                false, false};
+  plan.arrays[match.lhs] =
+      PlanArray{match.lhs, lhs_info.dist, io::StorageOrder::kColumnMajor,
+                runtime::SlabOrientation::kColumnSlabs, plan.memory.slab_b,
+                true, false};
+
+  plan.loops.push_back(SlabLoop{"S", match.lhs,
+                                runtime::SlabOrientation::kColumnSlabs,
+                                w * local_rows, false});
+  plan.steps.push_back(exchange_halo_step("S", match.source, d));
+  plan.steps.push_back(for_each_slab(
+      "S", {halo_read_slab("S", match.source, d), stencil_step("S", 0),
+            write_slab("S", match.lhs)}));
+  plan.steps.push_back(barrier_step());
+
+  std::ostringstream why;
+  why << "stencil FORALL: halo distance " << d << " (rows shifted by "
+      << match.row_halo << "); owner slabs of " << w
+      << " column(s) widened to " << w + 2 * d
+      << ", ghost columns exchanged with the neighbouring processors; "
+      << "boundary rows/columns copy through from '" << match.source << "'";
+  plan.cost.rationale = why.str();
+  return plan;
+}
+
 NodeProgram lower_gaxpy(const BoundProgram& program, const GaxpyMatch& match,
                         const CompileOptions& options) {
   check_gaxpy_layout(program, match);
@@ -845,10 +1226,15 @@ NodeProgram compile(const BoundProgram& program,
       }
       return p;
     }
+    // Stencil-shaped FORALLs either lower or throw a structured
+    // "stencil lowering: ..." diagnostic from inside the matcher.
+    if (auto stencil = match_stencil(program)) {
+      return lower_stencil(program, *stencil, options);
+    }
     OOCC_THROW(ErrorCode::kCompileError,
                "no supported statement pattern: expected the GAXPY reduction "
-               "nest (do/forall/SUM) or a single elementwise FORALL over "
-               "aligned sections");
+               "nest (do/forall/SUM), a single elementwise FORALL over "
+               "aligned sections, or a halo-stencil FORALL");
   }();
   annotate_reuse_distances(std::span<NodeProgram>(&plan, 1));
   return plan;

@@ -1,5 +1,7 @@
 #include "oocc/compiler/plan.hpp"
 
+#include <algorithm>
+
 #include "oocc/util/error.hpp"
 
 namespace oocc::compiler {
@@ -10,6 +12,8 @@ std::string_view program_kind_name(ProgramKind k) noexcept {
       return "gaxpy-reduction";
     case ProgramKind::kElementwise:
       return "elementwise-forall";
+    case ProgramKind::kStencil:
+      return "stencil-forall";
   }
   return "?";
 }
@@ -30,10 +34,36 @@ std::string_view step_kind_name(StepKind k) noexcept {
       return "compute-gaxpy-partial";
     case StepKind::kReduceSum:
       return "reduce-sum";
+    case StepKind::kExchangeHalo:
+      return "exchange-halo";
+    case StepKind::kComputeStencil:
+      return "compute-stencil";
     case StepKind::kBarrier:
       return "barrier";
   }
   return "?";
+}
+
+const std::string& stencil_resolve(const NodeProgram& plan, bool swapped,
+                                   const std::string& name) {
+  if (swapped && !plan.stencils.empty()) {
+    const StencilStmt& st = plan.stencils.front();
+    if (name == st.source) {
+      return st.lhs;
+    }
+    if (name == st.lhs) {
+      return st.source;
+    }
+  }
+  return name;
+}
+
+io::Section widen_columns(const io::Section& s, std::int64_t halo,
+                          std::int64_t local_cols) noexcept {
+  io::Section out = s;
+  out.col0 = std::max<std::int64_t>(0, s.col0 - halo);
+  out.col1 = std::min<std::int64_t>(local_cols, s.col1 + halo);
+  return out;
 }
 
 const PlanArray& NodeProgram::array(const std::string& name) const {

@@ -31,7 +31,8 @@ namespace oocc::compiler {
 
 enum class ProgramKind {
   kGaxpy,       ///< DO/FORALL/SUM reduction (Figure 3's pattern)
-  kElementwise  ///< communication-free FORALL(s) over aligned sections
+  kElementwise, ///< communication-free FORALL(s) over aligned sections
+  kStencil      ///< halo FORALL: rhs uses forall-index +/- constant columns
 };
 
 std::string_view program_kind_name(ProgramKind k) noexcept;
@@ -71,10 +72,15 @@ enum class StepKind {
   kForEachColumn,  ///< structural: run `body` once per column of `loop`'s
                    ///< current slab (drives the output-column index)
   kReadSlab,       ///< load `array`'s section for `loop`'s current slab
+                   ///< (widened by `halo` columns each side when halo > 0)
   kWriteSlab,      ///< store `array`'s staged slab back to its LAF
   kComputeElementwise,   ///< evaluate statements[stmt] over the current slab
   kComputeGaxpyPartial,  ///< temp(:) += A(:,i) * B(i, m) over the A slab
   kReduceSum,      ///< global sum of temp; owner stages its output column
+  kExchangeHalo,   ///< trade `halo` edge columns of `array` with the
+                   ///< neighbouring processors (ghost columns for a sweep)
+  kComputeStencil, ///< evaluate stencils[stmt] over the current slab, with
+                   ///< halo/ghost columns bound and boundary copy-through
   kBarrier         ///< synchronize all processors
 };
 
@@ -93,6 +99,10 @@ struct Step {
   std::string array;
   std::string with;
   int stmt = -1;
+  /// Halo width in columns. On kReadSlab: widen the loop's current slab by
+  /// this many columns on each side, clipped at the local array bounds. On
+  /// kExchangeHalo: the number of edge columns traded with each neighbour.
+  std::int64_t halo = 0;
   /// Forward reuse distance, annotated by annotate_reuse_distances (cost.hpp)
   /// on kReadSlab / kWriteSlab / kComputeElementwise steps: the minimum
   /// number of slab I/O events between an execution of this step and the
@@ -110,6 +120,23 @@ struct ElementwiseStmt {
   std::string lhs;
   hpf::ExprPtr rhs;  ///< cloned expression tree (NodeProgram is move-only)
   std::string forall_var;
+};
+
+/// One lowered halo-stencil FORALL `lhs(interior) = f(source shifted)`.
+/// The rhs is *stencil-normalized*: every array reference's subscripts are
+/// rewritten to two integer constants (row shift, column offset) relative
+/// to the element being computed, so the executor reads them positionally
+/// instead of re-deriving the subscript algebra per element. Elements
+/// outside the FORALL's interior (the first/last `halo` global columns and
+/// the first/last `row_halo` rows) copy through from `source` — the
+/// canonical Jacobi fixed boundary.
+struct StencilStmt {
+  std::string lhs;     ///< output array of one sweep
+  std::string source;  ///< the single stenciled input array
+  hpf::ExprPtr rhs;    ///< stencil-normalized expression tree
+  std::string forall_var;
+  std::int64_t halo = 1;      ///< max |column offset| (dependence distance)
+  std::int64_t row_halo = 0;  ///< max |row shift| (boundary rows copied)
 };
 
 struct NodeProgram {
@@ -130,6 +157,10 @@ struct NodeProgram {
   std::vector<ElementwiseStmt> statements;
   std::int64_t elementwise_cols = 0;
 
+  // Stencil statement (one per plan; the executor's convergence driver
+  // ping-pongs lhs/source between sweeps).
+  std::vector<StencilStmt> stencils;
+
   // The slab-program IR interpreted by exec::execute.
   std::vector<SlabLoop> loops;
   std::vector<Step> steps;
@@ -143,5 +174,21 @@ struct NodeProgram {
   const PlanArray& array(const std::string& name) const;
   const SlabLoop& loop(const std::string& name) const;
 };
+
+/// Widens a full-height column section by `halo` columns on each side,
+/// clipped to [0, local_cols). The shape of every halo ReadSlab; shared by
+/// the executor, the step pricer and the reuse annotator so the three
+/// always agree on what a halo read touches.
+io::Section widen_columns(const io::Section& s, std::int64_t halo,
+                          std::int64_t local_cols) noexcept;
+
+/// Ping-pong name resolution for a stencil plan's odd (swapped) sweeps:
+/// with `swapped` set, the stencil pair's lhs and source trade places;
+/// every other name (and every non-stencil plan) resolves to itself. One
+/// shared definition keeps the executor and the reuse annotator replaying
+/// identical schedules. Returns a reference into `plan` or `name` itself,
+/// stable for the caller's lifetime.
+const std::string& stencil_resolve(const NodeProgram& plan, bool swapped,
+                                   const std::string& name);
 
 }  // namespace oocc::compiler

@@ -123,11 +123,19 @@ void emit_steps(std::ostringstream& oss, const std::vector<Step>& steps,
       case StepKind::kReadSlab:
       case StepKind::kWriteSlab:
         oss << " " << s.array << " [" << s.loop << "]";
+        if (s.halo > 0) {
+          oss << " (halo +/-" << s.halo << ", clipped)";
+        }
         if (s.reuse_distance >= 0) {
           oss << " (reuse " << s.reuse_distance << ")";
         }
         break;
+      case StepKind::kExchangeHalo:
+        oss << " " << s.array << " [" << s.loop << "] (+/-" << s.halo
+            << " edge columns)";
+        break;
       case StepKind::kComputeElementwise:
+      case StepKind::kComputeStencil:
         oss << " stmt#" << s.stmt;
         break;
       case StepKind::kComputeGaxpyPartial:
@@ -142,6 +150,89 @@ void emit_steps(std::ostringstream& oss, const std::vector<Step>& steps,
     oss << "\n";
     emit_steps(oss, s.body, depth + 1);
   }
+}
+
+/// Renders a stencil-normalized expression: array references print as
+/// name(r+shift, c+offset) relative to the element being computed.
+void stencil_expr_text(std::ostringstream& oss, const hpf::Expr& e) {
+  switch (e.kind) {
+    case hpf::ExprKind::kIntConst:
+      oss << e.int_value;
+      return;
+    case hpf::ExprKind::kVarRef:
+      oss << e.name;
+      return;
+    case hpf::ExprKind::kArrayRef: {
+      const std::int64_t sr = e.subscripts[0].scalar->int_value;
+      const std::int64_t co = e.subscripts[1].scalar->int_value;
+      oss << e.name << "(r";
+      if (sr != 0) {
+        oss << (sr > 0 ? "+" : "") << sr;
+      }
+      oss << ",c";
+      if (co != 0) {
+        oss << (co > 0 ? "+" : "") << co;
+      }
+      oss << ")";
+      return;
+    }
+    case hpf::ExprKind::kBinary: {
+      const char* op = "?";
+      switch (e.op) {
+        case hpf::BinOp::kAdd:
+          op = " + ";
+          break;
+        case hpf::BinOp::kSub:
+          op = " - ";
+          break;
+        case hpf::BinOp::kMul:
+          op = "*";
+          break;
+        case hpf::BinOp::kDiv:
+          op = "/";
+          break;
+      }
+      oss << "(";
+      stencil_expr_text(oss, *e.lhs);
+      oss << op;
+      stencil_expr_text(oss, *e.rhs);
+      oss << ")";
+      return;
+    }
+    case hpf::ExprKind::kSumIntrinsic:
+      oss << "SUM(?)";
+      return;
+  }
+}
+
+std::string stencil_stmt_text(const StencilStmt& st) {
+  std::ostringstream oss;
+  oss << st.lhs << "(r,c) = ";
+  stencil_expr_text(oss, *st.rhs);
+  return oss.str();
+}
+
+void emit_stencil(std::ostringstream& oss, const NodeProgram& p) {
+  const StencilStmt& st = p.stencils.front();
+  oss << "C  Halo-stencil translation (one sweep of the ping-pong pair)\n"
+      << "C  slabs: " << st.source << "="
+      << p.array(st.source).slab_elements << " elems (halo-widened), "
+      << st.lhs << "=" << p.array(st.lhs).slab_elements << " elems\n"
+      << "   exchange +/-" << st.halo << " edge columns of " << st.source
+      << " with the neighbour processors\n"
+      << "   do s = 1, slabs_of(" << st.lhs << ")\n"
+      << "      call READ_ICLA(" << st.source << ", slab s widened by "
+      << st.halo << " column(s) each side, clipped)\n"
+      << "      do each interior element (r,c) in slab s\n"
+      << "         " << stencil_stmt_text(st) << "\n"
+      << "      end do\n"
+      << "      boundary rows/columns copy through from " << st.source
+      << "\n"
+      << "      call WRITE_ICLA(" << st.lhs << ", slab s)\n"
+      << "   end do\n"
+      << "   barrier\n"
+      << "C  the executor swaps " << st.lhs << "/" << st.source
+      << " and repeats until max_iters or residual <= tol\n";
 }
 
 }  // namespace
@@ -174,6 +265,9 @@ std::string pseudo_code(const NodeProgram& plan) {
       break;
     case ProgramKind::kElementwise:
       emit_elementwise(oss, plan);
+      break;
+    case ProgramKind::kStencil:
+      emit_stencil(oss, plan);
       break;
   }
   return oss.str();
@@ -214,6 +308,19 @@ std::string decision_report(const NodeProgram& plan) {
       oss << "\n";
     }
     oss << "rationale: " << plan.cost.rationale << "\n";
+  } else if (plan.kind == ProgramKind::kStencil) {
+    const StencilStmt& st = plan.stencils.front();
+    oss << "stmt: " << stencil_stmt_text(st) << "\n";
+    oss << "halo: +/-" << st.halo << " columns, +/-" << st.row_halo
+        << " rows; ping-pong pair " << st.lhs << "/" << st.source << "\n";
+    for (const auto& [name, pa] : plan.arrays) {
+      oss << "array '" << name << "': " << pa.dist.to_string() << ", stored "
+          << io::storage_order_name(pa.storage) << ", slab "
+          << pa.slab_elements << " elems\n";
+    }
+    if (!plan.cost.rationale.empty()) {
+      oss << "rationale: " << plan.cost.rationale << "\n";
+    }
   } else {
     for (const ElementwiseStmt& st : plan.statements) {
       oss << "stmt: " << st.lhs << " = " << hpf::to_string(*st.rhs) << "\n";

@@ -1,6 +1,7 @@
 #include "oocc/exec/interp.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -16,6 +17,11 @@
 namespace oocc::exec {
 
 namespace {
+
+// Ghost-column exchange tags (user tags are >= 0; the hand-coded Jacobi
+// oracle uses 101/102, kept distinct so both can run in one simulation).
+constexpr int kTagStencilLeft = 151;   ///< carries a rank's leftmost columns
+constexpr int kTagStencilRight = 152;  ///< carries a rank's rightmost columns
 
 runtime::OutOfCoreArray& bound(const ArrayBindings& arrays,
                                const std::string& name) {
@@ -53,13 +59,19 @@ void check_binding(const compiler::NodeProgram& plan,
 /// write-through staging.
 class StepExecutor {
  public:
+  /// `stencil_swapped` runs a stencil plan's sweep with the lhs/source
+  /// roles exchanged (the convergence driver's odd sweeps): every array
+  /// name in the step program resolves to its ping-pong partner at the
+  /// LAF/pool boundary.
   StepExecutor(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
                const ArrayBindings& arrays, runtime::MemoryBudget& budget,
-               runtime::SlabBufferPool* pool)
+               runtime::SlabBufferPool* pool, bool stencil_swapped = false)
       : ctx_(ctx), plan_(plan), arrays_(arrays), budget_(budget),
-        pool_(pool) {
+        pool_(pool),
+        swap_(stencil_swapped && !plan.stencils.empty()) {
     for (const compiler::SlabLoop& loop : plan_.loops) {
-      const runtime::OutOfCoreArray& space = bound(arrays_, loop.space);
+      const runtime::OutOfCoreArray& space =
+          bound(arrays_, resolve(loop.space));
       states_.emplace(
           loop.name,
           LoopState(&loop, runtime::SlabIterator(space.local_rows(),
@@ -68,6 +80,9 @@ class StepExecutor {
                                                  loop.capacity_elements)));
     }
   }
+
+  /// Local max |update| of the sweep's interior elements (stencil plans).
+  double residual() const noexcept { return residual_; }
 
   void run() {
     if (pool_ != nullptr && plan_.kind == compiler::ProgramKind::kGaxpy) {
@@ -112,6 +127,11 @@ class StepExecutor {
     std::map<std::string, const runtime::IclaBuffer*> loaded;
     /// Pool entries pinned during the current slab iteration (cache mode).
     std::vector<std::pair<std::string, io::Section>> pinned;
+    /// Halo-widened entries to drop when the iteration ends: they overlap
+    /// their neighbours and the ping-pong partner is what the next sweep
+    /// reads, so retaining them only crowds out the reusable dirty slabs
+    /// (and can deadlock the pool's assembly at tight budgets).
+    std::vector<std::pair<std::string, io::Section>> transient;
     /// Read-ahead queue for this loop's upcoming ReadSlab schedule.
     runtime::IoScheduler scheduler;
     int lookahead = 0;  ///< reads to keep in flight (streamed array count)
@@ -122,6 +142,14 @@ class StepExecutor {
     OOCC_CHECK(it != states_.end(), ErrorCode::kRuntimeError,
                "step references undeclared slab loop '" << name << "'");
     return it->second;
+  }
+
+  /// Plan array name -> the array actually touched this sweep. Identity
+  /// except for a swapped stencil sweep, where the ping-pong pair trade
+  /// places. Only LAF/pool accesses resolve; in-executor maps (loaded,
+  /// staging) stay keyed by plan name.
+  const std::string& resolve(const std::string& name) const {
+    return compiler::stencil_resolve(plan_, swap_, name);
   }
 
   /// Writable slab-sized buffer for an array the program produces.
@@ -169,8 +197,9 @@ class StepExecutor {
           for (std::int64_t i = 0; i < loop.iter.count(); ++i) {
             for (const compiler::Step* s : reads) {
               loop.scheduler.enqueue(runtime::IoScheduler::Request{
-                  &bound(arrays_, s->array).laf(), s->array,
-                  loop.iter.section(i), s->reuse_distance});
+                  &bound(arrays_, resolve(s->array)).laf(),
+                  resolve(s->array), loop.iter.section(i),
+                  s->reuse_distance});
             }
           }
         }
@@ -184,6 +213,10 @@ class StepExecutor {
               pool_->unpin(it->first, it->second);
             }
             loop.pinned.clear();
+            for (const auto& [array, sec] : loop.transient) {
+              pool_->drop_clean(array, sec);
+            }
+            loop.transient.clear();
           }
         }
         loop.index = -1;
@@ -211,14 +244,15 @@ class StepExecutor {
           // Deferred write-back: the dirty slab reaches the LAF on eviction
           // or at the end-of-sequence flush; meanwhile a later statement's
           // read of it is a hit.
-          pool_->mark_dirty(step.array, loop.section, step.reuse_distance);
+          pool_->mark_dirty(resolve(step.array), loop.section,
+                            step.reuse_distance);
           return;
         }
         const auto it = staging_.find(step.array);
         OOCC_CHECK(it != staging_.end(), ErrorCode::kRuntimeError,
                    "write-slab of '" << step.array
                                      << "' before any compute staged it");
-        it->second->store_as(ctx_, bound(arrays_, step.array).laf(),
+        it->second->store_as(ctx_, bound(arrays_, resolve(step.array)).laf(),
                              loop.section);
         return;
       }
@@ -231,6 +265,12 @@ class StepExecutor {
       case StepKind::kReduceSum:
         reduce_sum(step);
         return;
+      case StepKind::kExchangeHalo:
+        exchange_halo(step);
+        return;
+      case StepKind::kComputeStencil:
+        compute_stencil(step);
+        return;
       case StepKind::kBarrier:
         sim::barrier(ctx_);
         return;
@@ -240,15 +280,35 @@ class StepExecutor {
 
   void read_slab(const compiler::Step& step) {
     LoopState& loop = state(step.loop);
-    runtime::OutOfCoreArray& array = bound(arrays_, step.array);
+    const std::string& name = resolve(step.array);
+    runtime::OutOfCoreArray& array = bound(arrays_, name);
+    // Halo reads widen the owner slab by the dependence distance, clipped
+    // at the local array bounds (columns beyond them arrive as ghosts).
+    const io::Section sec =
+        step.halo > 0
+            ? compiler::widen_columns(loop.section, step.halo,
+                                      array.local_cols())
+            : loop.section;
     if (pool_ != nullptr) {
       runtime::IclaBuffer& buf = pool_->acquire_read(
-          ctx_, array.laf(), step.array, loop.section, step.reuse_distance);
-      loop.pinned.emplace_back(step.array, loop.section);
+          ctx_, array.laf(), name, sec, step.reuse_distance);
+      loop.pinned.emplace_back(name, sec);
+      if (step.halo > 0) {
+        loop.transient.emplace_back(name, sec);
+      }
       loop.loaded[step.array] = &buf;
       if (loop.decl->prefetch) {
         loop.scheduler.pump(ctx_, *pool_, loop.lookahead);
       }
+      return;
+    }
+    if (step.halo > 0) {
+      // Cache-off path: load the widened section into a dedicated staging
+      // buffer (the per-loop readers only know unwidened iterator slabs).
+      runtime::IclaBuffer& buf =
+          staging(step.array, plan_.array(step.array).slab_elements);
+      buf.load(ctx_, array.laf(), sec);
+      loop.loaded[step.array] = &buf;
       return;
     }
     if (plan_.array(step.array).is_output) {
@@ -387,13 +447,177 @@ class StepExecutor {
         std::span<const double>(summed.data(), summed.size()));
   }
 
+  /// Ghost-column exchange before a stencil sweep: every rank ships its
+  /// `halo` edge columns to the neighbouring ranks and keeps the columns it
+  /// receives for the sweep's out-of-panel reads. Reads go through the pool
+  /// when it is active, so columns a previous sweep staged (and never wrote
+  /// back) are seen current.
+  void exchange_halo(const compiler::Step& step) {
+    left_ghost_.clear();
+    right_ghost_.clear();
+    const int p = ctx_.nprocs();
+    if (p == 1) {
+      return;
+    }
+    const std::int64_t d = step.halo;
+    const std::string& name = resolve(step.array);
+    runtime::OutOfCoreArray& arr = bound(arrays_, name);
+    const std::int64_t rows = arr.local_rows();
+    const std::int64_t nlc = arr.local_cols();
+    const int rank = ctx_.rank();
+
+    std::vector<double> edge;
+    const auto read_edge = [&](const io::Section& sec) {
+      edge.resize(static_cast<std::size_t>(sec.elements()));
+      if (pool_ != nullptr) {
+        runtime::IclaBuffer& buf = pool_->acquire_read(
+            ctx_, arr.laf(), name, sec, step.reuse_distance);
+        const std::span<const double> data = buf.data();
+        std::copy(data.begin(), data.end(), edge.begin());
+        pool_->unpin(name, sec);
+      } else {
+        arr.laf().read_section(ctx_, sec,
+                               std::span<double>(edge.data(), edge.size()));
+      }
+    };
+    if (rank > 0) {
+      read_edge(io::Section{0, rows, 0, d});
+      ctx_.send<double>(rank - 1, kTagStencilLeft,
+                        std::span<const double>(edge.data(), edge.size()));
+    }
+    if (rank < p - 1) {
+      read_edge(io::Section{0, rows, nlc - d, nlc});
+      ctx_.send<double>(rank + 1, kTagStencilRight,
+                        std::span<const double>(edge.data(), edge.size()));
+    }
+    if (rank < p - 1) {
+      left_ghost_ = ctx_.recv<double>(rank + 1, kTagStencilLeft);
+    }
+    if (rank > 0) {
+      right_ghost_ = ctx_.recv<double>(rank - 1, kTagStencilRight);
+    }
+  }
+
+  /// Evaluates one element of a stencil-normalized expression: array
+  /// references carry (row shift, column offset) integer subscripts.
+  template <typename ColAt>
+  double eval_stencil(const hpf::Expr& e, std::int64_t r, std::int64_t lc,
+                      std::int64_t forall_value, const ColAt& col_at) const {
+    switch (e.kind) {
+      case hpf::ExprKind::kIntConst:
+        return static_cast<double>(e.int_value);
+      case hpf::ExprKind::kVarRef:
+        // Lowering only admits the FORALL index as a free scalar.
+        return static_cast<double>(forall_value);
+      case hpf::ExprKind::kBinary: {
+        const double a = eval_stencil(*e.lhs, r, lc, forall_value, col_at);
+        const double b = eval_stencil(*e.rhs, r, lc, forall_value, col_at);
+        switch (e.op) {
+          case hpf::BinOp::kAdd:
+            return a + b;
+          case hpf::BinOp::kSub:
+            return a - b;
+          case hpf::BinOp::kMul:
+            return a * b;
+          case hpf::BinOp::kDiv:
+            return a / b;
+        }
+        return 0.0;
+      }
+      case hpf::ExprKind::kArrayRef: {
+        const std::int64_t sr = e.subscripts[0].scalar->int_value;
+        const std::int64_t co = e.subscripts[1].scalar->int_value;
+        return col_at(lc + co)[r + sr];
+      }
+      case hpf::ExprKind::kSumIntrinsic:
+        break;
+    }
+    OOCC_THROW(ErrorCode::kRuntimeError,
+               "unsupported node in a stencil-normalized expression");
+  }
+
+  /// One slab of the stencil sweep. Interior elements evaluate the
+  /// normalized rhs over the halo-widened source slab (ghost columns for
+  /// out-of-panel offsets); boundary rows and the first/last `halo` global
+  /// columns copy through from the source — the hand-coded Jacobi oracle's
+  /// exact arithmetic and boundary policy, element for element.
+  void compute_stencil(const compiler::Step& step) {
+    const compiler::StencilStmt& st =
+        plan_.stencils.at(static_cast<std::size_t>(step.stmt));
+    LoopState& loop = state(step.loop);
+    const io::Section sec = loop.section;
+    const std::string& lhs_name = resolve(st.lhs);
+    runtime::OutOfCoreArray& lhs = bound(arrays_, lhs_name);
+    const runtime::IclaBuffer* src = loop.loaded.at(st.source);
+    const io::Section hs = src->section();
+    const std::int64_t rows = sec.rows();
+    const std::int64_t nlc = lhs.local_cols();
+    const std::int64_t gcols = lhs.dist().global_cols();
+    const std::int64_t d = st.halo;
+    const std::int64_t rh = st.row_halo;
+
+    runtime::IclaBuffer* out_ptr;
+    if (pool_ != nullptr) {
+      out_ptr = &pool_->acquire_write(ctx_, lhs.laf(), lhs_name, sec,
+                                      step.reuse_distance);
+      loop.pinned.emplace_back(lhs_name, sec);
+    } else {
+      out_ptr = &staging(st.lhs, loop.iter.slab_elements());
+      out_ptr->reset_section(sec);
+    }
+    runtime::IclaBuffer& out = *out_ptr;
+
+    const auto col_at = [&](std::int64_t lc) -> const double* {
+      if (lc < 0) {
+        return right_ghost_.data() +
+               static_cast<std::size_t>((lc + d) * rows);
+      }
+      if (lc >= nlc) {
+        return left_ghost_.data() +
+               static_cast<std::size_t>((lc - nlc) * rows);
+      }
+      return &src->at(0, lc - hs.col0);
+    };
+    const double ops = static_cast<double>(hpf::count_binary_ops(*st.rhs));
+    for (std::int64_t lc = sec.col0; lc < sec.col1; ++lc) {
+      const std::int64_t gc = lhs.dist().local_to_global_col(ctx_.rank(), lc);
+      const double* center = col_at(lc);
+      double* res = &out.at(0, lc - sec.col0);
+      if (gc < d || gc >= gcols - d) {
+        std::copy(center, center + rows, res);  // fixed boundary column
+        continue;
+      }
+      for (std::int64_t r = 0; r < rh; ++r) {
+        res[r] = center[r];  // fixed boundary rows
+      }
+      for (std::int64_t r = rows - rh; r < rows; ++r) {
+        res[r] = center[r];
+      }
+      const std::int64_t forall_value = gc + 1;  // 1-based Fortran index
+      for (std::int64_t r = rh; r < rows - rh; ++r) {
+        const double v = eval_stencil(*st.rhs, r, lc, forall_value, col_at);
+        res[r] = v;
+        residual_ = std::max(residual_, std::abs(v - center[r]));
+      }
+      ctx_.charge_flops(ops * static_cast<double>(rows - 2 * rh));
+    }
+    loop.loaded[st.lhs] = &out;
+  }
+
   sim::SpmdContext& ctx_;
   const compiler::NodeProgram& plan_;
   const ArrayBindings& arrays_;
   runtime::MemoryBudget& budget_;
   runtime::SlabBufferPool* pool_;
+  bool swap_ = false;  ///< stencil ping-pong: lhs/source roles exchanged
   std::map<std::string, LoopState> states_;
   std::map<std::string, std::unique_ptr<runtime::IclaBuffer>> staging_;
+
+  // Stencil sweep state: ghost columns from the neighbouring ranks and the
+  // running max |update| of the interior.
+  std::vector<double> left_ghost_;   ///< right neighbour's first d columns
+  std::vector<double> right_ghost_;  ///< left neighbour's last d columns
+  double residual_ = 0.0;
 
   // GAXPY reduction state: the in-memory partial column of Figures 9/12.
   std::vector<double> temp_;
@@ -435,6 +659,51 @@ void check_plan(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
   }
 }
 
+/// Iterate-to-convergence driver for a stencil plan: up to `max_iters`
+/// sweeps, ping-ponging the lhs/source pair, stopping early when the global
+/// max |update| drops to `residual_tol`. Every rank takes the same branch
+/// because the residual is allreduced. Collective.
+void run_stencil(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
+                 const ArrayBindings& arrays, const ExecOptions& options,
+                 runtime::MemoryBudget& budget,
+                 runtime::SlabBufferPool* pool) {
+  const compiler::StencilStmt& st = plan.stencils.front();
+  const int max_iters = std::max(1, options.max_iters);
+  const bool want_residual =
+      options.residual_tol > 0 || options.stencil_info != nullptr;
+  int iters = 0;
+  double residual = 0.0;
+  for (int it = 0; it < max_iters; ++it) {
+    StepExecutor sweep(ctx, plan, arrays, budget, pool,
+                       /*stencil_swapped=*/(it % 2) != 0);
+    sweep.run();
+    ++iters;
+    if (want_residual) {
+      residual = sim::allreduce_max<double>(ctx, sweep.residual());
+      if (options.residual_tol > 0 && residual <= options.residual_tol) {
+        break;
+      }
+    }
+  }
+  if (options.stencil_info != nullptr) {
+    options.stencil_info->iterations = iters;
+    options.stencil_info->final_residual = residual;
+    options.stencil_info->result = iters % 2 == 1 ? st.lhs : st.source;
+  }
+}
+
+/// Runs one plan with the pool (or without, pool == nullptr): stencil plans
+/// go through the convergence driver, everything else is a single sweep.
+void run_plan(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
+              const ArrayBindings& arrays, const ExecOptions& options,
+              runtime::MemoryBudget& budget, runtime::SlabBufferPool* pool) {
+  if (plan.kind == compiler::ProgramKind::kStencil) {
+    run_stencil(ctx, plan, arrays, options, budget, pool);
+    return;
+  }
+  StepExecutor(ctx, plan, arrays, budget, pool).run();
+}
+
 }  // namespace
 
 ExecOptions default_exec_options() {
@@ -456,11 +725,11 @@ void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
   runtime::MemoryBudget budget(
       std::max(plan.memory_budget_elements, options.budget_elements));
   if (!options.use_cache) {
-    StepExecutor(ctx, plan, arrays, budget, nullptr).run();
+    run_plan(ctx, plan, arrays, options, budget, nullptr);
     return;
   }
   runtime::SlabBufferPool pool(budget, "pool");
-  StepExecutor(ctx, plan, arrays, budget, &pool).run();
+  run_plan(ctx, plan, arrays, options, budget, &pool);
   pool.flush(ctx);
   if (options.cache_stats != nullptr) {
     options.cache_stats->merge(pool.stats());
@@ -543,7 +812,7 @@ void execute_sequence(sim::SpmdContext& ctx,
   for (const compiler::NodeProgram& plan : plans) {
     const ArrayBindings subset = subset_for(plan);
     check_plan(ctx, plan, subset);
-    StepExecutor(ctx, plan, subset, budget, &pool).run();
+    run_plan(ctx, plan, subset, options, budget, &pool);
   }
   pool.flush(ctx);
   if (options.cache_stats != nullptr) {

@@ -31,6 +31,16 @@ namespace oocc::exec {
 /// Per-processor set of arrays bound to a plan.
 using ArrayBindings = std::map<std::string, runtime::OutOfCoreArray*>;
 
+/// Outcome of a stencil plan's iterate-to-convergence driver.
+struct StencilRunInfo {
+  int iterations = 0;        ///< sweeps actually run
+  double final_residual = 0.0;  ///< global max |update| of the last sweep
+  /// Name of the array holding the final state (the ping-pong pair swaps
+  /// roles every sweep, so this is lhs after an odd count, source after an
+  /// even one).
+  std::string result;
+};
+
 /// Per-run executor knobs.
 struct ExecOptions {
   /// Route slab I/O through a reuse-aware SlabBufferPool (shared across a
@@ -43,6 +53,15 @@ struct ExecOptions {
   std::int64_t budget_elements = 0;
   /// When non-null, the pool's counters are merged into it after the run.
   runtime::SlabCacheStats* cache_stats = nullptr;
+
+  /// Stencil plans only: number of Jacobi-style sweeps to run, ping-ponging
+  /// the lhs/source pair between sweeps. Ignored by other plan kinds.
+  int max_iters = 1;
+  /// Stencil plans only: when > 0, stop as soon as the global max |update|
+  /// of a sweep drops to (or below) this threshold.
+  double residual_tol = 0.0;
+  /// When non-null, filled with the stencil driver's outcome.
+  StencilRunInfo* stencil_info = nullptr;
 };
 
 /// ExecOptions honouring the environment: OOCC_NO_CACHE disables the pool.

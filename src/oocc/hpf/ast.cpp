@@ -53,6 +53,13 @@ ExprPtr clone_expr(const Expr& e) {
   return out;
 }
 
+std::int64_t count_binary_ops(const Expr& e) {
+  std::int64_t ops = e.kind == ExprKind::kBinary ? 1 : 0;
+  if (e.lhs) ops += count_binary_ops(*e.lhs);
+  if (e.rhs) ops += count_binary_ops(*e.rhs);
+  return ops;
+}
+
 namespace {
 
 char op_char(BinOp op) noexcept {

@@ -70,6 +70,11 @@ ExprPtr make_var(std::string name, int line = 0);
 ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, int line = 0);
 ExprPtr clone_expr(const Expr& e);
 
+/// Number of binary operations one evaluation of `e` performs — the flop
+/// count both the executor charges and the cost model prices for a
+/// compiled expression (one shared definition keeps them identical).
+std::int64_t count_binary_ops(const Expr& e);
+
 /// Renders an expression back to (lower-case) source-like text.
 std::string to_string(const Expr& e);
 std::string to_string(const Subscript& s);

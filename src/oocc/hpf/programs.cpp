@@ -40,4 +40,20 @@ std::string elementwise_source(std::int64_t rows, std::int64_t cols,
   return oss.str();
 }
 
+std::string stencil_source(std::int64_t n, int nprocs) {
+  std::ostringstream oss;
+  oss << "      parameter (n=" << n << ", p=" << nprocs << ")\n"
+      << "      real a(n,n), b(n,n)\n"
+      << "!hpf$ processors Pr(p)\n"
+      << "!hpf$ template d(n)\n"
+      << "!hpf$ distribute d(block) onto Pr\n"
+      << "!hpf$ align (*,:) with d :: a, b\n"
+      << "      forall (k=2:n-1)\n"
+      << "        b(2:n-1,k) = (a(1:n-2,k) + a(3:n,k) + a(2:n-1,k-1)"
+      << " + a(2:n-1,k+1))/4\n"
+      << "      end forall\n"
+      << "      end\n";
+  return oss.str();
+}
+
 }  // namespace oocc::hpf

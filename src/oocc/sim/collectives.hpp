@@ -12,6 +12,7 @@
 // delivery is FIFO (non-overtaking).
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <utility>
 #include <vector>
@@ -108,6 +109,43 @@ std::vector<T> allreduce_sum(SpmdContext& ctx, std::span<const T> in) {
   std::vector<T> result = reduce_sum<T>(ctx, /*root=*/0, in);
   broadcast(ctx, /*root=*/0, result);
   return result;
+}
+
+/// Binomial-tree elementwise max reduction to `root`; same contract as
+/// reduce_sum. The comparisons are not charged as flops (the paper's cost
+/// model only counts arithmetic).
+template <typename T>
+std::vector<T> reduce_max(SpmdContext& ctx, int root, std::span<const T> in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = ctx.nprocs();
+  const int vr = detail::virtual_rank(ctx.rank(), root, p);
+  std::vector<T> acc(in.begin(), in.end());
+  std::vector<T> incoming(in.size());
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if ((vr & mask) != 0) {
+      const int dest = detail::real_rank(vr - mask, root, p);
+      ctx.send<T>(dest, kTagReduce, std::span<const T>(acc));
+      return {};
+    }
+    if (vr + mask < p) {
+      const int src = detail::real_rank(vr + mask, root, p);
+      ctx.recv_into<T>(src, kTagReduce, std::span<T>(incoming));
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = std::max(acc[i], incoming[i]);
+      }
+    }
+  }
+  return acc;
+}
+
+/// Scalar max across all ranks; every rank gets the result (the stencil
+/// executor's convergence test).
+template <typename T>
+T allreduce_max(SpmdContext& ctx, T value) {
+  std::vector<T> result =
+      reduce_max<T>(ctx, /*root=*/0, std::span<const T>(&value, 1));
+  broadcast(ctx, /*root=*/0, result);
+  return result.empty() ? value : result.front();
 }
 
 /// Gathers equal-sized contributions to `root`, concatenated in rank order.

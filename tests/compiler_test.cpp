@@ -70,7 +70,7 @@ TEST(AccessTest, ConstantAndOtherClasses) {
   EXPECT_EQ(refs[1].col_class, SubscriptClass::kConstant);  // a(1:n,1)
 }
 
-TEST(AccessTest, PartialRangeIsOther) {
+TEST(AccessTest, PartialRangeIsConstantRangeWithBounds) {
   const hpf::BoundProgram bound = hpf::analyze(hpf::parse(
       "parameter (n=8)\n"
       "real a(n,n)\n"
@@ -82,7 +82,30 @@ TEST(AccessTest, PartialRangeIsOther) {
   const LoopContext loops{"", "k"};
   std::vector<RefAccess> refs;
   collect_references(*inner.rhs, bound, loops, false, refs);
-  EXPECT_EQ(refs[0].row_class, SubscriptClass::kOther);
+  // Partial sections still reject from the full-range matchers, but the
+  // stencil matcher needs their Fortran bounds.
+  EXPECT_EQ(refs[0].row_class, SubscriptClass::kConstantRange);
+  EXPECT_EQ(refs[0].row_lo, 2);
+  EXPECT_EQ(refs[0].row_hi, 4);
+}
+
+TEST(AccessTest, ForallOffsetCarriesTheSignedDistance) {
+  const hpf::BoundProgram bound = hpf::analyze(hpf::parse(
+      "parameter (n=8)\n"
+      "real a(n,n)\n"
+      "forall (k=2:7)\n"
+      "  a(1:n,k) = a(1:n,k-1) + a(1:n,k+2)\n"
+      "end forall\n"
+      "end\n"));
+  const hpf::Stmt& inner = *bound.stmts[0]->body[0];
+  const LoopContext loops{"", "k"};
+  std::vector<RefAccess> refs;
+  collect_references(*inner.rhs, bound, loops, false, refs);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0].col_class, SubscriptClass::kForallOffset);
+  EXPECT_EQ(refs[0].col_offset, -1);
+  EXPECT_EQ(refs[1].col_class, SubscriptClass::kForallOffset);
+  EXPECT_EQ(refs[1].col_offset, 2);
 }
 
 // ------------------------------------------------------------------- cost

@@ -163,6 +163,24 @@ TEST_F(OoccCompileSmoke, DumpPlanPricesTheSlabCache) {
   EXPECT_NE(output.find("cache hits: 2"), std::string::npos) << output;
 }
 
+TEST_F(OoccCompileSmoke, StencilDemoRunsAndVerifies) {
+  oocc::io::TempDir dir("oocc-smoke");
+  const auto stdout_path = dir.file("out.txt");
+  const auto stderr_path = dir.file("err.txt");
+  const std::string cmd = std::string("\"") + OOCC_COMPILE_BIN +
+                          "\" --stencil=32,4 --memory 512 --run --verify "
+                          "--iters 3 > \"" +
+                          stdout_path.string() + "\" 2> \"" +
+                          stderr_path.string() + "\"";
+  const int rc = std::system(cmd.c_str());
+  EXPECT_EQ(rc, 0) << "stderr:\n" << read_file(stderr_path);
+
+  const std::string output = read_file(stdout_path);
+  EXPECT_NE(output.find("stencil-forall"), std::string::npos) << output;
+  EXPECT_NE(output.find("3 sweep(s) run"), std::string::npos) << output;
+  EXPECT_NE(output.find("BIT-IDENTICAL"), std::string::npos) << output;
+}
+
 TEST_F(OoccCompileSmoke, RejectsMissingInputWithUsage) {
   oocc::io::TempDir dir("oocc-smoke");
   const auto stderr_path = dir.file("err.txt");

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Keeps the docs/ tree honest. Two checks:
+#
+#   1. Every intra-repo markdown link in README.md and docs/**.md resolves
+#      to an existing file (anchors are stripped; http(s) links ignored).
+#   2. Every fenced code block in the docs preceded by a marker line
+#
+#         <!-- oocc-check: <oocc_compile arguments...> -->
+#
+#      is byte-identical to the stdout of running the freshly built
+#      compiler driver with those arguments from the repo root. This is
+#      what stops the --dump-plan snippets in docs/slab-ir.md from rotting
+#      as the IR evolves.
+#
+# Usage: tools/check_docs.sh [-b path/to/oocc_compile] [--update]
+#
+#   -b BIN     compiler driver binary (default: build/tools/oocc_compile)
+#   --update   regenerate the marked blocks in place instead of failing
+#
+# Exits nonzero on any broken link or stale snippet (CI's docs job).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN="build/tools/oocc_compile"
+UPDATE=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -b) BIN="$2"; shift 2 ;;
+    --update) UPDATE=1; shift ;;
+    -h) sed -n '2,19p' "$0"; exit 0 ;;
+    *) echo "check_docs.sh: unknown argument $1" >&2; exit 2 ;;
+  esac
+done
+
+if [ ! -x "$BIN" ]; then
+  echo "check_docs.sh: compiler driver not found at $BIN (build it, or pass -b)" >&2
+  exit 1
+fi
+
+OOCC_BIN="$BIN" UPDATE="$UPDATE" python3 - <<'PYEOF'
+import os
+import re
+import subprocess
+import sys
+
+bin_path = os.environ["OOCC_BIN"]
+update = os.environ["UPDATE"] == "1"
+
+docs = ["README.md"]
+for root, _dirs, files in os.walk("docs"):
+    for f in sorted(files):
+        if f.endswith(".md"):
+            docs.append(os.path.join(root, f))
+
+failures = 0
+
+# ---- 1. intra-repo links -------------------------------------------------
+link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+for doc in docs:
+    text = open(doc).read()
+    base = os.path.dirname(doc)
+    for target in link_re.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        resolved = os.path.normpath(os.path.join(base, path))
+        if not os.path.exists(resolved):
+            print(f"{doc}: broken link -> {target}")
+            failures += 1
+
+# ---- 2. embedded oocc_compile output blocks ------------------------------
+marker_re = re.compile(r"^<!--\s*oocc-check:\s*(.*?)\s*-->\s*$")
+for doc in docs:
+    lines = open(doc).read().splitlines(keepends=True)
+    out_lines = []
+    i = 0
+    changed = False
+    while i < len(lines):
+        out_lines.append(lines[i])
+        m = marker_re.match(lines[i].rstrip("\n"))
+        if not m:
+            i += 1
+            continue
+        args = m.group(1).split()
+        # The fence must open on the next non-empty line.
+        j = i + 1
+        while j < len(lines) and lines[j].strip() == "":
+            out_lines.append(lines[j])
+            j += 1
+        if j >= len(lines) or not lines[j].startswith("```"):
+            print(f"{doc}: oocc-check marker not followed by a fenced block")
+            failures += 1
+            i = j
+            continue
+        fence = lines[j]
+        k = j + 1
+        while k < len(lines) and lines[k].rstrip("\n") != "```":
+            k += 1
+        if k >= len(lines):
+            print(f"{doc}: unterminated fenced block after oocc-check")
+            failures += 1
+            i = j
+            continue
+        embedded = "".join(lines[j + 1:k])
+        proc = subprocess.run([bin_path] + args, capture_output=True,
+                              text=True)
+        if proc.returncode != 0:
+            print(f"{doc}: `oocc_compile {' '.join(args)}` exited "
+                  f"{proc.returncode}:\n{proc.stderr}")
+            failures += 1
+            i = k + 1
+            out_lines.extend(lines[j:k + 1])
+            continue
+        actual = proc.stdout
+        if embedded != actual:
+            if update:
+                changed = True
+            else:
+                print(f"{doc}: stale snippet for `oocc_compile "
+                      f"{' '.join(args)}` (run tools/check_docs.sh "
+                      f"--update)")
+                failures += 1
+        out_lines.extend([fence, actual if update else embedded,
+                          lines[k]])
+        i = k + 1
+    if update and changed:
+        with open(doc, "w") as f:
+            f.write("".join(out_lines))
+        print(f"{doc}: snippets regenerated")
+
+if failures:
+    print(f"check_docs.sh: {failures} problem(s)")
+    sys.exit(1)
+print("check_docs.sh: all links resolve and all embedded snippets are "
+      "current")
+PYEOF

@@ -41,7 +41,8 @@ fi
 BENCHES=("$@")
 if [ ${#BENCHES[@]} -eq 0 ]; then
   BENCHES=(table1_row_vs_col table2_memory_alloc fig10_slab_variation \
-           two_phase_io redistribution fusion_chain cache_reuse)
+           two_phase_io redistribution fusion_chain cache_reuse \
+           stencil_sweep)
 fi
 
 WORK="$(mktemp -d)"
