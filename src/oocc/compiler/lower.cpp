@@ -8,6 +8,7 @@
 
 #include "oocc/compiler/access.hpp"
 #include "oocc/compiler/pretty.hpp"
+#include "oocc/compiler/verify.hpp"
 #include "oocc/hpf/parser.hpp"
 #include "oocc/util/error.hpp"
 
@@ -1237,6 +1238,10 @@ NodeProgram compile(const BoundProgram& program,
                "aligned sections, or a halo-stencil FORALL");
   }();
   annotate_reuse_distances(std::span<NodeProgram>(&plan, 1));
+  if (options.verify) {
+    verify_or_throw(plan);
+    plan.verified = true;
+  }
   return plan;
 }
 
@@ -1284,6 +1289,16 @@ std::vector<NodeProgram> compile_sequence(const BoundProgram& program,
   // Reuse distances span statement boundaries: annotate the whole sequence
   // so the runtime pool knows which slabs a *later* statement will read.
   annotate_reuse_distances(std::span<NodeProgram>(plans.data(), plans.size()));
+  if (options.verify) {
+    // Fusion and the sequence-wide reuse annotation may have reshaped the
+    // per-statement plans since compile() stamped them; re-verify the
+    // sequence as the executor will actually see it.
+    verify_sequence_or_throw(
+        std::span<const NodeProgram>(plans.data(), plans.size()));
+    for (NodeProgram& plan : plans) {
+      plan.verified = true;
+    }
+  }
   return plans;
 }
 

@@ -63,6 +63,13 @@ struct CompileOptions {
   /// Machine model for the end-to-end (compute + communication) time
   /// predictions recorded in the decision report.
   sim::MachineCostModel machine = sim::MachineCostModel::touchstone_delta();
+
+  /// Run the static verifier (compiler/verify.hpp) on every emitted plan
+  /// and throw Error(kVerifyError) on a violation. On by default: a plan
+  /// the compiler cannot prove race-free, covering and within budget is a
+  /// compiler bug, not a runtime surprise. oocc_compile --no-verify and
+  /// the mutation tests turn it off.
+  bool verify = true;
 };
 
 /// Compiles the analyzed program to a node-program plan. Throws

@@ -171,6 +171,11 @@ struct NodeProgram {
   MemoryPlan memory;
   std::int64_t memory_budget_elements = 0;
 
+  /// Stamped by compile()/compile_sequence() after the static verifier
+  /// (compiler/verify.hpp) passed; the executor re-verifies plans that
+  /// arrive without the stamp (hand-built or mutated programs).
+  bool verified = false;
+
   const PlanArray& array(const std::string& name) const;
   const SlabLoop& loop(const std::string& name) const;
 };

@@ -114,40 +114,7 @@ void emit_steps(std::ostringstream& oss, const std::vector<Step>& steps,
                 int depth) {
   const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
   for (const Step& s : steps) {
-    oss << pad << step_kind_name(s.kind);
-    switch (s.kind) {
-      case StepKind::kForEachSlab:
-      case StepKind::kForEachColumn:
-        oss << " " << s.loop << ":";
-        break;
-      case StepKind::kReadSlab:
-      case StepKind::kWriteSlab:
-        oss << " " << s.array << " [" << s.loop << "]";
-        if (s.halo > 0) {
-          oss << " (halo +/-" << s.halo << ", clipped)";
-        }
-        if (s.reuse_distance >= 0) {
-          oss << " (reuse " << s.reuse_distance << ")";
-        }
-        break;
-      case StepKind::kExchangeHalo:
-        oss << " " << s.array << " [" << s.loop << "] (+/-" << s.halo
-            << " edge columns)";
-        break;
-      case StepKind::kComputeElementwise:
-      case StepKind::kComputeStencil:
-        oss << " stmt#" << s.stmt;
-        break;
-      case StepKind::kComputeGaxpyPartial:
-        oss << " (" << s.loop << " x " << s.with << ")";
-        break;
-      case StepKind::kReduceSum:
-        oss << " -> " << s.array << " [" << s.with << "]";
-        break;
-      case StepKind::kBarrier:
-        break;
-    }
-    oss << "\n";
+    oss << pad << step_text(s) << "\n";
     emit_steps(oss, s.body, depth + 1);
   }
 }
@@ -236,6 +203,44 @@ void emit_stencil(std::ostringstream& oss, const NodeProgram& p) {
 }
 
 }  // namespace
+
+std::string step_text(const Step& s) {
+  std::ostringstream oss;
+  oss << step_kind_name(s.kind);
+  switch (s.kind) {
+    case StepKind::kForEachSlab:
+    case StepKind::kForEachColumn:
+      oss << " " << s.loop << ":";
+      break;
+    case StepKind::kReadSlab:
+    case StepKind::kWriteSlab:
+      oss << " " << s.array << " [" << s.loop << "]";
+      if (s.halo > 0) {
+        oss << " (halo +/-" << s.halo << ", clipped)";
+      }
+      if (s.reuse_distance >= 0) {
+        oss << " (reuse " << s.reuse_distance << ")";
+      }
+      break;
+    case StepKind::kExchangeHalo:
+      oss << " " << s.array << " [" << s.loop << "] (+/-" << s.halo
+          << " edge columns)";
+      break;
+    case StepKind::kComputeElementwise:
+    case StepKind::kComputeStencil:
+      oss << " stmt#" << s.stmt;
+      break;
+    case StepKind::kComputeGaxpyPartial:
+      oss << " (" << s.loop << " x " << s.with << ")";
+      break;
+    case StepKind::kReduceSum:
+      oss << " -> " << s.array << " [" << s.with << "]";
+      break;
+    case StepKind::kBarrier:
+      break;
+  }
+  return oss.str();
+}
 
 std::string step_program_text(const NodeProgram& plan) {
   std::ostringstream oss;

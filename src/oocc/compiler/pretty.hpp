@@ -22,4 +22,8 @@ std::string decision_report(const NodeProgram& plan);
 /// executor actually interprets; `oocc_compile --dump-plan` prints it.
 std::string step_program_text(const NodeProgram& plan);
 
+/// Renders one step (no children, no indent) exactly as a step_program_text
+/// line would. The verifier quotes this in its diagnostics.
+std::string step_text(const Step& step);
+
 }  // namespace oocc::compiler

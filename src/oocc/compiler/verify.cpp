@@ -1,0 +1,1121 @@
+#include "oocc/compiler/verify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "oocc/compiler/cost.hpp"
+#include "oocc/compiler/pretty.hpp"
+#include "oocc/util/error.hpp"
+
+namespace oocc::compiler {
+
+namespace {
+
+constexpr std::size_t kMaxDiagnostics = 64;
+constexpr std::int64_t kMaxReplayEvents = std::int64_t{1} << 20;
+
+/// Collects diagnostics with per-(code, plan, step, salt) deduplication, so
+/// a step that misbehaves on every slab of every rank reports once.
+class Sink {
+ public:
+  explicit Sink(VerifyReport& report) : report_(report) {}
+
+  void add(const char* code, int plan_index, int rank,
+           const std::string& message, const Step* step,
+           const std::string& salt = {}) {
+    std::ostringstream key;
+    key << code << '#' << plan_index << '#' << static_cast<const void*>(step)
+        << '#' << salt;
+    if (!seen_.insert(key.str()).second) {
+      return;
+    }
+    if (report_.diagnostics.size() >= kMaxDiagnostics) {
+      report_.stats.truncated = true;
+      return;
+    }
+    VerifyDiagnostic d;
+    d.code = code;
+    d.plan_index = plan_index;
+    d.rank = rank;
+    d.message = message;
+    if (step != nullptr) {
+      d.step = step_text(*step);
+    }
+    report_.diagnostics.push_back(std::move(d));
+  }
+
+  bool has(const char* code) const {
+    for (const VerifyDiagnostic& d : report_.diagnostics) {
+      if (d.code == code) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  VerifyReport& report_;
+  std::set<std::string> seen_;
+};
+
+// --------------------------------------------------------------- structure
+
+/// Lexical walk of one plan's step tree: declared loops, known arrays,
+/// well-formed fields, slab steps inside an active ForEachSlab of their
+/// loop, and writes only of data the current iteration staged. Returns
+/// false when the tree is too broken to replay (V001-V004 / unknown
+/// arrays), in which case the dynamic passes are skipped.
+class StructureChecker {
+ public:
+  StructureChecker(const NodeProgram& plan, int plan_index, Sink& sink)
+      : plan_(plan), plan_index_(plan_index), sink_(sink) {}
+
+  bool run() {
+    for (const SlabLoop& loop : plan_.loops) {
+      if (!loops_.emplace(loop.name, &loop).second) {
+        fatal("OOCC-V003", "duplicate slab loop '" + loop.name + "'",
+              nullptr);
+      }
+      if (!plan_.arrays.contains(loop.space)) {
+        fatal("OOCC-V002",
+              "loop '" + loop.name + "' iterates unknown array '" +
+                  loop.space + "'",
+              nullptr);
+      }
+    }
+    walk(plan_.steps);
+    check_stencil_halo();
+    return replayable_;
+  }
+
+ private:
+  void fatal(const char* code, const std::string& message, const Step* step) {
+    sink_.add(code, plan_index_, -1, message, step);
+    replayable_ = false;
+  }
+
+  bool check_loop_ref(const Step& step, const std::string& name) {
+    if (name.empty() || !loops_.contains(name)) {
+      fatal("OOCC-V001", "step references undeclared loop '" + name + "'",
+            &step);
+      return false;
+    }
+    return true;
+  }
+
+  bool check_array_ref(const Step& step, const std::string& name) {
+    if (name.empty() || !plan_.arrays.contains(name)) {
+      fatal("OOCC-V002", "step references unknown array '" + name + "'",
+            &step);
+      return false;
+    }
+    return true;
+  }
+
+  /// The loop must be an *active* ForEachSlab enclosing the step: its slab
+  /// section is otherwise undefined, and pins taken against it would never
+  /// be released (the pin/unpin balance lives at the loop's iteration end).
+  bool check_active(const Step& step, const std::string& loop) {
+    if (std::find(active_.begin(), active_.end(), loop) == active_.end()) {
+      fatal("OOCC-V004",
+            "slab step for loop '" + loop +
+                "' is not nested inside ForEachSlab " + loop +
+                " (undefined slab section, unbalanced pins)",
+            &step);
+      return false;
+    }
+    return true;
+  }
+
+  void walk(const std::vector<Step>& steps) {
+    for (const Step& step : steps) {
+      walk(step);
+    }
+  }
+
+  void walk(const Step& step) {
+    if (step.halo < 0) {
+      fatal("OOCC-V003", "negative halo width", &step);
+      return;
+    }
+    switch (step.kind) {
+      case StepKind::kForEachSlab: {
+        if (!check_loop_ref(step, step.loop)) {
+          return;
+        }
+        if (std::find(active_.begin(), active_.end(), step.loop) !=
+            active_.end()) {
+          fatal("OOCC-V003",
+                "ForEachSlab re-enters already-active loop '" + step.loop +
+                    "'",
+                &step);
+          return;
+        }
+        active_.push_back(step.loop);
+        staged_[step.loop].clear();
+        walk(step.body);
+        staged_.erase(step.loop);
+        active_.pop_back();
+        return;
+      }
+      case StepKind::kForEachColumn:
+        if (!check_loop_ref(step, step.loop) ||
+            !check_active(step, step.loop)) {
+          return;
+        }
+        column_loops_.push_back(step.loop);
+        walk(step.body);
+        column_loops_.pop_back();
+        return;
+      case StepKind::kReadSlab:
+        if (check_loop_ref(step, step.loop) &&
+            check_array_ref(step, step.array) &&
+            check_active(step, step.loop)) {
+          staged_[step.loop].insert(step.array);
+        }
+        return;
+      case StepKind::kWriteSlab:
+        if (check_loop_ref(step, step.loop) &&
+            check_array_ref(step, step.array) &&
+            check_active(step, step.loop)) {
+          // Writing a slab nothing in this iteration staged stores
+          // uninitialized buffer contents — the classic dropped-compute
+          // mutation.
+          bool staged = false;
+          for (const std::string& loop : active_) {
+            const auto it = staged_.find(loop);
+            if (it != staged_.end() && it->second.contains(step.array)) {
+              staged = true;
+              break;
+            }
+          }
+          if (!staged) {
+            sink_.add("OOCC-V005", plan_index_, -1,
+                      "WriteSlab of '" + step.array +
+                          "' stores a slab no ReadSlab or compute step of "
+                          "the current iteration staged",
+                      &step);
+          }
+        }
+        return;
+      case StepKind::kComputeElementwise: {
+        if (!check_loop_ref(step, step.loop) ||
+            !check_active(step, step.loop)) {
+          return;
+        }
+        if (step.stmt < 0 ||
+            static_cast<std::size_t>(step.stmt) >= plan_.statements.size()) {
+          fatal("OOCC-V003",
+                "ComputeElementwise stmt#" + std::to_string(step.stmt) +
+                    " is outside the plan's " +
+                    std::to_string(plan_.statements.size()) + " statement(s)",
+                &step);
+          return;
+        }
+        const std::string& lhs =
+            plan_.statements[static_cast<std::size_t>(step.stmt)].lhs;
+        if (check_array_ref(step, lhs)) {
+          staged_[step.loop].insert(lhs);
+        }
+        return;
+      }
+      case StepKind::kComputeStencil: {
+        if (!check_loop_ref(step, step.loop) ||
+            !check_active(step, step.loop)) {
+          return;
+        }
+        if (step.stmt < 0 ||
+            static_cast<std::size_t>(step.stmt) >= plan_.stencils.size()) {
+          fatal("OOCC-V003",
+                "ComputeStencil stmt#" + std::to_string(step.stmt) +
+                    " is outside the plan's " +
+                    std::to_string(plan_.stencils.size()) + " stencil(s)",
+                &step);
+          return;
+        }
+        const std::string& lhs =
+            plan_.stencils[static_cast<std::size_t>(step.stmt)].lhs;
+        if (check_array_ref(step, lhs)) {
+          staged_[step.loop].insert(lhs);
+        }
+        return;
+      }
+      case StepKind::kComputeGaxpyPartial:
+        if (check_loop_ref(step, step.loop)) {
+          check_active(step, step.loop);
+        }
+        if (check_loop_ref(step, step.with)) {
+          check_active(step, step.with);
+        }
+        return;
+      case StepKind::kReduceSum:
+        if (!check_array_ref(step, step.array) ||
+            !check_loop_ref(step, step.with) ||
+            !check_active(step, step.with)) {
+          return;
+        }
+        // The staged output column index comes from the enclosing
+        // per-column iteration; without one there is no global index.
+        if (std::find(column_loops_.begin(), column_loops_.end(),
+                      step.with) == column_loops_.end()) {
+          fatal("OOCC-V004",
+                "ReduceSum is not nested inside ForEachColumn " + step.with +
+                    " (no output column index)",
+                &step);
+        }
+        return;
+      case StepKind::kExchangeHalo:
+        check_loop_ref(step, step.loop);
+        check_array_ref(step, step.array);
+        return;
+      case StepKind::kBarrier:
+        return;
+    }
+  }
+
+  /// OOCC-V012: a stencil of dependence distance d needs ghost columns d
+  /// wide (ExchangeHalo, when there are neighbours) and a slab read widened
+  /// by at least d — otherwise interior elements read stale or absent
+  /// neighbour data.
+  void check_stencil_halo() {
+    if (plan_.stencils.empty()) {
+      return;
+    }
+    const StencilStmt& st = plan_.stencils.front();
+    std::int64_t exchange_halo = -1;
+    std::int64_t read_halo = -1;
+    const Step* read_step = nullptr;
+    scan_stencil(plan_.steps, st.source, exchange_halo, read_halo,
+                 &read_step);
+    if (plan_.nprocs > 1 && exchange_halo < st.halo) {
+      sink_.add("OOCC-V012", plan_index_, -1,
+                exchange_halo < 0
+                    ? "stencil of distance " + std::to_string(st.halo) +
+                          " has no ExchangeHalo of '" + st.source +
+                          "' (ghost columns never arrive)"
+                    : "ExchangeHalo trades " + std::to_string(exchange_halo) +
+                          " edge column(s) but the stencil reaches " +
+                          std::to_string(st.halo),
+                nullptr, st.source);
+    }
+    if (read_halo < st.halo) {
+      sink_.add("OOCC-V012", plan_index_, -1,
+                "the sweep reads '" + st.source + "' widened by " +
+                    std::to_string(std::max<std::int64_t>(read_halo, 0)) +
+                    " column(s) but the stencil reaches " +
+                    std::to_string(st.halo),
+                read_step, st.source);
+    }
+  }
+
+  void scan_stencil(const std::vector<Step>& steps, const std::string& source,
+                    std::int64_t& exchange_halo, std::int64_t& read_halo,
+                    const Step** read_step) {
+    for (const Step& step : steps) {
+      if (step.kind == StepKind::kExchangeHalo && step.array == source) {
+        exchange_halo = std::max(exchange_halo, step.halo);
+      }
+      if (step.kind == StepKind::kReadSlab && step.array == source) {
+        read_halo = std::max(read_halo, step.halo);
+        *read_step = &step;
+      }
+      scan_stencil(step.body, source, exchange_halo, read_halo, read_step);
+    }
+  }
+
+  const NodeProgram& plan_;
+  int plan_index_;
+  Sink& sink_;
+  std::map<std::string, const SlabLoop*> loops_;
+  std::vector<std::string> active_;
+  std::vector<std::string> column_loops_;
+  std::map<std::string, std::set<std::string>> staged_;
+  bool replayable_ = true;
+};
+
+// ----------------------------------------------------------------- replay
+
+/// Maps a local section on `proc` to the global rectangles it images to,
+/// decomposed along the distributed axis's ownership runs (one rectangle
+/// for BLOCK, one per dealt block for BLOCK-CYCLIC, per element for
+/// CYCLIC). Sections are clamped to the local extents first — bounds
+/// violations are reported separately and must not corrupt the ownership
+/// algebra.
+std::vector<io::Section> global_rects(const hpf::ArrayDistribution& dist,
+                                      int proc, io::Section sec) {
+  sec.row0 = std::clamp<std::int64_t>(sec.row0, 0, dist.local_rows(proc));
+  sec.row1 = std::clamp<std::int64_t>(sec.row1, 0, dist.local_rows(proc));
+  sec.col0 = std::clamp<std::int64_t>(sec.col0, 0, dist.local_cols(proc));
+  sec.col1 = std::clamp<std::int64_t>(sec.col1, 0, dist.local_cols(proc));
+  std::vector<io::Section> out;
+  if (sec.empty()) {
+    return out;
+  }
+  const auto runs = [&](const hpf::DimDistribution& d, std::int64_t lo,
+                        std::int64_t hi) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> r;
+    for (std::int64_t l = lo; l < hi;) {
+      const std::int64_t e = std::min(hi, d.local_run_end(proc, l));
+      const std::int64_t g0 = d.local_to_global(proc, l);
+      r.emplace_back(g0, g0 + (e - l));
+      l = e;
+    }
+    return r;
+  };
+  for (const auto& [r0, r1] : runs(dist.row_dist(), sec.row0, sec.row1)) {
+    for (const auto& [c0, c1] : runs(dist.col_dist(), sec.col0, sec.col1)) {
+      out.push_back(io::Section{r0, r1, c0, c1});
+    }
+  }
+  return out;
+}
+
+bool rects_overlap(const std::vector<io::Section>& a,
+                   const std::vector<io::Section>& b) {
+  for (const io::Section& x : a) {
+    for (const io::Section& y : b) {
+      if (x.overlaps(y)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Mirror of the executor's non-pool reservations for a GAXPY plan (the
+/// reduction temporary plus the staged-output-column buffer). Must agree
+/// with gaxpy_side_reservation in compiler/cost.cpp and the executor's
+/// reserve calls, or the budget check drifts from what execute() enforces.
+std::int64_t side_reservation(const NodeProgram& plan, int proc) {
+  if (plan.kind != ProgramKind::kGaxpy) {
+    return 0;
+  }
+  for (const SlabLoop& loop : plan.loops) {
+    if (loop.space == plan.a) {
+      const PlanArray& pa = plan.array(plan.a);
+      const runtime::SlabIterator iter(pa.dist.local_rows(proc),
+                                       pa.dist.local_cols(proc),
+                                       loop.orientation,
+                                       loop.capacity_elements);
+      const std::int64_t full_rows = iter.section(0).rows();
+      return full_rows + std::max(plan.memory.slab_c, full_rows);
+    }
+  }
+  return 0;
+}
+
+/// A write one rank performed: local section plus its global image, the
+/// barrier interval it happened in, and the sweep (epoch) it belongs to —
+/// stencil plans replay the swapped ping-pong sweep as a second epoch.
+struct WriteEvent {
+  std::string array;  ///< resolved name (after stencil ping-pong)
+  io::Section local;
+  std::vector<io::Section> global;
+  std::int64_t interval = 0;
+  int epoch = 0;
+  const Step* step = nullptr;
+};
+
+/// Ghost columns one rank received through an ExchangeHalo: global
+/// rectangles owned by a *different* rank, read in `interval`.
+struct GhostRead {
+  std::string array;
+  std::vector<io::Section> global;
+  std::int64_t interval = 0;
+  const Step* step = nullptr;
+};
+
+/// Everything one rank's replay produced.
+struct RankTrace {
+  std::vector<WriteEvent> writes;
+  std::vector<GhostRead> ghosts;
+  std::vector<std::string> collectives;  ///< signature per collective event
+  std::int64_t intervals = 0;
+  std::int64_t peak_pinned = 0;
+  const Step* peak_step = nullptr;
+  std::int64_t events = 0;
+  bool truncated = false;
+};
+
+/// Replays one plan's dynamic slab schedule for one rank, mirroring the
+/// executor's StepExecutor (and cost.cpp's TraceCollector): per-loop
+/// SlabIterator state, pins held until the owning ForEachSlab iteration
+/// ends, stencil ping-pong resolution for the swapped sweep.
+class RankReplayer {
+ public:
+  RankReplayer(const NodeProgram& plan, int plan_index, int proc, Sink& sink,
+               RankTrace& trace)
+      : plan_(plan), plan_index_(plan_index), proc_(proc), sink_(sink),
+        trace_(trace) {
+    for (const SlabLoop& loop : plan_.loops) {
+      const PlanArray& space = plan_.array(loop.space);
+      states_.emplace(loop.name,
+                      LoopState{runtime::SlabIterator(
+                          space.dist.local_rows(proc), space.dist.local_cols(proc),
+                          loop.orientation, loop.capacity_elements)});
+    }
+  }
+
+  /// One sweep; stencil plans call this twice (epoch 1 swapped), interval
+  /// and collective state carrying over exactly as the convergence driver's
+  /// back-to-back sweeps do.
+  void run(int epoch, bool swapped) {
+    epoch_ = epoch;
+    swapped_ = swapped && !plan_.stencils.empty();
+    walk(plan_.steps);
+  }
+
+ private:
+  struct LoopState {
+    explicit LoopState(runtime::SlabIterator it) : iter(std::move(it)) {}
+    runtime::SlabIterator iter;
+    io::Section section{};
+    std::int64_t column = -1;  ///< current ForEachColumn global offset
+    std::vector<std::string> pins;
+  };
+
+  const std::string& resolve(const std::string& name) const {
+    return stencil_resolve(plan_, swapped_, name);
+  }
+
+  bool count_event() {
+    if (++trace_.events > kMaxReplayEvents) {
+      trace_.truncated = true;
+      return false;
+    }
+    return true;
+  }
+
+  static std::string pin_key(const std::string& array,
+                             const io::Section& sec) {
+    std::ostringstream oss;
+    oss << array << '|' << sec.row0 << ',' << sec.row1 << ',' << sec.col0
+        << ',' << sec.col1;
+    return oss.str();
+  }
+
+  /// Pins (array, section) until the owning loop's iteration ends. The
+  /// pool holds ONE entry per (array, section), so re-pinning the same key
+  /// refcounts instead of double-charging — exactly the budget the
+  /// executor's SlabBufferPool reserves.
+  void pin(LoopState& owner, const std::string& array,
+           const io::Section& sec, const Step& step) {
+    std::string key = pin_key(array, sec);
+    auto [it, inserted] = pinned_.try_emplace(key, 0, sec.elements());
+    ++it->second.first;
+    if (inserted) {
+      cur_pinned_ += it->second.second;
+      if (cur_pinned_ > trace_.peak_pinned) {
+        trace_.peak_pinned = cur_pinned_;
+        trace_.peak_step = &step;
+      }
+    }
+    owner.pins.push_back(std::move(key));
+  }
+
+  void unpin_all(LoopState& loop) {
+    for (const std::string& key : loop.pins) {
+      const auto it = pinned_.find(key);
+      if (it != pinned_.end() && --it->second.first == 0) {
+        cur_pinned_ -= it->second.second;
+        pinned_.erase(it);
+      }
+    }
+    loop.pins.clear();
+  }
+
+  /// Clamped bounds check of a section against the resolved array's local
+  /// extents; out-of-bounds reads/writes are the V020/V021 diagnostics.
+  void check_bounds(const Step& step, const char* code,
+                    const std::string& array, const io::Section& sec,
+                    const char* what) {
+    const PlanArray& pa = plan_.array(array);
+    const std::int64_t rows = pa.dist.local_rows(proc_);
+    const std::int64_t cols = pa.dist.local_cols(proc_);
+    if (sec.row0 < 0 || sec.col0 < 0 || sec.row1 > rows || sec.col1 > cols) {
+      std::ostringstream oss;
+      oss << what << " section [" << sec.row0 << ',' << sec.row1 << ")x["
+          << sec.col0 << ',' << sec.col1 << ") of '" << array
+          << "' exceeds its local " << rows << 'x' << cols << " extent";
+      sink_.add(code, plan_index_, proc_, oss.str(), &step);
+    }
+  }
+
+  void walk(const std::vector<Step>& steps) {
+    for (const Step& step : steps) {
+      if (trace_.truncated) {
+        return;
+      }
+      walk(step);
+    }
+  }
+
+  void walk(const Step& step) {
+    switch (step.kind) {
+      case StepKind::kForEachSlab: {
+        LoopState& loop = states_.at(step.loop);
+        for (std::int64_t i = 0; i < loop.iter.count(); ++i) {
+          loop.section = loop.iter.section(i);
+          walk(step.body);
+          unpin_all(loop);
+          if (trace_.truncated) {
+            return;
+          }
+        }
+        return;
+      }
+      case StepKind::kForEachColumn: {
+        LoopState& loop = states_.at(step.loop);
+        for (std::int64_t m = 0; m < loop.section.cols(); ++m) {
+          loop.column = loop.section.col0 + m;
+          if (trace_.truncated) {
+            return;
+          }
+          walk(step.body);
+        }
+        loop.column = -1;
+        return;
+      }
+      case StepKind::kReadSlab: {
+        if (!count_event()) {
+          return;
+        }
+        LoopState& loop = states_.at(step.loop);
+        const std::string& array = resolve(step.array);
+        io::Section sec = loop.section;
+        check_bounds(step, "OOCC-V020", array, sec, "ReadSlab");
+        if (step.halo > 0) {
+          sec = widen_columns(sec, step.halo,
+                              plan_.array(array).dist.local_cols(proc_));
+        }
+        pin(loop, array, sec, step);
+        return;
+      }
+      case StepKind::kWriteSlab: {
+        if (!count_event()) {
+          return;
+        }
+        LoopState& loop = states_.at(step.loop);
+        const std::string& array = resolve(step.array);
+        const io::Section sec = loop.section;
+        check_bounds(step, "OOCC-V021", array, sec, "WriteSlab");
+        const PlanArray& pa = plan_.array(array);
+        trace_.writes.push_back(WriteEvent{
+            array, sec, global_rects(pa.dist, proc_, sec), interval_, epoch_,
+            &step});
+        pin(loop, array, sec, step);
+        return;
+      }
+      case StepKind::kComputeElementwise: {
+        LoopState& loop = states_.at(step.loop);
+        const std::string& lhs = resolve(
+            plan_.statements.at(static_cast<std::size_t>(step.stmt)).lhs);
+        pin(loop, lhs, loop.section, step);
+        return;
+      }
+      case StepKind::kComputeStencil: {
+        LoopState& loop = states_.at(step.loop);
+        const std::string& lhs = resolve(
+            plan_.stencils.at(static_cast<std::size_t>(step.stmt)).lhs);
+        pin(loop, lhs, loop.section, step);
+        return;
+      }
+      case StepKind::kComputeGaxpyPartial:
+        return;  // reads already-pinned slabs into the side-reserved temp
+      case StepKind::kReduceSum: {
+        if (!count_event()) {
+          return;
+        }
+        const std::string& array = resolve(step.array);
+        trace_.collectives.push_back("reduce:" + array);
+        reduce_write(step, array);
+        ++interval_;  // the global sum synchronizes every rank
+        ++trace_.intervals;
+        return;
+      }
+      case StepKind::kExchangeHalo: {
+        const std::string& array = resolve(step.array);
+        trace_.collectives.push_back("exchange:" + array + ":" +
+                                     std::to_string(step.halo));
+        if (plan_.nprocs == 1 || step.halo <= 0) {
+          return;
+        }
+        if (!count_event()) {
+          return;
+        }
+        const PlanArray& pa = plan_.array(array);
+        const std::int64_t rows = pa.dist.local_rows(proc_);
+        const std::int64_t nlc = pa.dist.local_cols(proc_);
+        // Own edge columns are read and sent; ghosts from each neighbour
+        // are held transiently. Model the momentary working set.
+        std::int64_t transient = 0;
+        const auto ghost_from = [&](int neighbour, bool low_edge) {
+          const std::int64_t ncols = pa.dist.local_cols(neighbour);
+          const std::int64_t d = std::min(step.halo, ncols);
+          const io::Section remote =
+              low_edge ? io::Section{0, pa.dist.local_rows(neighbour), 0, d}
+                       : io::Section{0, pa.dist.local_rows(neighbour),
+                                     ncols - d, ncols};
+          trace_.ghosts.push_back(
+              GhostRead{array, global_rects(pa.dist, neighbour, remote),
+                        interval_, &step});
+          transient += remote.elements();
+        };
+        if (proc_ > 0) {
+          // Receive the left neighbour's high edge; send our low edge.
+          ghost_from(proc_ - 1, /*low_edge=*/false);
+          transient += io::Section{0, rows, 0, std::min(step.halo, nlc)}
+                           .elements();
+        }
+        if (proc_ < plan_.nprocs - 1) {
+          ghost_from(proc_ + 1, /*low_edge=*/true);
+          transient +=
+              io::Section{0, rows, nlc - std::min(step.halo, nlc), nlc}
+                  .elements();
+        }
+        if (cur_pinned_ + transient > trace_.peak_pinned) {
+          trace_.peak_pinned = cur_pinned_ + transient;
+          trace_.peak_step = &step;
+        }
+        return;
+      }
+      case StepKind::kBarrier:
+        trace_.collectives.emplace_back("barrier");
+        ++interval_;
+        ++trace_.intervals;
+        return;
+    }
+  }
+
+  /// A ReduceSum stages one output (sub)column on the owner of the current
+  /// global column (Figure 9/12's GLOBAL_SUM + owner store). The rows are
+  /// the active row-slab's range when the A sweep is a row stripmine
+  /// (Figure 12), the full column otherwise (Figure 9).
+  void reduce_write(const Step& step, const std::string& array) {
+    const PlanArray& out = plan_.array(array);
+    const LoopState& col_loop = states_.at(step.with);
+    if (col_loop.column < 0) {
+      return;  // structurally rejected already (V004)
+    }
+    const SlabLoop* with_decl = nullptr;
+    for (const SlabLoop& loop : plan_.loops) {
+      if (loop.name == step.with) {
+        with_decl = &loop;
+      }
+    }
+    if (with_decl == nullptr) {
+      return;
+    }
+    // Global column index: the column loop streams B, whose column axis is
+    // collapsed for the GAXPY layout, so local == global; go through the
+    // distribution anyway so exotic layouts stay honest.
+    const std::int64_t g = plan_.array(with_decl->space)
+                               .dist.col_dist()
+                               .local_to_global(proc_, col_loop.column);
+    if (out.dist.col_dist().owner(g) != proc_ &&
+        out.dist.col_dist().kind() != hpf::DistKind::kCollapsed) {
+      return;
+    }
+    std::int64_t row0 = 0;
+    std::int64_t row1 = out.dist.local_rows(proc_);
+    if (plan_.kind == ProgramKind::kGaxpy) {
+      // Figure 12's row stripmine of A stages only the active row range of
+      // the output column; Figure 9 (column orientation) stages it whole.
+      for (const SlabLoop& loop : plan_.loops) {
+        if (loop.space == plan_.a &&
+            loop.orientation == runtime::SlabOrientation::kRowSlabs) {
+          const LoopState& a_state = states_.at(loop.name);
+          if (!a_state.section.empty()) {
+            row0 = a_state.section.row0;
+            row1 = a_state.section.row1;
+          }
+        }
+      }
+    }
+    const io::Section local{row0, row1, out.dist.col_dist().global_to_local(g),
+                            out.dist.col_dist().global_to_local(g) + 1};
+    trace_.writes.push_back(WriteEvent{array, local,
+                                       global_rects(out.dist, proc_, local),
+                                       interval_, epoch_, &step});
+  }
+
+  const NodeProgram& plan_;
+  int plan_index_;
+  int proc_;
+  Sink& sink_;
+  RankTrace& trace_;
+  bool swapped_ = false;
+  int epoch_ = 0;
+  std::int64_t interval_ = 0;
+  std::map<std::string, LoopState> states_;
+  std::map<std::string, std::pair<int, std::int64_t>> pinned_;  ///< key -> (pins, elements)
+  std::int64_t cur_pinned_ = 0;
+};
+
+// ------------------------------------------------------ cross-rank checks
+
+void check_collectives(const std::vector<RankTrace>& traces, int plan_index,
+                       Sink& sink) {
+  for (std::size_t r = 1; r < traces.size(); ++r) {
+    const auto& a = traces[0].collectives;
+    const auto& b = traces[r].collectives;
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a[i] != b[i]) {
+        sink.add("OOCC-V040", plan_index, static_cast<int>(r),
+                 "collective sequence diverges from rank 0 at event " +
+                     std::to_string(i) + ": rank 0 runs '" + a[i] +
+                     "', rank " + std::to_string(r) + " runs '" + b[i] + "'",
+                 nullptr, std::to_string(r));
+        return;
+      }
+    }
+    if (a.size() != b.size()) {
+      sink.add("OOCC-V040", plan_index, static_cast<int>(r),
+               "rank 0 runs " + std::to_string(a.size()) +
+                   " collective(s) but rank " + std::to_string(r) + " runs " +
+                   std::to_string(b.size()) +
+                   " (a rank would block forever)",
+               nullptr, std::to_string(r));
+      return;
+    }
+  }
+}
+
+void check_races(const NodeProgram& plan, const std::vector<RankTrace>& traces,
+                 int plan_index, Sink& sink) {
+  // Write-write (OOCC-V010): for an array with a distributed axis, every
+  // in-bounds local write images into the writer's owned global region, so
+  // two ranks' writes are disjoint *by construction* — the ownership
+  // algebra is the proof, and V020/V021 guard its precondition. Only
+  // arrays without a distributed axis (replicated) can collide.
+  for (std::size_t p = 0; p < traces.size(); ++p) {
+    for (const WriteEvent& wa : traces[p].writes) {
+      if (plan.array(wa.array).dist.axis() != hpf::DistAxis::kNone) {
+        continue;
+      }
+      // A ReduceSum's store is itself a synchronized collective writing
+      // the identical global sum on every rank — replicated agreement,
+      // not a race.
+      if (wa.step != nullptr && wa.step->kind == StepKind::kReduceSum) {
+        continue;
+      }
+      for (std::size_t q = p + 1; q < traces.size(); ++q) {
+        for (const WriteEvent& wb : traces[q].writes) {
+          if (wb.step != nullptr && wb.step->kind == StepKind::kReduceSum) {
+            continue;
+          }
+          if (wa.array == wb.array && wa.interval == wb.interval &&
+              rects_overlap(wa.global, wb.global)) {
+            std::ostringstream oss;
+            oss << "ranks " << p << " and " << q
+                << " write overlapping global sections of replicated '"
+                << wa.array << "' in the same barrier interval "
+                << wa.interval;
+            sink.add("OOCC-V010", plan_index, static_cast<int>(p), oss.str(),
+                     wa.step, wa.array);
+          }
+        }
+      }
+    }
+  }
+  // Ghost-read vs write (OOCC-V011): an ExchangeHalo's ghost columns are
+  // another rank's data; if that rank writes them in the same barrier
+  // interval, a threads backend has a read-write race (the dropped-barrier
+  // hazard). Exchanges reading data written in an *earlier* interval are
+  // the sanctioned pattern.
+  for (std::size_t p = 0; p < traces.size(); ++p) {
+    for (const GhostRead& gr : traces[p].ghosts) {
+      for (std::size_t q = 0; q < traces.size(); ++q) {
+        if (q == p) {
+          continue;
+        }
+        for (const WriteEvent& wb : traces[q].writes) {
+          if (gr.array == wb.array && gr.interval == wb.interval &&
+              rects_overlap(gr.global, wb.global)) {
+            std::ostringstream oss;
+            oss << "rank " << p << " receives ghost columns of '" << gr.array
+                << "' that rank " << q
+                << " writes in the same barrier interval " << gr.interval
+                << " (missing Barrier between sweep and exchange?)";
+            sink.add("OOCC-V011", plan_index, static_cast<int>(p), oss.str(),
+                     gr.step, gr.array);
+          }
+        }
+      }
+    }
+  }
+}
+
+void check_coverage(const NodeProgram& plan,
+                    const std::vector<RankTrace>& traces, int plan_index,
+                    Sink& sink) {
+  // Which (epoch, array) pairs must be covered? Declared outputs always
+  // must (so a dropped write of an entire array is still a hole, not a
+  // vacuous pass), plus anything any rank actually wrote.
+  std::set<std::pair<int, std::string>> written;
+  for (const auto& [name, pa] : plan.arrays) {
+    if (pa.is_output) {
+      written.emplace(0, name);
+    }
+  }
+  for (const RankTrace& t : traces) {
+    for (const WriteEvent& w : t.writes) {
+      written.emplace(w.epoch, w.array);
+    }
+  }
+  for (std::size_t p = 0; p < traces.size(); ++p) {
+    for (const auto& [epoch, array] : written) {
+      std::vector<const WriteEvent*> mine;
+      for (const WriteEvent& w : traces[p].writes) {
+        if (w.epoch == epoch && w.array == array) {
+          mine.push_back(&w);
+        }
+      }
+      // Same-rank overlap (OOCC-V023): each element must be produced once.
+      std::int64_t area = 0;
+      bool overlapped = false;
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        area += mine[i]->local.elements();
+        for (std::size_t j = i + 1; !overlapped && j < mine.size(); ++j) {
+          if (mine[i]->local.overlaps(mine[j]->local)) {
+            sink.add("OOCC-V023", plan_index, static_cast<int>(p),
+                     "two writes of '" + array +
+                         "' touch overlapping local sections within one "
+                         "sweep (each element must be produced exactly once)",
+                     mine[j]->step, array);
+            overlapped = true;
+          }
+        }
+      }
+      // Exact tiling (OOCC-V022): without overlaps, covering the owned
+      // region exactly once is an area identity.
+      const std::int64_t owned =
+          plan.array(array).dist.local_elements(static_cast<int>(p));
+      if (area != owned) {
+        std::ostringstream oss;
+        oss << "write sections of '" << array << "' cover " << area
+            << " of the " << owned << " locally owned element(s)"
+            << (area < owned ? " (holes keep stale data)"
+                             : " (elements written more than once)");
+        sink.add("OOCC-V022", plan_index, static_cast<int>(p), oss.str(),
+                 mine.empty() ? nullptr : mine.front()->step,
+                 array + "@" + std::to_string(epoch));
+      }
+    }
+  }
+}
+
+void check_budget(const NodeProgram& plan,
+                  const std::vector<RankTrace>& traces, int plan_index,
+                  Sink& sink, VerifyReport& report) {
+  if (plan.memory_budget_elements <= 0) {
+    return;  // hand-built plan without a declared budget: nothing to check
+  }
+  for (std::size_t p = 0; p < traces.size(); ++p) {
+    const std::int64_t side = side_reservation(plan, static_cast<int>(p));
+    const std::int64_t peak = traces[p].peak_pinned + side;
+    if (peak > report.stats.peak_pinned_elements) {
+      report.stats.peak_pinned_elements = peak;
+      report.stats.side_reservation_elements = side;
+      report.stats.peak_rank = static_cast<int>(p);
+    }
+    if (peak > plan.memory_budget_elements) {
+      std::ostringstream oss;
+      oss << "peak working set of " << traces[p].peak_pinned
+          << " pinned element(s)";
+      if (side > 0) {
+        oss << " + " << side << " reduction-side element(s)";
+      }
+      oss << " exceeds the memory budget of " << plan.memory_budget_elements
+          << " (the executor would throw ResourceExhausted mid-sweep)";
+      sink.add("OOCC-V030", plan_index, static_cast<int>(p), oss.str(),
+               traces[p].peak_step);
+    }
+  }
+}
+
+// ------------------------------------------------------------- reuse check
+
+/// A structural copy of a plan sufficient to replay its slab schedule:
+/// statements and stencils keep their names/halos but drop the expression
+/// trees (NodeProgram is move-only because of them; the reuse annotator
+/// never dereferences an rhs).
+NodeProgram replay_clone(const NodeProgram& plan) {
+  NodeProgram c;
+  c.kind = plan.kind;
+  c.nprocs = plan.nprocs;
+  c.n = plan.n;
+  c.a = plan.a;
+  c.b = plan.b;
+  c.c = plan.c;
+  c.a_orientation = plan.a_orientation;
+  c.prefetch = plan.prefetch;
+  c.elementwise_cols = plan.elementwise_cols;
+  for (const ElementwiseStmt& st : plan.statements) {
+    ElementwiseStmt s;
+    s.lhs = st.lhs;
+    s.forall_var = st.forall_var;
+    c.statements.push_back(std::move(s));
+  }
+  for (const StencilStmt& st : plan.stencils) {
+    StencilStmt s;
+    s.lhs = st.lhs;
+    s.source = st.source;
+    s.forall_var = st.forall_var;
+    s.halo = st.halo;
+    s.row_halo = st.row_halo;
+    c.stencils.push_back(std::move(s));
+  }
+  c.loops = plan.loops;
+  c.steps = plan.steps;
+  c.arrays = plan.arrays;
+  c.memory = plan.memory;
+  c.memory_budget_elements = plan.memory_budget_elements;
+  return c;
+}
+
+void compare_distances(const std::vector<Step>& got,
+                       const std::vector<Step>& want, int plan_index,
+                       Sink& sink) {
+  for (std::size_t i = 0; i < got.size() && i < want.size(); ++i) {
+    const double g = got[i].reuse_distance;
+    const double w = want[i].reuse_distance;
+    if (g != w) {
+      std::ostringstream oss;
+      oss << "reuse_distance " << g << " disagrees with the replayed slab "
+          << "schedule (expected " << w
+          << "); the pool would mis-rank this slab for eviction";
+      sink.add("OOCC-V041", plan_index, -1, oss.str(), &got[i]);
+    }
+    compare_distances(got[i].body, want[i].body, plan_index, sink);
+  }
+}
+
+/// OOCC-V041: re-derives the reuse annotations on replay clones of the
+/// whole sequence (annotate_reuse_distances' own scope) and compares.
+void check_reuse_annotations(std::span<const NodeProgram> plans, Sink& sink) {
+  std::vector<NodeProgram> clones;
+  clones.reserve(plans.size());
+  for (const NodeProgram& plan : plans) {
+    clones.push_back(replay_clone(plan));
+  }
+  annotate_reuse_distances(
+      std::span<NodeProgram>(clones.data(), clones.size()));
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    compare_distances(plans[i].steps, clones[i].steps, static_cast<int>(i),
+                      sink);
+  }
+}
+
+}  // namespace
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream oss;
+  oss << "verifier: " << stats.plans << " plan(s), " << stats.ranks
+      << " rank(s) replayed, " << stats.events << " event(s), "
+      << stats.intervals << " barrier interval(s)\n";
+  oss << "peak working set: " << stats.peak_pinned_elements << " of "
+      << stats.budget_elements << " budgeted element(s)";
+  if (stats.side_reservation_elements > 0) {
+    oss << " (incl. " << stats.side_reservation_elements
+        << " reduction-side)";
+  }
+  oss << " on rank " << stats.peak_rank << "\n";
+  if (ok()) {
+    oss << "result: OK — no violations\n";
+    return oss.str();
+  }
+  oss << "result: FAIL — " << diagnostics.size() << " violation(s)"
+      << (stats.truncated ? " (truncated)" : "") << "\n";
+  for (const VerifyDiagnostic& d : diagnostics) {
+    oss << d.code << " [plan " << d.plan_index;
+    if (d.rank >= 0) {
+      oss << ", rank " << d.rank;
+    }
+    oss << "] " << d.message << "\n";
+    if (!d.step.empty()) {
+      oss << "  step: " << d.step << "\n";
+    }
+  }
+  return oss.str();
+}
+
+VerifyReport verify_sequence(std::span<const NodeProgram> plans,
+                             const VerifyOptions& options) {
+  VerifyReport report;
+  report.stats.plans = static_cast<int>(plans.size());
+  Sink sink(report);
+  bool all_replayable = true;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const NodeProgram& plan = plans[i];
+    report.stats.ranks = std::max(report.stats.ranks, plan.nprocs);
+    report.stats.budget_elements =
+        std::max(report.stats.budget_elements, plan.memory_budget_elements);
+    const bool replayable =
+        StructureChecker(plan, static_cast<int>(i), sink).run();
+    if (!replayable) {
+      all_replayable = false;
+      continue;
+    }
+    std::vector<RankTrace> traces(static_cast<std::size_t>(plan.nprocs));
+    for (int p = 0; p < plan.nprocs; ++p) {
+      RankReplayer replayer(plan, static_cast<int>(i), p, sink,
+                            traces[static_cast<std::size_t>(p)]);
+      replayer.run(/*epoch=*/0, /*swapped=*/false);
+      if (plan.kind == ProgramKind::kStencil) {
+        // The convergence driver re-runs the sweep ping-ponged; replaying
+        // it as a second epoch checks the steady-state schedule — the one
+        // whose exchange reads what the previous sweep wrote.
+        replayer.run(/*epoch=*/1, /*swapped=*/true);
+      }
+      report.stats.events += traces[static_cast<std::size_t>(p)].events;
+      report.stats.intervals =
+          std::max(report.stats.intervals,
+                   traces[static_cast<std::size_t>(p)].intervals);
+      if (traces[static_cast<std::size_t>(p)].truncated) {
+        report.stats.truncated = true;
+      }
+    }
+    check_collectives(traces, static_cast<int>(i), sink);
+    if (!report.stats.truncated && !sink.has("OOCC-V040")) {
+      // Interval numbering only aligns across ranks when the collective
+      // sequences do; racing checks against skewed intervals would report
+      // noise on top of the real V040.
+      check_races(plan, traces, static_cast<int>(i), sink);
+    }
+    if (!report.stats.truncated) {
+      check_coverage(plan, traces, static_cast<int>(i), sink);
+    }
+    check_budget(plan, traces, static_cast<int>(i), sink, report);
+  }
+  if (options.check_reuse && all_replayable && !report.stats.truncated) {
+    check_reuse_annotations(plans, sink);
+  }
+  return report;
+}
+
+VerifyReport verify_plan(const NodeProgram& plan,
+                         const VerifyOptions& options) {
+  return verify_sequence(std::span<const NodeProgram>(&plan, 1), options);
+}
+
+void verify_sequence_or_throw(std::span<const NodeProgram> plans,
+                              const VerifyOptions& options) {
+  const VerifyReport report = verify_sequence(plans, options);
+  if (!report.ok()) {
+    OOCC_THROW(ErrorCode::kVerifyError,
+               "the slab program failed static verification\n"
+                   << report.to_string());
+  }
+}
+
+void verify_or_throw(const NodeProgram& plan, const VerifyOptions& options) {
+  verify_sequence_or_throw(std::span<const NodeProgram>(&plan, 1), options);
+}
+
+}  // namespace oocc::compiler

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "oocc/compiler/verify.hpp"
 #include "oocc/exec/eval.hpp"
 #include "oocc/runtime/bufferpool.hpp"
 #include "oocc/runtime/prefetch.hpp"
@@ -704,12 +705,29 @@ void run_plan(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
   StepExecutor(ctx, plan, arrays, budget, pool).run();
 }
 
+/// Verifies a plan the compiler did not stamp (hand-built or mutated).
+/// The reuse check is off: a lone replay cannot reconstruct sequence-wide
+/// reuse distances, and stale annotations are a performance hint, not a
+/// safety hazard.
+void verify_if_unstamped(const compiler::NodeProgram& plan,
+                         const ExecOptions& options) {
+  if (!options.verify || plan.verified) {
+    return;
+  }
+  compiler::VerifyOptions vopts;
+  vopts.check_reuse = false;
+  compiler::verify_or_throw(plan, vopts);
+}
+
 }  // namespace
 
 ExecOptions default_exec_options() {
   ExecOptions options;
   if (env_flag("OOCC_NO_CACHE")) {
     options.use_cache = false;
+  }
+  if (env_flag("OOCC_NO_VERIFY")) {
+    options.verify = false;
   }
   return options;
 }
@@ -722,6 +740,7 @@ void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
 void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
              const ArrayBindings& arrays, const ExecOptions& options) {
   check_plan(ctx, plan, arrays);
+  verify_if_unstamped(plan, options);
   runtime::MemoryBudget budget(
       std::max(plan.memory_budget_elements, options.budget_elements));
   if (!options.use_cache) {
@@ -812,6 +831,7 @@ void execute_sequence(sim::SpmdContext& ctx,
   for (const compiler::NodeProgram& plan : plans) {
     const ArrayBindings subset = subset_for(plan);
     check_plan(ctx, plan, subset);
+    verify_if_unstamped(plan, options);
     run_plan(ctx, plan, subset, options, budget, &pool);
   }
   pool.flush(ctx);

@@ -62,9 +62,17 @@ struct ExecOptions {
   double residual_tol = 0.0;
   /// When non-null, filled with the stencil driver's outcome.
   StencilRunInfo* stencil_info = nullptr;
+
+  /// Statically verify plans that arrive without the compiler's
+  /// NodeProgram::verified stamp (hand-built or mutated programs) before
+  /// running them, throwing Error(kVerifyError) on a violation. Stamped
+  /// plans are never re-verified — execution stays zero-overhead for the
+  /// compile() path.
+  bool verify = true;
 };
 
-/// ExecOptions honouring the environment: OOCC_NO_CACHE disables the pool.
+/// ExecOptions honouring the environment: OOCC_NO_CACHE disables the pool,
+/// OOCC_NO_VERIFY skips verification of unstamped plans.
 ExecOptions default_exec_options();
 
 /// Creates one OutOfCoreArray per plan array (with the plan's storage

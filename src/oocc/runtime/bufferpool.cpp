@@ -1,6 +1,8 @@
 #include "oocc/runtime/bufferpool.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 
@@ -24,9 +26,11 @@ SlabBufferPool::SlabBufferPool(MemoryBudget& budget, std::string name,
       mirror_laf_stats_(mirror_laf_stats) {}
 
 SlabBufferPool::~SlabBufferPool() {
+  bool pin_leak = false;
   for (const auto& [array, list] : entries_) {
     for (const auto& e : list) {
       if (e->pins > 0) {
+        pin_leak = true;
         OOCC_WARN("bufferpool", "pool '" << name_ << "' destroyed with '"
                                          << array << "' slab still pinned "
                                          << e->pins << " time(s)");
@@ -38,6 +42,16 @@ SlabBufferPool::~SlabBufferPool() {
                                          << "' slab (missing flush?)");
       }
     }
+  }
+  if (pin_leak && strict_teardown()) {
+    // Sanitizer builds treat a pin leak like ASan treats a memory leak: a
+    // bug to fix, not a condition to tolerate. Destructors cannot throw,
+    // so abort with the diagnostic already on stderr.
+    std::fprintf(stderr,
+                 "bufferpool: pin leak — pool '%s' destroyed with pinned "
+                 "entries\n",
+                 name_.c_str());
+    std::abort();
   }
 }
 

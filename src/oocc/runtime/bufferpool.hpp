@@ -89,6 +89,19 @@ class SlabBufferPool {
                  bool mirror_laf_stats = true);
   ~SlabBufferPool();
 
+  /// True in OOCC_SANITIZE builds, where destroying a pool that still
+  /// holds pinned entries (a pin leak: some sweep forgot its unpin) is a
+  /// hard error — the destructor aborts instead of warning. Regular
+  /// builds only log, so a leaky teardown path stays observable without
+  /// taking the process down in production runs.
+  static constexpr bool strict_teardown() noexcept {
+#if defined(OOCC_SANITIZE)
+    return true;
+#else
+    return false;
+#endif
+  }
+
   SlabBufferPool(const SlabBufferPool&) = delete;
   SlabBufferPool& operator=(const SlabBufferPool&) = delete;
 

@@ -20,6 +20,8 @@ std::string_view error_code_name(ErrorCode code) noexcept {
       return "RuntimeError";
     case ErrorCode::kResourceExhausted:
       return "ResourceExhausted";
+    case ErrorCode::kVerifyError:
+      return "VerifyError";
   }
   return "Unknown";
 }

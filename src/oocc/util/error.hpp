@@ -24,7 +24,8 @@ enum class ErrorCode {
   kSemanticError,    ///< HPF semantic analysis rejected the program
   kCompileError,     ///< out-of-core lowering cannot handle the program
   kRuntimeError,     ///< execution-time failure (plan interpreter, runtime)
-  kResourceExhausted ///< memory budget cannot accommodate the request
+  kResourceExhausted, ///< memory budget cannot accommodate the request
+  kVerifyError       ///< static plan verification found a violation
 };
 
 /// Human-readable name of an ErrorCode ("InvalidArgument", ...).

@@ -465,5 +465,28 @@ TEST(AutoPrefetch, ReuseDistancesAnnotateTheChain) {
   EXPECT_LT(w_write->reuse_distance, 0.0);  // never read again
 }
 
+TEST(SlabBufferPoolDeathTest, PinLeakAtTeardownIsFatalUnderSanitize) {
+  if (!SlabBufferPool::strict_teardown()) {
+    GTEST_SKIP() << "pin-leak hard error is compiled in only under "
+                    "OOCC_SANITIZE builds";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        TempDir dir;
+        spmd([&](SpmdContext& ctx) {
+          LocalArrayFile laf(dir.file("a.laf"), 8, 8,
+                             StorageOrder::kColumnMajor, DiskModel::zero());
+          fill_laf(ctx, laf);
+          MemoryBudget budget(1000);
+          SlabBufferPool pool(budget, "leaky");
+          // Acquire pins the entry; "forgetting" the unpin leaks the pin
+          // into the pool's destructor.
+          (void)pool.acquire_read(ctx, laf, "a", cols(0, 2), -1.0);
+        });
+      },
+      "pin leak");
+}
+
 }  // namespace
 }  // namespace oocc::runtime

@@ -24,6 +24,11 @@
 //   --dump-plan            print the step-level slab-program IR and its
 //                          step-walking I/O price (uncached and with the
 //                          slab cache modelled) instead of pseudo-code
+//   --dump-verify          print the static verifier's report (replay
+//                          stats + any OOCC-V0xx diagnostics) for the
+//                          compiled plans
+//   --no-verify            skip the static verifier (compile- and
+//                          run-time); mirrors the OOCC_NO_VERIFY env knob
 //   --run                  execute the plan on the simulated machine
 //   --verify               with --run: check the result against a serial
 //                          reference (GAXPY and stencil plans)
@@ -41,6 +46,7 @@
 #include "oocc/apps/jacobi.hpp"
 #include "oocc/compiler/lower.hpp"
 #include "oocc/compiler/pretty.hpp"
+#include "oocc/compiler/verify.hpp"
 #include "oocc/exec/interp.hpp"
 #include "oocc/gaxpy/gaxpy.hpp"
 #include "oocc/hpf/parser.hpp"
@@ -55,7 +61,8 @@ void usage() {
                "[--equal-split] [--no-access-reorg] [--no-storage-reorg] "
                "[--no-fuse] [--prefetch[=auto]] [--no-prefetch] "
                "[--no-cache] [--stencil[=N[,P]]] [--iters K] [--tol X] "
-               "[--ast] [--dump-plan] [--run] [--verify]\n");
+               "[--ast] [--dump-plan] [--dump-verify] [--no-verify] "
+               "[--run] [--verify]\n");
 }
 
 double gen_a(std::int64_t r, std::int64_t c) {
@@ -80,6 +87,7 @@ int main(int argc, char** argv) {
   std::int64_t memory = 0;
   bool ast_only = false;
   bool dump_plan = false;
+  bool dump_verify = false;
   bool run = false;
   bool verify = false;
   bool use_cache = true;
@@ -133,6 +141,10 @@ int main(int argc, char** argv) {
       ast_only = true;
     } else if (std::strcmp(arg, "--dump-plan") == 0) {
       dump_plan = true;
+    } else if (std::strcmp(arg, "--dump-verify") == 0) {
+      dump_verify = true;
+    } else if (std::strcmp(arg, "--no-verify") == 0) {
+      options.verify = false;
     } else if (std::strcmp(arg, "--run") == 0) {
       run = true;
     } else if (std::strcmp(arg, "--verify") == 0) {
@@ -187,6 +199,12 @@ int main(int argc, char** argv) {
 
     const std::vector<compiler::NodeProgram> plans =
         compiler::compile_sequence(bound, options);
+    if (dump_verify) {
+      const compiler::VerifyReport vreport = compiler::verify_sequence(
+          std::span<const compiler::NodeProgram>(plans.data(), plans.size()));
+      std::printf("=== static verification ===\n%s\n",
+                  vreport.to_string().c_str());
+    }
     for (std::size_t i = 0; i < plans.size(); ++i) {
       if (plans.size() > 1) {
         std::printf("--- plan %zu of %zu ---\n", i + 1, plans.size());
@@ -254,6 +272,7 @@ int main(int argc, char** argv) {
     // below, which must reflect whether the pool actually ran.
     exec::ExecOptions base_exec_options = exec::default_exec_options();
     base_exec_options.use_cache = base_exec_options.use_cache && use_cache;
+    base_exec_options.verify = base_exec_options.verify && options.verify;
     sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
       auto arrays = exec::create_sequence_arrays(
           ctx,

@@ -135,8 +135,14 @@ doc = {
     "schema": "oocc-bench-results/v1",
     "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     "env": {k: os.environ.get(k)
-            for k in ("OOCC_N", "OOCC_PROCS", "OOCC_FULL", "OOCC_ROUTE_MODE")
+            for k in ("OOCC_N", "OOCC_PROCS", "OOCC_FULL", "OOCC_ROUTE_MODE",
+                      "OOCC_NO_VERIFY")
             if os.environ.get(k) is not None},
+    # Benches compile through compiler::compile(), which statically
+    # verifies every plan by default — a run with OOCC_NO_VERIFY unset
+    # measured verified plans (verification is compile-time only; stamped
+    # plans are never re-checked during the timed sweeps).
+    "verified_plans": os.environ.get("OOCC_NO_VERIFY") is None,
     "benches": results,
 }
 with open(out_path, "w") as f:

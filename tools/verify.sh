@@ -14,6 +14,16 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+# Static-verifier smoke: every shipped program shape must verify clean
+# (verification is on by default in the driver; these fail nonzero on any
+# OOCC-V0xx diagnostic). Cheap enough to run in both CI and by hand.
+echo "=== static verifier smoke: --dump-verify over the doc examples ==="
+for prog in docs/examples/*.hpf; do
+  ./build/tools/oocc_compile "$prog" --memory 2048 --dump-verify > /dev/null
+done
+./build/tools/oocc_compile --stencil=64,4 --dump-verify > /dev/null
+echo "verifier smoke: all shapes verify clean"
+
 if [ -n "${OOCC_SKIP_ASAN:-}" ]; then
   echo "=== skipping sanitizer pass (OOCC_SKIP_ASAN set) ==="
   exit 0
