@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "oocc/compiler/verify.hpp"
+#include "oocc/exec/checkpoint.hpp"
 #include "oocc/exec/eval.hpp"
 #include "oocc/runtime/bufferpool.hpp"
 #include "oocc/runtime/prefetch.hpp"
@@ -14,6 +15,7 @@
 #include "oocc/sim/collectives.hpp"
 #include "oocc/util/env.hpp"
 #include "oocc/util/error.hpp"
+#include "oocc/util/faults.hpp"
 
 namespace oocc::exec {
 
@@ -672,18 +674,34 @@ void run_stencil(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
   const int max_iters = std::max(1, options.max_iters);
   const bool want_residual =
       options.residual_tol > 0 || options.stencil_info != nullptr;
-  int iters = 0;
+  const bool checkpointing =
+      options.checkpoint_every > 0 && !options.checkpoint_dir.empty();
+  int iters = options.start_iteration;
   double residual = 0.0;
-  for (int it = 0; it < max_iters; ++it) {
+  for (int it = options.start_iteration; it < max_iters; ++it) {
     StepExecutor sweep(ctx, plan, arrays, budget, pool,
                        /*stencil_swapped=*/(it % 2) != 0);
     sweep.run();
     ++iters;
+    bool stop = false;
     if (want_residual) {
       residual = sim::allreduce_max<double>(ctx, sweep.residual());
-      if (options.residual_tol > 0 && residual <= options.residual_tol) {
-        break;
+      stop = options.residual_tol > 0 && residual <= options.residual_tol;
+    }
+    // Checkpoint the live half of the ping-pong pair every k sweeps. The
+    // final sweep is not checkpointed: a failure after it would replay
+    // from the last checkpoint and reach the same bits anyway.
+    if (checkpointing && !stop && iters < max_iters &&
+        iters % options.checkpoint_every == 0) {
+      if (pool != nullptr) {
+        pool->flush(ctx);  // checkpoint from disk state, not stale files
       }
+      const std::string& state = iters % 2 == 1 ? st.lhs : st.source;
+      CheckpointStore store(options.checkpoint_dir);
+      store.save(ctx, iters, state, bound(arrays, state));
+    }
+    if (stop) {
+      break;
     }
   }
   if (options.stencil_info != nullptr) {
@@ -729,8 +747,29 @@ ExecOptions default_exec_options() {
   if (env_flag("OOCC_NO_VERIFY")) {
     options.verify = false;
   }
+  // Under an active fault plan a write can be interrupted at any point, so
+  // crash consistency is on unless the caller overrides it afterwards.
+  if (env_flag("OOCC_JOURNAL") || faults::FaultInjector::instance().active()) {
+    options.journal = true;
+  }
   return options;
 }
+
+namespace {
+
+/// Applies the journaling option to every bound array's LAF. Idempotent.
+void apply_journaling(const ArrayBindings& arrays, const ExecOptions& options) {
+  if (!options.journal) {
+    return;
+  }
+  for (const auto& [name, array] : arrays) {
+    if (array != nullptr) {
+      array->laf().set_journaling(true);
+    }
+  }
+}
+
+}  // namespace
 
 void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
              const ArrayBindings& arrays) {
@@ -741,6 +780,7 @@ void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
              const ArrayBindings& arrays, const ExecOptions& options) {
   check_plan(ctx, plan, arrays);
   verify_if_unstamped(plan, options);
+  apply_journaling(arrays, options);
   runtime::MemoryBudget budget(
       std::max(plan.memory_budget_elements, options.budget_elements));
   if (!options.use_cache) {
@@ -828,6 +868,7 @@ void execute_sequence(sim::SpmdContext& ctx,
   }
   runtime::MemoryBudget budget(budget_elements);
   runtime::SlabBufferPool pool(budget, "pool");
+  apply_journaling(arrays, options);
   for (const compiler::NodeProgram& plan : plans) {
     const ArrayBindings subset = subset_for(plan);
     check_plan(ctx, plan, subset);

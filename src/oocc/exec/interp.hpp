@@ -63,6 +63,23 @@ struct ExecOptions {
   /// When non-null, filled with the stencil driver's outcome.
   StencilRunInfo* stencil_info = nullptr;
 
+  /// Crash-consistent write-back: route every bound array's LAF writes
+  /// through the shadow journal (laf.hpp). Off by default — it adds one
+  /// disk request per write, which would skew fault-free cost accounting.
+  /// default_exec_options turns it on when OOCC_JOURNAL is set or a fault
+  /// plan is active.
+  bool journal = false;
+
+  /// Stencil plans only: checkpoint the live half of the ping-pong pair
+  /// every k completed sweeps to checkpoint_dir (0 = off). See
+  /// exec/checkpoint.hpp for the commit protocol.
+  int checkpoint_every = 0;
+  std::filesystem::path checkpoint_dir;
+  /// Stencil plans only: first sweep index. The restart driver sets this
+  /// to the restored checkpoint's sweep count so ping-pong parity and the
+  /// remaining iteration count line up with the uninterrupted run.
+  int start_iteration = 0;
+
   /// Statically verify plans that arrive without the compiler's
   /// NodeProgram::verified stamp (hand-built or mutated programs) before
   /// running them, throwing Error(kVerifyError) on a violation. Stamped

@@ -10,6 +10,8 @@
 #include <system_error>
 
 #include "oocc/util/error.hpp"
+#include "oocc/util/faults.hpp"
+#include "oocc/util/log.hpp"
 
 namespace oocc::io {
 
@@ -22,10 +24,7 @@ FileBackend::FileBackend(const std::filesystem::path& path) : path_(path) {
 FileBackend::~FileBackend() { close(); }
 
 FileBackend::FileBackend(FileBackend&& other) noexcept
-    : path_(std::move(other.path_)),
-      fd_(other.fd_),
-      read_fault_countdown_(other.read_fault_countdown_),
-      write_fault_countdown_(other.write_fault_countdown_) {
+    : path_(std::move(other.path_)), fd_(other.fd_) {
   other.fd_ = -1;
 }
 
@@ -34,8 +33,6 @@ FileBackend& FileBackend::operator=(FileBackend&& other) noexcept {
     close();
     path_ = std::move(other.path_);
     fd_ = other.fd_;
-    read_fault_countdown_ = other.read_fault_countdown_;
-    write_fault_countdown_ = other.write_fault_countdown_;
     other.fd_ = -1;
   }
   return *this;
@@ -43,7 +40,12 @@ FileBackend& FileBackend::operator=(FileBackend&& other) noexcept {
 
 void FileBackend::close() noexcept {
   if (fd_ >= 0) {
-    ::close(fd_);
+    if (::close(fd_) != 0) {
+      // Destructor path; the write data is already out of our hands, but a
+      // failing close (e.g. NFS deferred-error reporting) must not vanish.
+      OOCC_WARN("io", "close failed on " << path_ << ": "
+                                         << std::strerror(errno));
+    }
     fd_ = -1;
   }
 }
@@ -51,19 +53,27 @@ void FileBackend::close() noexcept {
 void FileBackend::read_at(std::uint64_t offset, void* data,
                           std::size_t bytes) {
   OOCC_CHECK(fd_ >= 0, ErrorCode::kIoError, "file " << path_ << " is closed");
-  if (read_fault_countdown_ > 0 && --read_fault_countdown_ == 0) {
-    OOCC_THROW(ErrorCode::kIoError,
-               "injected read fault on " << path_ << " at offset " << offset);
-  }
+  faults::FaultInjector::instance().check(
+      faults::Site::kRead, "read " + path_.filename().string());
   std::size_t done = 0;
   while (done < bytes) {
     const ssize_t n =
         ::pread(fd_, static_cast<char*>(data) + done, bytes - done,
                 static_cast<off_t>(offset + done));
+    if (n < 0) {
+      // EINTR/EAGAIN are not failures: the syscall was interrupted (or the
+      // fd is briefly unready) and must simply be reissued. Conflating them
+      // with EOF (n == 0) turned every signal delivery into a hard error.
+      if (errno == EINTR || errno == EAGAIN) {
+        continue;
+      }
+      OOCC_THROW(ErrorCode::kIoError,
+                 "read failed on " << path_ << " at offset " << offset + done
+                                   << ": " << std::strerror(errno));
+    }
     OOCC_CHECK(n > 0, ErrorCode::kIoError,
                "short read on " << path_ << " at offset " << offset + done
-                                << " (" << (n == 0 ? "EOF" : std::strerror(errno))
-                                << ")");
+                                << " (EOF)");
     done += static_cast<std::size_t>(n);
   }
 }
@@ -71,18 +81,24 @@ void FileBackend::read_at(std::uint64_t offset, void* data,
 void FileBackend::write_at(std::uint64_t offset, const void* data,
                            std::size_t bytes) {
   OOCC_CHECK(fd_ >= 0, ErrorCode::kIoError, "file " << path_ << " is closed");
-  if (write_fault_countdown_ > 0 && --write_fault_countdown_ == 0) {
-    OOCC_THROW(ErrorCode::kIoError,
-               "injected write fault on " << path_ << " at offset " << offset);
-  }
+  faults::FaultInjector::instance().check(
+      faults::Site::kWrite, "write " + path_.filename().string());
   std::size_t done = 0;
   while (done < bytes) {
     const ssize_t n =
         ::pwrite(fd_, static_cast<const char*>(data) + done, bytes - done,
                  static_cast<off_t>(offset + done));
-    OOCC_CHECK(n >= 0, ErrorCode::kIoError,
-               "write failed on " << path_ << " at offset " << offset + done
-                                  << ": " << std::strerror(errno));
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) {
+        continue;
+      }
+      OOCC_THROW(ErrorCode::kIoError,
+                 "write failed on " << path_ << " at offset " << offset + done
+                                    << ": " << std::strerror(errno));
+    }
+    OOCC_CHECK(n > 0, ErrorCode::kIoError,
+               "zero-length write on " << path_ << " at offset "
+                                       << offset + done);
     done += static_cast<std::size_t>(n);
   }
 }
@@ -118,8 +134,12 @@ TempDir::TempDir(const std::string& prefix) {
 TempDir::~TempDir() {
   std::error_code ec;
   std::filesystem::remove_all(path_, ec);
-  // Destructor must not throw; a leaked temp dir is logged nowhere on
-  // purpose (tests clean /tmp eventually).
+  if (ec) {
+    // Destructor must not throw, but a leaked temp dir should at least be
+    // visible — silent leaks fill /tmp on busy CI machines.
+    OOCC_WARN("io", "failed to remove temp dir " << path_ << ": "
+                                                 << ec.message());
+  }
 }
 
 }  // namespace oocc::io

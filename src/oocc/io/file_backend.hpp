@@ -14,7 +14,10 @@
 namespace oocc::io {
 
 /// Random-access file with pread/pwrite semantics. Movable, not copyable.
-/// Supports deterministic fault injection for failure-path tests.
+/// Every read/write consults the process-global faults::FaultInjector, so
+/// a fault plan (OOCC_FAULTS / --faults=) can fail any operation
+/// deterministically; EINTR/EAGAIN from the host are retried internally
+/// and never surface as errors.
 class FileBackend {
  public:
   /// Opens (creating if needed) the file at `path` for read/write.
@@ -42,23 +45,11 @@ class FileBackend {
   /// a not-yet-written array are well defined.
   void truncate(std::uint64_t bytes);
 
-  /// Fault injection: the n-th subsequent read (1 = next) fails with
-  /// Error(kIoError). Pass 0 to clear.
-  void inject_read_fault(std::uint64_t after_reads) noexcept {
-    read_fault_countdown_ = after_reads;
-  }
-  /// Same for writes.
-  void inject_write_fault(std::uint64_t after_writes) noexcept {
-    write_fault_countdown_ = after_writes;
-  }
-
  private:
   void close() noexcept;
 
   std::filesystem::path path_;
   int fd_ = -1;
-  std::uint64_t read_fault_countdown_ = 0;
-  std::uint64_t write_fault_countdown_ = 0;
 };
 
 /// Creates a unique directory under the system temp dir; removes it (and

@@ -15,6 +15,11 @@ std::string IoStats::summary() const {
         << " cache_writebacks=" << cache_writebacks
         << " bytes_cache_hit=" << bytes_cache_hit;
   }
+  if (retries + journal_writes + recoveries > 0) {
+    oss << " retries=" << retries << " journal_writes=" << journal_writes
+        << " bytes_journaled=" << bytes_journaled
+        << " recoveries=" << recoveries;
+  }
   return oss.str();
 }
 

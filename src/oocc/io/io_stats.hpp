@@ -26,6 +26,15 @@ struct IoStats {
   std::uint64_t cache_writebacks = 0;
   std::uint64_t bytes_cache_hit = 0;
 
+  // Fault-tolerance activity (docs/fault-tolerance.md): transient faults
+  // masked by the retry loop, shadow-journal records written by the
+  // crash-consistent write-back path, and committed journal records
+  // replayed by the recovery scan when the file was (re)opened.
+  std::uint64_t retries = 0;
+  std::uint64_t journal_writes = 0;
+  std::uint64_t bytes_journaled = 0;
+  std::uint64_t recoveries = 0;
+
   std::uint64_t total_requests() const noexcept {
     return read_requests + write_requests;
   }
@@ -44,6 +53,10 @@ struct IoStats {
     cache_evictions += other.cache_evictions;
     cache_writebacks += other.cache_writebacks;
     bytes_cache_hit += other.bytes_cache_hit;
+    retries += other.retries;
+    journal_writes += other.journal_writes;
+    bytes_journaled += other.bytes_journaled;
+    recoveries += other.recoveries;
   }
 
   std::string summary() const;

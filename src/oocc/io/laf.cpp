@@ -2,11 +2,71 @@
 
 #include <cstring>
 
+#include "oocc/util/log.hpp"
+
 namespace oocc::io {
 
 namespace {
 constexpr std::uint64_t kElem = sizeof(double);
+
+// Write-back journal record layout: [WalHeader][payload][commit marker].
+// The payload is the section's bytes in file-extent order (exactly what the
+// apply step writes in place), so replay is a straight extent walk.
+constexpr std::uint64_t kWalMagic = 0x4f4f43432d57414cULL;   // "OOCC-WAL"
+constexpr std::uint64_t kWalCommit = 0x434f4d4d49542121ULL;  // "COMMIT!!"
+
+struct WalHeader {
+  std::uint64_t magic = 0;
+  std::int64_t row0 = 0;
+  std::int64_t row1 = 0;
+  std::int64_t col0 = 0;
+  std::int64_t col1 = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(WalHeader) == 56);
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
+
+/// Runs `op`, masking transient faults with bounded retries. Each failed
+/// attempt charges exponential backoff to the simulated clock (and the
+/// paper's I/O time metric); exhausting the budget escalates to a
+/// permanent kIoError.
+template <typename Op>
+void with_retry(sim::SpmdContext& ctx, const faults::RetryPolicy& policy,
+                const DiskModel& disk, IoStats& stats, Op&& op) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      op();
+      return;
+    } catch (const Error& e) {
+      if (e.code() != ErrorCode::kTransientIoError) {
+        throw;
+      }
+      if (attempt >= policy.max_attempts) {
+        OOCC_THROW(ErrorCode::kIoError,
+                   "transient I/O fault persisted after "
+                       << attempt << " attempts: " << e.what());
+      }
+      const double backoff =
+          policy.backoff_s(attempt, disk.request_overhead_s);
+      ctx.charge_io_time(backoff);
+      stats.time_s += backoff;
+      ++stats.retries;
+      ++ctx.stats().retries;
+    }
+  }
+}
+
+}  // namespace
 
 std::string_view storage_order_name(StorageOrder order) noexcept {
   switch (order) {
@@ -29,6 +89,78 @@ LocalArrayFile::LocalArrayFile(const std::filesystem::path& path,
       kElem;
   if (backend_.size() < bytes) {
     backend_.truncate(bytes);
+  }
+  recover_from_journal();
+}
+
+std::filesystem::path LocalArrayFile::journal_path() const {
+  return std::filesystem::path(backend_.path().string() + ".wal");
+}
+
+void LocalArrayFile::set_journaling(bool on) {
+  if (on && journal_ == nullptr) {
+    journal_ = std::make_unique<FileBackend>(journal_path());
+  } else if (!on) {
+    journal_.reset();
+  }
+}
+
+void LocalArrayFile::recover_from_journal() {
+  const std::filesystem::path jpath = journal_path();
+  std::error_code ec;
+  if (!std::filesystem::exists(jpath, ec) || ec) {
+    return;
+  }
+  FileBackend journal(jpath);
+  const std::uint64_t size = journal.size();
+  if (size == 0) {
+    return;  // cleanly applied (or never used)
+  }
+  bool replayed = false;
+  try {
+    WalHeader h;
+    if (size >= sizeof(WalHeader)) {
+      journal.read_at(0, &h, sizeof(WalHeader));
+      std::uint64_t marker = 0;
+      if (h.magic == kWalMagic &&
+          size >= sizeof(WalHeader) + h.payload_bytes + sizeof(marker)) {
+        journal.read_at(sizeof(WalHeader) + h.payload_bytes, &marker,
+                        sizeof(marker));
+        if (marker == kWalCommit) {
+          std::vector<char> payload(h.payload_bytes);
+          journal.read_at(sizeof(WalHeader), payload.data(),
+                          h.payload_bytes);
+          const Section s{h.row0, h.row1, h.col0, h.col1};
+          if (fnv1a(payload.data(), payload.size()) == h.checksum &&
+              static_cast<std::uint64_t>(s.elements()) * kElem ==
+                  h.payload_bytes) {
+            // Committed record: redo the in-place apply (idempotent — the
+            // payload is exactly what a completed apply wrote).
+            std::size_t off = 0;
+            for (const Extent& e : section_extents(s)) {
+              backend_.write_at(e.offset_bytes, payload.data() + off,
+                                e.length_bytes);
+              off += e.length_bytes;
+            }
+            replayed = true;
+          }
+        }
+      }
+    }
+  } catch (const Error&) {
+    // A torn or corrupt journal (crash mid shadow-write) carries an
+    // uncommitted record: the pre-write array contents are intact, so the
+    // record is simply discarded below.
+  }
+  journal.truncate(0);
+  if (replayed) {
+    ++stats_.recoveries;
+    faults::FaultInjector::instance().note_recovery();
+    OOCC_INFO("laf", "replayed committed write-back journal for "
+                         << backend_.path());
+  } else {
+    OOCC_WARN("laf", "discarded uncommitted write-back journal for "
+                         << backend_.path());
   }
 }
 
@@ -118,6 +250,77 @@ void LocalArrayFile::charge(sim::SpmdContext& ctx,
   }
 }
 
+void LocalArrayFile::bread(sim::SpmdContext& ctx, std::uint64_t offset,
+                           void* data, std::size_t bytes) {
+  with_retry(ctx, retry_, disk_, stats_,
+             [&] { backend_.read_at(offset, data, bytes); });
+}
+
+void LocalArrayFile::bwrite(sim::SpmdContext& ctx, std::uint64_t offset,
+                            const void* data, std::size_t bytes) {
+  with_retry(ctx, retry_, disk_, stats_,
+             [&] { backend_.write_at(offset, data, bytes); });
+}
+
+void LocalArrayFile::extent_payload(const Section& s,
+                                    std::span<const double> in,
+                                    std::vector<double>& out) const {
+  out.resize(static_cast<std::size_t>(s.elements()));
+  if (order_ == StorageOrder::kColumnMajor) {
+    // Column-major extents follow column-major section order exactly.
+    std::memcpy(out.data(), in.data(), in.size() * kElem);
+    return;
+  }
+  const std::int64_t srows = s.rows();
+  const std::int64_t scols = s.cols();
+  for (std::int64_t r = 0; r < srows; ++r) {
+    for (std::int64_t c = 0; c < scols; ++c) {
+      out[static_cast<std::size_t>(r * scols + c)] =
+          in[static_cast<std::size_t>(c * srows + r)];
+    }
+  }
+}
+
+void LocalArrayFile::journal_write(sim::SpmdContext& ctx, const Section& s,
+                                   const std::vector<double>& payload) {
+  const std::uint64_t payload_bytes = payload.size() * kElem;
+  WalHeader h;
+  h.magic = kWalMagic;
+  h.row0 = s.row0;
+  h.row1 = s.row1;
+  h.col0 = s.col0;
+  h.col1 = s.col1;
+  h.payload_bytes = payload_bytes;
+  h.checksum = fnv1a(payload.data(), payload_bytes);
+
+  // The shadow record is one streaming request against the same disk.
+  const double time = disk_.request_time(
+      static_cast<double>(sizeof(WalHeader) + payload_bytes +
+                          sizeof(kWalCommit)),
+      ctx.nprocs());
+  ctx.charge_io_time(time);
+  stats_.time_s += time;
+  ++stats_.journal_writes;
+  stats_.bytes_journaled += payload_bytes;
+  auto& ps = ctx.stats();
+  ++ps.io_requests;
+  ps.io_bytes_written += payload_bytes;
+
+  journal_->truncate(0);
+  with_retry(ctx, retry_, disk_, stats_,
+             [&] { journal_->write_at(0, &h, sizeof(WalHeader)); });
+  with_retry(ctx, retry_, disk_, stats_, [&] {
+    journal_->write_at(sizeof(WalHeader), payload.data(), payload_bytes);
+  });
+  // Crash here (before the commit marker) => record is discarded on open.
+  faults::FaultInjector::instance().check_crash(
+      "shadow", "journal " + backend_.path().filename().string());
+  with_retry(ctx, retry_, disk_, stats_, [&] {
+    journal_->write_at(sizeof(WalHeader) + payload_bytes, &kWalCommit,
+                       sizeof(kWalCommit));
+  });
+}
+
 void LocalArrayFile::read_section(sim::SpmdContext& ctx, const Section& s,
                                   std::span<double> out) {
   validate_section(s);
@@ -130,14 +333,14 @@ void LocalArrayFile::read_section(sim::SpmdContext& ctx, const Section& s,
   const std::int64_t srows = s.rows();
   if (order_ == StorageOrder::kColumnMajor) {
     if (extents.size() == 1 && s.row0 == 0 && s.row1 == rows_) {
-      backend_.read_at(extents[0].offset_bytes, out.data(),
-                       extents[0].length_bytes);
+      bread(ctx, extents[0].offset_bytes, out.data(),
+            extents[0].length_bytes);
       return;
     }
     // One extent per column; each maps to a contiguous run of `out`.
     std::size_t off = 0;
     for (const Extent& e : extents) {
-      backend_.read_at(e.offset_bytes, out.data() + off, e.length_bytes);
+      bread(ctx, e.offset_bytes, out.data() + off, e.length_bytes);
       off += static_cast<std::size_t>(srows);
     }
     return;
@@ -147,8 +350,8 @@ void LocalArrayFile::read_section(sim::SpmdContext& ctx, const Section& s,
   // section when it spans all columns); scatter into column-major `out`.
   if (extents.size() == 1 && s.col0 == 0 && s.col1 == cols_) {
     scratch_.resize(static_cast<std::size_t>(s.elements()));
-    backend_.read_at(extents[0].offset_bytes, scratch_.data(),
-                     extents[0].length_bytes);
+    bread(ctx, extents[0].offset_bytes, scratch_.data(),
+          extents[0].length_bytes);
     for (std::int64_t r = 0; r < s.rows(); ++r) {
       for (std::int64_t c = 0; c < s.cols(); ++c) {
         out[static_cast<std::size_t>(c * srows + r)] =
@@ -160,7 +363,7 @@ void LocalArrayFile::read_section(sim::SpmdContext& ctx, const Section& s,
   scratch_.resize(static_cast<std::size_t>(s.cols()));
   std::int64_t r = s.row0;
   for (const Extent& e : extents) {
-    backend_.read_at(e.offset_bytes, scratch_.data(), e.length_bytes);
+    bread(ctx, e.offset_bytes, scratch_.data(), e.length_bytes);
     for (std::int64_t c = 0; c < s.cols(); ++c) {
       out[static_cast<std::size_t>(c * srows + (r - s.row0))] =
           scratch_[static_cast<std::size_t>(c)];
@@ -178,16 +381,36 @@ void LocalArrayFile::write_section(sim::SpmdContext& ctx, const Section& s,
   const std::vector<Extent> extents = section_extents(s);
   charge(ctx, extents, /*is_read=*/false);
 
+  if (journal_ != nullptr) {
+    // Crash-consistent path: shadow-write + commit, then apply in place
+    // from the same payload bytes the journal holds, then clear. A crash
+    // at any point leaves either the old section (uncommitted record
+    // discarded on open) or the new one (committed record replayed).
+    extent_payload(s, in, journal_scratch_);
+    journal_write(ctx, s, journal_scratch_);
+    faults::FaultInjector::instance().check_crash(
+        "apply", "write " + backend_.path().filename().string());
+    const char* bytes =
+        reinterpret_cast<const char*>(journal_scratch_.data());
+    std::size_t off = 0;
+    for (const Extent& e : extents) {
+      bwrite(ctx, e.offset_bytes, bytes + off, e.length_bytes);
+      off += static_cast<std::size_t>(e.length_bytes);
+    }
+    journal_->truncate(0);
+    return;
+  }
+
   const std::int64_t srows = s.rows();
   if (order_ == StorageOrder::kColumnMajor) {
     if (extents.size() == 1 && s.row0 == 0 && s.row1 == rows_) {
-      backend_.write_at(extents[0].offset_bytes, in.data(),
-                        extents[0].length_bytes);
+      bwrite(ctx, extents[0].offset_bytes, in.data(),
+             extents[0].length_bytes);
       return;
     }
     std::size_t off = 0;
     for (const Extent& e : extents) {
-      backend_.write_at(e.offset_bytes, in.data() + off, e.length_bytes);
+      bwrite(ctx, e.offset_bytes, in.data() + off, e.length_bytes);
       off += static_cast<std::size_t>(srows);
     }
     return;
@@ -201,8 +424,8 @@ void LocalArrayFile::write_section(sim::SpmdContext& ctx, const Section& s,
             in[static_cast<std::size_t>(c * srows + r)];
       }
     }
-    backend_.write_at(extents[0].offset_bytes, scratch_.data(),
-                      extents[0].length_bytes);
+    bwrite(ctx, extents[0].offset_bytes, scratch_.data(),
+           extents[0].length_bytes);
     return;
   }
   scratch_.resize(static_cast<std::size_t>(s.cols()));
@@ -212,7 +435,7 @@ void LocalArrayFile::write_section(sim::SpmdContext& ctx, const Section& s,
       scratch_[static_cast<std::size_t>(c)] =
           in[static_cast<std::size_t>(c * srows + (r - s.row0))];
     }
-    backend_.write_at(e.offset_bytes, scratch_.data(), e.length_bytes);
+    bwrite(ctx, e.offset_bytes, scratch_.data(), e.length_bytes);
     ++r;
   }
 }

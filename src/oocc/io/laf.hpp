@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "oocc/io/file_backend.hpp"
 #include "oocc/io/io_stats.hpp"
 #include "oocc/sim/machine.hpp"
+#include "oocc/util/faults.hpp"
 
 namespace oocc::io {
 
@@ -80,6 +82,9 @@ class LocalArrayFile {
  public:
   /// Creates (or opens) the LAF at `path` for a `rows` x `cols` local
   /// array in `order`, pre-extended so every section read is defined.
+  /// Opening runs the crash-recovery scan: a committed write-back journal
+  /// left by an interrupted journaled write (`path` + ".wal") is replayed,
+  /// an uncommitted one discarded, so no section is ever half-applied.
   LocalArrayFile(const std::filesystem::path& path, std::int64_t rows,
                  std::int64_t cols, StorageOrder order, DiskModel disk);
 
@@ -100,6 +105,25 @@ class LocalArrayFile {
   void note_cache_eviction() noexcept { ++stats_.cache_evictions; }
   void note_cache_writeback() noexcept { ++stats_.cache_writebacks; }
   FileBackend& backend() noexcept { return backend_; }
+
+  /// Crash-consistent write-back: when enabled, every write_section first
+  /// shadow-writes the section (payload in file-extent order + checksum)
+  /// to the `.wal` sidecar, commits it with a marker record, applies it in
+  /// place, then clears the journal. An injected crash (faults::Site::
+  /// kCrash) between any two steps leaves the array recoverable: the open
+  /// scan replays committed records and discards uncommitted ones. Off by
+  /// default — journaling adds one disk request per write, which would
+  /// break the priced == measured invariants of fault-free runs.
+  void set_journaling(bool on);
+  bool journaling() const noexcept { return journal_ != nullptr; }
+
+  /// Bounded-retry policy masking transient faults on this file's reads
+  /// and writes; backoff is charged to the simulated clock (the DiskModel
+  /// request overhead is the default base).
+  const faults::RetryPolicy& retry_policy() const noexcept { return retry_; }
+  void set_retry_policy(const faults::RetryPolicy& policy) noexcept {
+    retry_ = policy;
+  }
 
   /// Whole-array section.
   Section full() const noexcept { return Section{0, rows_, 0, cols_}; }
@@ -137,6 +161,21 @@ class LocalArrayFile {
   void validate_section(const Section& s) const;
   void charge(sim::SpmdContext& ctx, const std::vector<Extent>& extents,
               bool is_read);
+  /// Backend read/write wrapped in the transient-fault retry loop.
+  void bread(sim::SpmdContext& ctx, std::uint64_t offset, void* data,
+             std::size_t bytes);
+  void bwrite(sim::SpmdContext& ctx, std::uint64_t offset, const void* data,
+              std::size_t bytes);
+  /// Serializes `in` (column-major section order) into the byte layout the
+  /// file will hold: the concatenation of the section's extents.
+  void extent_payload(const Section& s, std::span<const double> in,
+                      std::vector<double>& out) const;
+  /// Shadow-write + commit of one section's payload to the journal.
+  void journal_write(sim::SpmdContext& ctx, const Section& s,
+                     const std::vector<double>& payload);
+  /// Open-time scan: replay a committed journal record, discard the rest.
+  void recover_from_journal();
+  std::filesystem::path journal_path() const;
   std::uint64_t element_offset(std::int64_t r, std::int64_t c) const noexcept {
     if (order_ == StorageOrder::kColumnMajor) {
       return static_cast<std::uint64_t>(c * rows_ + r);
@@ -151,6 +190,9 @@ class LocalArrayFile {
   FileBackend backend_;
   IoStats stats_;
   std::vector<double> scratch_;
+  faults::RetryPolicy retry_ = faults::RetryPolicy::from_env();
+  std::unique_ptr<FileBackend> journal_;  ///< non-null while journaling
+  std::vector<double> journal_scratch_;
 };
 
 }  // namespace oocc::io

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "oocc/util/faults.hpp"
 #include "oocc/util/log.hpp"
 
 namespace oocc::runtime {
@@ -14,6 +15,11 @@ MemoryBudget::MemoryBudget(std::int64_t total_elements)
 
 void MemoryBudget::reserve(std::int64_t elements, const std::string& what) {
   OOCC_REQUIRE(elements >= 0, "cannot reserve " << elements << " elements");
+  // Budget fault site: models a transient allocation failure on the node.
+  // Deliberately not retried here — the region aborts with a structured
+  // error and recovery happens at the checkpoint/restart level.
+  faults::FaultInjector::instance().check(faults::Site::kBudget,
+                                          "reserve " + what);
   OOCC_CHECK(used_ + elements <= total_, ErrorCode::kResourceExhausted,
              "allocating " << elements << " elements for " << what
                            << " exceeds the node memory budget (" << used_

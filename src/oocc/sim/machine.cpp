@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "oocc/util/faults.hpp"
 #include "oocc/util/log.hpp"
 #include "oocc/util/table.hpp"
 
@@ -39,6 +40,12 @@ std::uint64_t RunReport::total_messages() const noexcept {
 std::uint64_t RunReport::total_bytes_sent() const noexcept {
   std::uint64_t n = 0;
   for (const auto& p : procs) n += p.bytes_sent;
+  return n;
+}
+
+std::uint64_t RunReport::total_retries() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& p : procs) n += p.retries;
   return n;
 }
 
@@ -93,6 +100,36 @@ void SpmdContext::send_bytes(int dest, int tag, const void* data,
                "send destination " << dest << " outside [0, "
                                    << machine_->nprocs() << ")");
   OOCC_REQUIRE(tag != kAbortTag, "tag " << tag << " is reserved");
+
+  // Message-fault site: a transient fault models a dropped message that
+  // succeeds on retransmit — each failed attempt charges backoff to the
+  // simulated clock. A permanent fault (or an exhausted retry budget)
+  // escalates and aborts the region.
+  if (faults::FaultInjector::instance().active()) {
+    const faults::RetryPolicy policy = faults::RetryPolicy::from_env();
+    for (int attempt = 1;; ++attempt) {
+      try {
+        faults::FaultInjector::instance().check(
+            faults::Site::kCollective,
+            "send to rank " + std::to_string(dest));
+        break;
+      } catch (const Error& e) {
+        if (e.code() != ErrorCode::kTransientIoError) {
+          throw;
+        }
+        if (attempt >= policy.max_attempts) {
+          OOCC_THROW(ErrorCode::kRuntimeError,
+                     "transient message fault persisted after "
+                         << attempt << " attempts: " << e.what());
+        }
+        const double backoff =
+            policy.backoff_s(attempt, cost().comm.send_overhead_s);
+        clock_.advance(backoff);
+        stats_.comm_time_s += backoff;
+        ++stats_.retries;
+      }
+    }
+  }
 
   clock_.advance(cost().comm.send_overhead_s);
   stats_.comm_time_s += cost().comm.send_overhead_s;
@@ -156,11 +193,16 @@ void Machine::abort_all() {
 }
 
 RunReport Machine::run(const std::function<void(SpmdContext&)>& body) {
-  // Drain any abort messages left over from a previous failed region so a
-  // machine can be reused after an expected failure in tests.
-  for (auto& box : mailboxes_) {
-    while (box->probe(kAnySource, kAbortTag)) {
-      box->pop_matching(kAnySource, kAbortTag);
+  // Discard everything left over from a previous failed region — abort
+  // markers AND in-flight data messages. A restarted region reuses the
+  // same tags, so a stale halo column from an aborted attempt would
+  // otherwise be consumed in place of the fresh one and silently corrupt
+  // the rerun.
+  for (std::size_t r = 0; r < mailboxes_.size(); ++r) {
+    const std::size_t dropped = mailboxes_[r]->clear();
+    if (dropped != 0) {
+      OOCC_DEBUG("sim", "rank " << r << ": dropped " << dropped
+                                << " stale message(s) from a previous region");
     }
   }
 
@@ -179,6 +221,9 @@ RunReport Machine::run(const std::function<void(SpmdContext&)>& body) {
   threads.reserve(static_cast<std::size_t>(nprocs_));
   for (int r = 0; r < nprocs_; ++r) {
     threads.emplace_back([&, r] {
+      // Tag the host thread with its simulated rank so rank-filtered fault
+      // specs (e.g. "read:rank=2") hit the right processor.
+      faults::ThreadRankGuard rank_guard(r);
       try {
         body(*contexts[static_cast<std::size_t>(r)]);
       } catch (...) {

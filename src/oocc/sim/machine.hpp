@@ -54,6 +54,11 @@ struct ProcStats {
   std::uint64_t io_bytes_read = 0;
   std::uint64_t io_bytes_written = 0;
 
+  /// Transient faults masked by a bounded-retry loop on this processor
+  /// (disk retries charged by the I/O layer, message retries by
+  /// send_bytes). Zero in fault-free runs.
+  std::uint64_t retries = 0;
+
   double sim_time_s = 0.0;  ///< final simulated clock of this processor
 };
 
@@ -69,6 +74,7 @@ struct RunReport {
   std::uint64_t total_io_bytes() const noexcept;
   std::uint64_t total_messages() const noexcept;
   std::uint64_t total_bytes_sent() const noexcept;
+  std::uint64_t total_retries() const noexcept;
   double max_io_requests_per_proc() const noexcept;
   double max_io_bytes_per_proc() const noexcept;
 };

@@ -59,4 +59,11 @@ std::size_t Mailbox::pending() {
   return queue_.size();
 }
 
+std::size_t Mailbox::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t dropped = queue_.size();
+  queue_.clear();
+  return dropped;
+}
+
 }  // namespace oocc::sim

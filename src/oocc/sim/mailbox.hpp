@@ -58,6 +58,12 @@ class Mailbox {
   /// Number of queued messages (for tests / leak detection at region end).
   std::size_t pending();
 
+  /// Discards every queued message, returning how many were dropped. Run
+  /// between SPMD regions: an aborted region can leave in-flight data
+  /// messages behind, and a later region (e.g. a checkpoint/restart
+  /// attempt reusing the same tags) must never consume them.
+  std::size_t clear();
+
  private:
   bool matches(const Message& m, int source, int tag) const noexcept {
     return (source == kAnySource || m.source == source) &&

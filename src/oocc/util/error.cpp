@@ -10,6 +10,8 @@ std::string_view error_code_name(ErrorCode code) noexcept {
       return "OutOfRange";
     case ErrorCode::kIoError:
       return "IoError";
+    case ErrorCode::kTransientIoError:
+      return "TransientIoError";
     case ErrorCode::kParseError:
       return "ParseError";
     case ErrorCode::kSemanticError:
@@ -22,6 +24,8 @@ std::string_view error_code_name(ErrorCode code) noexcept {
       return "ResourceExhausted";
     case ErrorCode::kVerifyError:
       return "VerifyError";
+    case ErrorCode::kCrash:
+      return "Crash";
   }
   return "Unknown";
 }

@@ -19,13 +19,15 @@ namespace oocc {
 enum class ErrorCode {
   kInvalidArgument,  ///< caller violated a documented precondition
   kOutOfRange,       ///< index/section outside array or file bounds
-  kIoError,          ///< host file system operation failed
+  kIoError,          ///< host file system operation failed (permanent)
+  kTransientIoError, ///< I/O or message fault expected to succeed on retry
   kParseError,       ///< HPF front end rejected the source program
   kSemanticError,    ///< HPF semantic analysis rejected the program
   kCompileError,     ///< out-of-core lowering cannot handle the program
   kRuntimeError,     ///< execution-time failure (plan interpreter, runtime)
   kResourceExhausted, ///< memory budget cannot accommodate the request
-  kVerifyError       ///< static plan verification found a violation
+  kVerifyError,      ///< static plan verification found a violation
+  kCrash             ///< injected crash (fault plan); state recovery required
 };
 
 /// Human-readable name of an ErrorCode ("InvalidArgument", ...).

@@ -1,0 +1,354 @@
+#include "oocc/util/faults.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+
+#include "oocc/util/env.hpp"
+#include "oocc/util/log.hpp"
+
+namespace oocc::faults {
+
+namespace {
+
+thread_local int t_rank = -1;
+
+Site parse_site(const std::string& text) {
+  if (text == "read") return Site::kRead;
+  if (text == "write") return Site::kWrite;
+  if (text == "collective") return Site::kCollective;
+  if (text == "budget") return Site::kBudget;
+  if (text == "crash") return Site::kCrash;
+  OOCC_THROW(ErrorCode::kInvalidArgument,
+             "fault plan: unknown site '" << text
+                                          << "' (read|write|collective|"
+                                             "budget|crash)");
+}
+
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) {
+    return "";
+  }
+  const std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// ErrorCode a permanent fault at `site` escalates to.
+ErrorCode permanent_code(Site site) noexcept {
+  switch (site) {
+    case Site::kRead:
+    case Site::kWrite:
+      return ErrorCode::kIoError;
+    case Site::kCollective:
+      return ErrorCode::kRuntimeError;
+    case Site::kBudget:
+      return ErrorCode::kResourceExhausted;
+    case Site::kCrash:
+      return ErrorCode::kCrash;
+  }
+  return ErrorCode::kRuntimeError;
+}
+
+}  // namespace
+
+std::string_view site_name(Site site) noexcept {
+  switch (site) {
+    case Site::kRead:
+      return "read";
+    case Site::kWrite:
+      return "write";
+    case Site::kCollective:
+      return "collective";
+    case Site::kBudget:
+      return "budget";
+    case Site::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+std::uint64_t FaultSpec::effective_count() const noexcept {
+  if (count > 0) {
+    return count;
+  }
+  return nth > 0 ? 1 : UINT64_MAX;
+}
+
+std::string FaultSpec::to_string() const {
+  std::ostringstream oss;
+  oss << site_name(site) << ":";
+  bool first = true;
+  const auto kv = [&](const std::string& text) {
+    oss << (first ? "" : ",") << text;
+    first = false;
+  };
+  if (nth > 0) {
+    kv("nth=" + std::to_string(nth));
+  } else {
+    std::ostringstream p_oss;
+    p_oss << "p=" << p << ",seed=" << seed;
+    kv(p_oss.str());
+  }
+  if (rank >= 0) {
+    kv("rank=" + std::to_string(rank));
+  }
+  if (count > 0) {
+    kv("count=" + std::to_string(count));
+  }
+  if (kind == Kind::kPermanent) {
+    kv("kind=permanent");
+  }
+  if (!at.empty()) {
+    kv("at=" + at);
+  }
+  return oss.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::stringstream specs(text);
+  std::string spec_text;
+  while (std::getline(specs, spec_text, ';')) {
+    spec_text = trim(spec_text);
+    if (spec_text.empty()) {
+      continue;
+    }
+    const std::size_t colon = spec_text.find(':');
+    FaultSpec spec;
+    spec.site = parse_site(
+        trim(colon == std::string::npos ? spec_text
+                                        : spec_text.substr(0, colon)));
+    if (colon != std::string::npos) {
+      std::stringstream kvs(spec_text.substr(colon + 1));
+      std::string kv;
+      while (std::getline(kvs, kv, ',')) {
+        kv = trim(kv);
+        if (kv.empty()) {
+          continue;
+        }
+        const std::size_t eq = kv.find('=');
+        OOCC_CHECK(eq != std::string::npos, ErrorCode::kInvalidArgument,
+                   "fault plan: expected key=value, got '" << kv << "'");
+        const std::string key = trim(kv.substr(0, eq));
+        const std::string value = trim(kv.substr(eq + 1));
+        try {
+          if (key == "p") {
+            spec.p = std::stod(value);
+            OOCC_CHECK(spec.p > 0.0 && spec.p <= 1.0,
+                       ErrorCode::kInvalidArgument,
+                       "fault plan: p must be in (0, 1], got " << value);
+          } else if (key == "nth") {
+            spec.nth = std::stoull(value);
+            OOCC_CHECK(spec.nth >= 1, ErrorCode::kInvalidArgument,
+                       "fault plan: nth must be >= 1");
+          } else if (key == "rank") {
+            spec.rank = std::stoi(value);
+            OOCC_CHECK(spec.rank >= 0, ErrorCode::kInvalidArgument,
+                       "fault plan: rank must be >= 0, got " << value);
+          } else if (key == "seed") {
+            spec.seed = std::stoull(value);
+          } else if (key == "count") {
+            spec.count = std::stoull(value);
+          } else if (key == "kind") {
+            if (value == "transient") {
+              spec.kind = Kind::kTransient;
+            } else if (value == "permanent") {
+              spec.kind = Kind::kPermanent;
+            } else {
+              OOCC_THROW(ErrorCode::kInvalidArgument,
+                         "fault plan: kind must be transient|permanent, got '"
+                             << value << "'");
+            }
+          } else if (key == "at") {
+            OOCC_CHECK(value == "shadow" || value == "apply",
+                       ErrorCode::kInvalidArgument,
+                       "fault plan: at must be shadow|apply, got '" << value
+                                                                   << "'");
+            spec.at = value;
+          } else {
+            OOCC_THROW(ErrorCode::kInvalidArgument,
+                       "fault plan: unknown key '" << key << "'");
+          }
+        } catch (const std::invalid_argument&) {
+          OOCC_THROW(ErrorCode::kInvalidArgument,
+                     "fault plan: bad value for '" << key << "': '" << value
+                                                   << "'");
+        } catch (const std::out_of_range&) {
+          OOCC_THROW(ErrorCode::kInvalidArgument,
+                     "fault plan: value for '" << key << "' out of range: '"
+                                               << value << "'");
+        }
+      }
+    }
+    OOCC_CHECK(!(spec.p > 0.0 && spec.nth > 0), ErrorCode::kInvalidArgument,
+               "fault plan: p= and nth= are mutually exclusive in '"
+                   << spec_text << "'");
+    OOCC_CHECK(spec.at.empty() || spec.site == Site::kCrash,
+               ErrorCode::kInvalidArgument,
+               "fault plan: at= only applies to the crash site");
+    if (spec.p == 0.0 && spec.nth == 0) {
+      spec.nth = 1;  // bare "site:" means: fail the first matching op
+    }
+    plan.specs.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultSpec& spec : specs) {
+    if (!out.empty()) {
+      out += ";";
+    }
+    out += spec.to_string();
+  }
+  return out;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::install(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  states_.clear();
+  stats_ = FaultStats{};
+  active_.store(!plan_.empty(), std::memory_order_relaxed);
+  if (!plan_.empty()) {
+    OOCC_INFO("faults", "fault plan installed: " << plan_.to_string());
+  }
+}
+
+bool FaultInjector::install_from_env() {
+  const std::string text = env_string("OOCC_FAULTS", "");
+  if (text.empty()) {
+    return false;
+  }
+  install(FaultPlan::parse(text));
+  return true;
+}
+
+FaultPlan FaultInjector::plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultInjector::note_recovery() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.recoveries;
+}
+
+void FaultInjector::check(Site site, std::string_view what) {
+  if (!active()) {
+    return;
+  }
+  do_check(site, /*point=*/"", what);
+}
+
+void FaultInjector::check_crash(std::string_view point,
+                                std::string_view what) {
+  if (!active()) {
+    return;
+  }
+  do_check(Site::kCrash, point, what);
+}
+
+void FaultInjector::do_check(Site site, std::string_view point,
+                             std::string_view what) {
+  const int rank = t_rank;
+  // The decision runs under the lock; the throw happens outside it.
+  bool fired = false;
+  Kind fired_kind = Kind::kTransient;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < plan_.specs.size(); ++i) {
+      const FaultSpec& spec = plan_.specs[i];
+      if (spec.site != site) {
+        continue;
+      }
+      if (spec.rank >= 0 && spec.rank != rank) {
+        continue;
+      }
+      if (site == Site::kCrash && !spec.at.empty() && spec.at != point) {
+        continue;
+      }
+      SpecState& st = states_[{i, rank}];
+      if (st.ops == 0 && spec.p > 0.0) {
+        // Seed the stream from (seed, spec, rank) so every rank draws its
+        // own deterministic sequence regardless of thread interleaving.
+        st.rng.reseed(spec.seed * 0x9e3779b97f4a7c15ULL + i * 1000003ULL +
+                      static_cast<std::uint64_t>(rank + 1));
+      }
+      ++st.ops;
+      ++stats_.ops_checked;
+      if (st.injected >= spec.effective_count()) {
+        continue;
+      }
+      const bool fire = spec.nth > 0 ? st.ops == spec.nth
+                                     : st.rng.next_double() < spec.p;
+      if (!fire) {
+        continue;
+      }
+      ++st.injected;
+      if (site == Site::kCrash) {
+        ++stats_.crashes_injected;
+      } else if (spec.kind == Kind::kTransient) {
+        ++stats_.transient_injected;
+      } else {
+        ++stats_.permanent_injected;
+      }
+      fired = true;
+      fired_kind = spec.kind;
+      break;
+    }
+  }
+  if (!fired) {
+    return;
+  }
+  if (site == Site::kCrash) {
+    OOCC_THROW(ErrorCode::kCrash, "injected crash at point '"
+                                      << point << "' (" << what << ", rank "
+                                      << rank << ")");
+  }
+  if (fired_kind == Kind::kTransient) {
+    OOCC_THROW(ErrorCode::kTransientIoError,
+               "injected transient " << site_name(site) << " fault (" << what
+                                     << ", rank " << rank << ")");
+  }
+  OOCC_THROW(permanent_code(site), "injected permanent "
+                                       << site_name(site) << " fault ("
+                                       << what << ", rank " << rank << ")");
+}
+
+int thread_rank() noexcept { return t_rank; }
+
+void set_thread_rank(int rank) noexcept { t_rank = rank; }
+
+double RetryPolicy::backoff_s(int attempt,
+                              double fallback_base_s) const noexcept {
+  const double base = backoff_base_s > 0.0 ? backoff_base_s : fallback_base_s;
+  return base * std::pow(backoff_multiplier, attempt - 1);
+}
+
+RetryPolicy RetryPolicy::from_env() {
+  RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(env_int("OOCC_RETRY_ATTEMPTS", 4));
+  if (policy.max_attempts < 1) {
+    policy.max_attempts = 1;
+  }
+  const std::int64_t backoff_ms = env_int("OOCC_RETRY_BACKOFF_MS", 0);
+  if (backoff_ms > 0) {
+    policy.backoff_base_s = static_cast<double>(backoff_ms) * 1e-3;
+  }
+  return policy;
+}
+
+}  // namespace oocc::faults

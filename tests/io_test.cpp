@@ -7,6 +7,7 @@
 #include "oocc/io/file_backend.hpp"
 #include "oocc/io/io_stats.hpp"
 #include "oocc/util/error.hpp"
+#include "oocc/util/faults.hpp"
 
 namespace oocc::io {
 namespace {
@@ -124,17 +125,17 @@ TEST(FileBackendTest, InjectedReadFaultFiresOnNthRead) {
   FileBackend f(dir.file("fault.bin"));
   f.truncate(8);
   char buf[1];
-  f.inject_read_fault(2);
+  faults::ScopedFaultPlan plan("read:nth=2,kind=permanent");
   EXPECT_NO_THROW(f.read_at(0, buf, 1));
   EXPECT_THROW(f.read_at(0, buf, 1), Error);
-  // Cleared after firing.
+  // A bare nth spec fires once, then stands down.
   EXPECT_NO_THROW(f.read_at(0, buf, 1));
 }
 
 TEST(FileBackendTest, InjectedWriteFaultFires) {
   TempDir dir;
   FileBackend f(dir.file("wfault.bin"));
-  f.inject_write_fault(1);
+  faults::ScopedFaultPlan plan("write:nth=1,kind=permanent");
   const char data[1] = {0};
   try {
     f.write_at(0, data, 1);

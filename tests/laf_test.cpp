@@ -262,10 +262,10 @@ TEST(LafTest, SectionValidation) {
 
 TEST(LafTest, BackendFaultPropagatesAsIoError) {
   TempDir dir;
+  faults::ScopedFaultPlan plan("read:nth=1,kind=permanent");
   run1([&](sim::SpmdContext& ctx) {
     LocalArrayFile laf(dir.file("f.laf"), 4, 4, StorageOrder::kColumnMajor,
                        DiskModel::unit_test());
-    laf.backend().inject_read_fault(1);
     std::vector<double> buf(16);
     try {
       laf.read_full(ctx, std::span<double>(buf.data(), buf.size()));

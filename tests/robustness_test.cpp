@@ -11,6 +11,7 @@
 #include "oocc/hpf/programs.hpp"
 #include "oocc/hpf/sema.hpp"
 #include "oocc/sim/collectives.hpp"
+#include "oocc/util/faults.hpp"
 #include "oocc/util/rng.hpp"
 
 namespace oocc {
@@ -99,6 +100,8 @@ TEST(FailurePropagationTest, DiskFaultAbortsWholeRegion) {
   const int p = 4;
   TempDir dir;
   Machine machine(p, MachineCostModel::zero());
+  // Rank-filtered spec: only rank 1's third backend read fails.
+  faults::ScopedFaultPlan plan("read:rank=1,nth=3,kind=permanent");
   try {
     machine.run([&](SpmdContext& ctx) {
       runtime::OutOfCoreArray a(ctx, dir.path(), "a",
@@ -117,9 +120,6 @@ TEST(FailurePropagationTest, DiskFaultAbortsWholeRegion) {
                    n * n);
       b.initialize(ctx, [](std::int64_t, std::int64_t) { return 1.0; },
                    n * n);
-      if (ctx.rank() == 1) {
-        a.laf().backend().inject_read_fault(3);
-      }
       gaxpy::GaxpyConfig config;
       config.slab_a_elements = n * 2;
       config.slab_b_elements = n * 2;
@@ -141,13 +141,11 @@ TEST(FailurePropagationTest, MachineUsableAfterDiskFaultAbort) {
   const std::int64_t n = 8;
   TempDir dir;
   Machine machine(2, MachineCostModel::zero());
+  faults::ScopedFaultPlan plan("read:rank=0,nth=1,kind=permanent");
   EXPECT_THROW(machine.run([&](SpmdContext& ctx) {
                  io::LocalArrayFile laf(
                      dir.path() / ("x" + std::to_string(ctx.rank())), n, n,
                      StorageOrder::kColumnMajor, DiskModel::zero());
-                 if (ctx.rank() == 0) {
-                   laf.backend().inject_read_fault(1);
-                 }
                  std::vector<double> buf(static_cast<std::size_t>(n * n));
                  laf.read_full(ctx, std::span<double>(buf.data(), buf.size()));
                  sim::barrier(ctx);

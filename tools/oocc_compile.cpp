@@ -32,6 +32,16 @@
 //   --run                  execute the plan on the simulated machine
 //   --verify               with --run: check the result against a serial
 //                          reference (GAXPY and stencil plans)
+//   --faults=<plan>        install a deterministic fault plan (see
+//                          docs/fault-tolerance.md for the grammar);
+//                          OOCC_FAULTS provides the same knob via the
+//                          environment. Implies journaled write-back.
+//   --checkpoint-every <k> stencil --run: checkpoint the ping-pong state
+//                          every k sweeps and recover from crashes or
+//                          exhausted retries by restarting from the last
+//                          committed checkpoint
+//   --restarts <n>         with --checkpoint-every: give up after n
+//                          restarts (default 8)
 //
 // Prints the compilation decision report and the generated node program
 // (Figure 9/12-style pseudo-code, or the raw step IR with --dump-plan).
@@ -47,11 +57,13 @@
 #include "oocc/compiler/lower.hpp"
 #include "oocc/compiler/pretty.hpp"
 #include "oocc/compiler/verify.hpp"
+#include "oocc/exec/checkpoint.hpp"
 #include "oocc/exec/interp.hpp"
 #include "oocc/gaxpy/gaxpy.hpp"
 #include "oocc/hpf/parser.hpp"
 #include "oocc/hpf/programs.hpp"
 #include "oocc/sim/collectives.hpp"
+#include "oocc/util/faults.hpp"
 
 namespace {
 
@@ -62,7 +74,8 @@ void usage() {
                "[--no-fuse] [--prefetch[=auto]] [--no-prefetch] "
                "[--no-cache] [--stencil[=N[,P]]] [--iters K] [--tol X] "
                "[--ast] [--dump-plan] [--dump-verify] [--no-verify] "
-               "[--run] [--verify]\n");
+               "[--run] [--verify] [--faults=PLAN] [--checkpoint-every K] "
+               "[--restarts N]\n");
 }
 
 double gen_a(std::int64_t r, std::int64_t c) {
@@ -71,6 +84,19 @@ double gen_a(std::int64_t r, std::int64_t c) {
 
 double gen_b(std::int64_t r, std::int64_t c) {
   return -0.5 + 1e-3 * static_cast<double>((r * 13 + c * 3) % 97);
+}
+
+/// Machine-greppable fault-tolerance counter line (soak.sh parses it).
+void print_fault_line(const oocc::faults::FaultStats& stats,
+                      const oocc::sim::RunReport& report, int restarts) {
+  std::printf(
+      "fault tolerance: injected %llu transient / %llu permanent / "
+      "%llu crash; %llu retries, %llu recoveries, %d restarts\n",
+      static_cast<unsigned long long>(stats.transient_injected),
+      static_cast<unsigned long long>(stats.permanent_injected),
+      static_cast<unsigned long long>(stats.crashes_injected),
+      static_cast<unsigned long long>(report.total_retries()),
+      static_cast<unsigned long long>(stats.recoveries), restarts);
 }
 
 }  // namespace
@@ -96,6 +122,9 @@ int main(int argc, char** argv) {
   int stencil_p = 4;
   int stencil_iters = 10;
   double stencil_tol = 0.0;
+  std::string faults_text;
+  int checkpoint_every = 0;
+  int max_restarts = 8;
   compiler::CompileOptions options;
   options.disk = io::DiskModel::touchstone_delta_cfs();
 
@@ -149,6 +178,20 @@ int main(int argc, char** argv) {
       run = true;
     } else if (std::strcmp(arg, "--verify") == 0) {
       verify = true;
+    } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+      faults_text = arg + 9;
+    } else if (std::strcmp(arg, "--checkpoint-every") == 0 && i + 1 < argc) {
+      checkpoint_every = std::atoi(argv[++i]);
+      if (checkpoint_every < 1) {
+        std::fprintf(stderr, "bad --checkpoint-every: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--restarts") == 0 && i + 1 < argc) {
+      max_restarts = std::atoi(argv[++i]);
+      if (max_restarts < 0) {
+        std::fprintf(stderr, "bad --restarts: %s\n", argv[i]);
+        return 2;
+      }
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg);
       usage();
@@ -161,6 +204,21 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+
+  // Fault injection: the explicit flag wins over OOCC_FAULTS. Installing
+  // before default_exec_options() runs also switches journaling on.
+  try {
+    if (!faults_text.empty()) {
+      faults::FaultInjector::instance().install(
+          faults::FaultPlan::parse(faults_text));
+    } else {
+      faults::FaultInjector::instance().install_from_env();
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  const bool faults_installed = faults::FaultInjector::instance().active();
 
   std::string source;
   if (stencil) {
@@ -261,6 +319,13 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (checkpoint_every > 0 &&
+        (plans.size() != 1 || plan.kind != compiler::ProgramKind::kStencil)) {
+      std::fprintf(stderr,
+                   "--checkpoint-every needs a single stencil program\n");
+      return 2;
+    }
+
     io::TempDir dir("oocc-cli");
     sim::Machine machine(plan.nprocs,
                          sim::MachineCostModel::touchstone_delta());
@@ -268,69 +333,127 @@ int main(int argc, char** argv) {
     runtime::SlabCacheStats cache_stats;
     exec::StencilRunInfo stencil_info;
     std::mutex stats_mu;
+    // Arrays never written by any statement are the pure inputs.
+    std::set<std::string> outputs;
+    for (const auto& pl : plans) {
+      for (const auto& [name, pa] : pl.arrays) {
+        if (pa.is_output) {
+          outputs.insert(name);
+        }
+      }
+    }
     // Combines --no-cache with OOCC_NO_CACHE; also gates the counter line
     // below, which must reflect whether the pool actually ran.
     exec::ExecOptions base_exec_options = exec::default_exec_options();
     base_exec_options.use_cache = base_exec_options.use_cache && use_cache;
     base_exec_options.verify = base_exec_options.verify && options.verify;
-    sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
-      auto arrays = exec::create_sequence_arrays(
-          ctx,
-          std::span<const compiler::NodeProgram>(plans.data(), plans.size()),
-          dir.path(), options.disk);
-      // Initialize pure inputs: arrays never written by any statement.
-      std::set<std::string> outputs;
-      for (const auto& pl : plans) {
-        for (const auto& [name, pa] : pl.arrays) {
-          if (pa.is_output) {
-            outputs.insert(name);
+    sim::RunReport report;
+    int restarts = 0;
+
+    if (checkpoint_every > 0) {
+      // Fault-tolerant stencil path: run under the checkpoint/restart
+      // driver, then gather for verification in a separate clean region
+      // (the injector targets the computation, not the oracle check).
+      exec::RestartOptions ropts;
+      ropts.exec = base_exec_options;
+      ropts.exec.max_iters = stencil_iters;
+      ropts.exec.residual_tol = stencil_tol;
+      ropts.array_dir = dir.path();
+      ropts.disk = options.disk;
+      ropts.checkpoint_every = checkpoint_every;
+      ropts.checkpoint_dir = dir.path() / "ckpt";
+      ropts.max_restarts = max_restarts;
+      ropts.initialize = [&](sim::SpmdContext& ctx,
+                             const exec::ArrayBindings& bindings) {
+        for (const auto& [name, arr] : bindings) {
+          if (outputs.contains(name)) {
+            // A cold restart must not see a crashed attempt's partial
+            // sweeps: reset outputs to the fresh-file state.
+            arr->laf().fill(ctx, 0.0);
+          } else {
+            arr->initialize(ctx, name == plan.b ? gen_b : gen_a, memory);
           }
         }
+      };
+      const exec::RestartRunInfo rr =
+          exec::run_stencil_with_restart(machine, plan, ropts);
+      report = rr.report;
+      stencil_info = rr.stencil;
+      restarts = rr.restarts;
+      if (verify) {
+        faults::FaultInjector& injector = faults::FaultInjector::instance();
+        const faults::FaultStats snapshot = injector.stats();
+        injector.clear();
+        machine.run([&](sim::SpmdContext& ctx) {
+          auto arrays = exec::create_plan_arrays(ctx, plan, dir.path(),
+                                                 options.disk);
+          std::vector<double> state =
+              arrays.at(stencil_info.result)->gather_global(ctx, memory);
+          if (ctx.rank() == 0) {
+            result = std::move(state);
+          }
+        });
+        print_fault_line(snapshot, report, restarts);
+      } else if (faults_installed) {
+        print_fault_line(faults::FaultInjector::instance().stats(), report,
+                         restarts);
       }
-      for (auto& [name, arr] : arrays) {
-        if (!outputs.contains(name)) {
-          arr->initialize(ctx, name == plan.b ? gen_b : gen_a, memory);
+    } else {
+      report = machine.run([&](sim::SpmdContext& ctx) {
+        auto arrays = exec::create_sequence_arrays(
+            ctx,
+            std::span<const compiler::NodeProgram>(plans.data(), plans.size()),
+            dir.path(), options.disk);
+        // Initialize pure inputs: arrays never written by any statement.
+        for (auto& [name, arr] : arrays) {
+          if (!outputs.contains(name)) {
+            arr->initialize(ctx, name == plan.b ? gen_b : gen_a, memory);
+          }
         }
-      }
-      sim::barrier(ctx);
-      ctx.reset_accounting();
-      exec::ArrayBindings bindings;
-      for (auto& [name, arr] : arrays) {
-        bindings[name] = arr.get();
-      }
-      exec::ExecOptions exec_options = base_exec_options;
-      oocc::runtime::SlabCacheStats local_stats;
-      exec_options.cache_stats = &local_stats;
-      exec::StencilRunInfo local_info;
-      exec_options.max_iters = stencil_iters;
-      exec_options.residual_tol = stencil_tol;
-      exec_options.stencil_info = &local_info;
-      exec::execute_sequence(
-          ctx,
-          std::span<const compiler::NodeProgram>(plans.data(), plans.size()),
-          bindings, exec_options);
-      {
-        std::lock_guard<std::mutex> lock(stats_mu);
-        cache_stats.merge(local_stats);
-        if (!local_info.result.empty()) {
-          stencil_info = local_info;  // allreduced: identical on every rank
+        sim::barrier(ctx);
+        ctx.reset_accounting();
+        exec::ArrayBindings bindings;
+        for (auto& [name, arr] : arrays) {
+          bindings[name] = arr.get();
         }
-      }
-      if (verify && plan.kind == compiler::ProgramKind::kGaxpy) {
-        std::vector<double> c =
-            arrays.at(plan.c)->gather_global(ctx, memory);
-        if (ctx.rank() == 0) {
-          result = std::move(c);
+        exec::ExecOptions exec_options = base_exec_options;
+        oocc::runtime::SlabCacheStats local_stats;
+        exec_options.cache_stats = &local_stats;
+        exec::StencilRunInfo local_info;
+        exec_options.max_iters = stencil_iters;
+        exec_options.residual_tol = stencil_tol;
+        exec_options.stencil_info = &local_info;
+        exec::execute_sequence(
+            ctx,
+            std::span<const compiler::NodeProgram>(plans.data(), plans.size()),
+            bindings, exec_options);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu);
+          cache_stats.merge(local_stats);
+          if (!local_info.result.empty()) {
+            stencil_info = local_info;  // allreduced: identical on every rank
+          }
         }
-      }
-      if (verify && plan.kind == compiler::ProgramKind::kStencil) {
-        std::vector<double> state =
-            arrays.at(local_info.result)->gather_global(ctx, memory);
-        if (ctx.rank() == 0) {
-          result = std::move(state);
+        if (verify && plan.kind == compiler::ProgramKind::kGaxpy) {
+          std::vector<double> c =
+              arrays.at(plan.c)->gather_global(ctx, memory);
+          if (ctx.rank() == 0) {
+            result = std::move(c);
+          }
         }
+        if (verify && plan.kind == compiler::ProgramKind::kStencil) {
+          std::vector<double> state =
+              arrays.at(local_info.result)->gather_global(ctx, memory);
+          if (ctx.rank() == 0) {
+            result = std::move(state);
+          }
+        }
+      });
+      if (faults_installed) {
+        print_fault_line(faults::FaultInjector::instance().stats(), report,
+                         restarts);
       }
-    });
+    }
 
     std::printf("=== execution ===\n");
     std::printf("simulated time: %.3f s; wall: %.3f s\n",
@@ -339,7 +462,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.total_io_requests()),
                 static_cast<double>(report.total_io_bytes()) / 1e6,
                 static_cast<unsigned long long>(report.total_messages()));
-    if (base_exec_options.use_cache) {
+    if (base_exec_options.use_cache && checkpoint_every == 0) {
       std::printf(
           "slab cache: %llu hits, %llu misses, %llu evictions, %llu "
           "write-backs, %.2f MB avoided\n",
