@@ -275,6 +275,12 @@ class StepExecutor {
         compute_stencil(step);
         return;
       case StepKind::kBarrier:
+        // Settle in-flight async write-backs first: a rank must not report
+        // "done" to its peers while a worker error is still pending, and
+        // post-barrier reads by other statements expect the bytes on disk.
+        if (pool_ != nullptr) {
+          pool_->drain_writes(ctx_);
+        }
         sim::barrier(ctx_);
         return;
     }
@@ -747,6 +753,7 @@ ExecOptions default_exec_options() {
   if (env_flag("OOCC_NO_VERIFY")) {
     options.verify = false;
   }
+  options.async = env_flag_or("OOCC_ASYNC", true);
   // Under an active fault plan a write can be interrupted at any point, so
   // crash consistency is on unless the caller overrides it afterwards.
   if (env_flag("OOCC_JOURNAL") || faults::FaultInjector::instance().active()) {
@@ -788,6 +795,9 @@ void execute(sim::SpmdContext& ctx, const compiler::NodeProgram& plan,
     return;
   }
   runtime::SlabBufferPool pool(budget, "pool");
+  if (options.async) {
+    pool.set_async_engine(ctx.async_engine());
+  }
   run_plan(ctx, plan, arrays, options, budget, &pool);
   pool.flush(ctx);
   if (options.cache_stats != nullptr) {
@@ -868,6 +878,9 @@ void execute_sequence(sim::SpmdContext& ctx,
   }
   runtime::MemoryBudget budget(budget_elements);
   runtime::SlabBufferPool pool(budget, "pool");
+  if (options.async) {
+    pool.set_async_engine(ctx.async_engine());
+  }
   apply_journaling(arrays, options);
   for (const compiler::NodeProgram& plan : plans) {
     const ArrayBindings subset = subset_for(plan);

@@ -54,6 +54,13 @@ struct ExecOptions {
   /// When non-null, the pool's counters are merged into it after the run.
   runtime::SlabCacheStats* cache_stats = nullptr;
 
+  /// Attach the machine's real async I/O engine to the pool, so prefetch
+  /// and write-back physically overlap compute in wall-clock. Simulated
+  /// accounting is identical either way (docs/async-io.md); off (or
+  /// OOCC_ASYNC=0 / --no-async) falls back to synchronous host I/O
+  /// bit-identically.
+  bool async = true;
+
   /// Stencil plans only: number of Jacobi-style sweeps to run, ping-ponging
   /// the lhs/source pair between sweeps. Ignored by other plan kinds.
   int max_iters = 1;

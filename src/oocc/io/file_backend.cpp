@@ -5,10 +5,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <system_error>
+#include <thread>
 
+#include "oocc/util/env.hpp"
 #include "oocc/util/error.hpp"
 #include "oocc/util/faults.hpp"
 #include "oocc/util/log.hpp"
@@ -19,12 +22,16 @@ FileBackend::FileBackend(const std::filesystem::path& path) : path_(path) {
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   OOCC_CHECK(fd_ >= 0, ErrorCode::kIoError,
              "cannot open " << path << ": " << std::strerror(errno));
+  const std::int64_t delay = env_int("OOCC_HOST_IO_DELAY_US", 0);
+  host_delay_us_ = delay > 0 ? static_cast<std::uint32_t>(delay) : 0;
 }
 
 FileBackend::~FileBackend() { close(); }
 
 FileBackend::FileBackend(FileBackend&& other) noexcept
-    : path_(std::move(other.path_)), fd_(other.fd_) {
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      host_delay_us_(other.host_delay_us_) {
   other.fd_ = -1;
 }
 
@@ -33,6 +40,7 @@ FileBackend& FileBackend::operator=(FileBackend&& other) noexcept {
     close();
     path_ = std::move(other.path_);
     fd_ = other.fd_;
+    host_delay_us_ = other.host_delay_us_;
     other.fd_ = -1;
   }
   return *this;
@@ -55,6 +63,9 @@ void FileBackend::read_at(std::uint64_t offset, void* data,
   OOCC_CHECK(fd_ >= 0, ErrorCode::kIoError, "file " << path_ << " is closed");
   faults::FaultInjector::instance().check(
       faults::Site::kRead, "read " + path_.filename().string());
+  if (host_delay_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(host_delay_us_));
+  }
   std::size_t done = 0;
   while (done < bytes) {
     const ssize_t n =
@@ -83,6 +94,9 @@ void FileBackend::write_at(std::uint64_t offset, const void* data,
   OOCC_CHECK(fd_ >= 0, ErrorCode::kIoError, "file " << path_ << " is closed");
   faults::FaultInjector::instance().check(
       faults::Site::kWrite, "write " + path_.filename().string());
+  if (host_delay_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(host_delay_us_));
+  }
   std::size_t done = 0;
   while (done < bytes) {
     const ssize_t n =
@@ -101,6 +115,21 @@ void FileBackend::write_at(std::uint64_t offset, const void* data,
                                        << offset + done);
     done += static_cast<std::size_t>(n);
   }
+}
+
+AsyncEngine::Ticket FileBackend::read_at_async(AsyncEngine& engine,
+                                               std::uint64_t offset,
+                                               void* data, std::size_t bytes) {
+  return engine.submit(this,
+                       [this, offset, data, bytes] { read_at(offset, data, bytes); });
+}
+
+AsyncEngine::Ticket FileBackend::write_at_async(AsyncEngine& engine,
+                                                std::uint64_t offset,
+                                                const void* data,
+                                                std::size_t bytes) {
+  return engine.submit(
+      this, [this, offset, data, bytes] { write_at(offset, data, bytes); });
 }
 
 std::uint64_t FileBackend::size() const {

@@ -11,6 +11,8 @@
 #include <filesystem>
 #include <string>
 
+#include "oocc/io/async_engine.hpp"
+
 namespace oocc::io {
 
 /// Random-access file with pread/pwrite semantics. Movable, not copyable.
@@ -18,6 +20,18 @@ namespace oocc::io {
 /// a fault plan (OOCC_FAULTS / --faults=) can fail any operation
 /// deterministically; EINTR/EAGAIN from the host are retried internally
 /// and never surface as errors.
+///
+/// Concurrency: pread/pwrite carry their own file offset, so read_at /
+/// write_at on one FileBackend are safe from multiple threads as long as
+/// writes to overlapping byte ranges are externally ordered (the async
+/// engine's per-stream FIFO provides that ordering); tests/async_test.cpp
+/// pins this. Open/close/truncate are not thread-safe against concurrent
+/// I/O on the same object.
+///
+/// OOCC_HOST_IO_DELAY_US (read at construction) adds an artificial host
+/// sleep to every read_at/write_at request — a deterministic stand-in for
+/// real disk latency so benches can demonstrate wall-clock overlap on
+/// machines whose page cache makes file I/O near-free.
 class FileBackend {
  public:
   /// Opens (creating if needed) the file at `path` for read/write.
@@ -38,6 +52,14 @@ class FileBackend {
   /// Writes exactly `bytes` at `offset`, extending the file as needed.
   void write_at(std::uint64_t offset, const void* data, std::size_t bytes);
 
+  /// Submit/wait counterparts of read_at/write_at: the physical transfer
+  /// runs on `engine` (FIFO per backend), errors and injected faults
+  /// surface from Ticket::wait(). `data` must stay valid until then.
+  AsyncEngine::Ticket read_at_async(AsyncEngine& engine, std::uint64_t offset,
+                                    void* data, std::size_t bytes);
+  AsyncEngine::Ticket write_at_async(AsyncEngine& engine, std::uint64_t offset,
+                                     const void* data, std::size_t bytes);
+
   /// Current file size in bytes.
   std::uint64_t size() const;
 
@@ -50,6 +72,7 @@ class FileBackend {
 
   std::filesystem::path path_;
   int fd_ = -1;
+  std::uint32_t host_delay_us_ = 0;
 };
 
 /// Creates a unique directory under the system temp dir; removes it (and

@@ -20,6 +20,9 @@ std::string IoStats::summary() const {
         << " bytes_journaled=" << bytes_journaled
         << " recoveries=" << recoveries;
   }
+  if (async_reads + async_writes > 0) {
+    oss << " async_reads=" << async_reads << " async_writes=" << async_writes;
+  }
   return oss.str();
 }
 

@@ -35,6 +35,15 @@ struct IoStats {
   std::uint64_t bytes_journaled = 0;
   std::uint64_t recoveries = 0;
 
+  // Real-async activity (docs/async-io.md): section transfers whose
+  // physical I/O ran on the AsyncEngine. Their requests/bytes are already
+  // in the counters above (charged at submit); these count how many
+  // transfers were in flight off the compute thread. Queue-depth and
+  // overlap-seconds live in the engine's wall-clock counters
+  // (sim::RunReport::async).
+  std::uint64_t async_reads = 0;
+  std::uint64_t async_writes = 0;
+
   std::uint64_t total_requests() const noexcept {
     return read_requests + write_requests;
   }
@@ -57,6 +66,8 @@ struct IoStats {
     journal_writes += other.journal_writes;
     bytes_journaled += other.bytes_journaled;
     recoveries += other.recoveries;
+    async_reads += other.async_reads;
+    async_writes += other.async_writes;
   }
 
   std::string summary() const;

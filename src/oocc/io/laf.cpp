@@ -66,6 +66,31 @@ void with_retry(sim::SpmdContext& ctx, const faults::RetryPolicy& policy,
   }
 }
 
+/// Worker-thread variant of with_retry: no SpmdContext is available on an
+/// engine thread, so failed transient attempts are only *recorded* (their
+/// simulated backoff is charged later by LocalArrayFile::settle). The
+/// escalation behaviour and message match with_retry exactly.
+template <typename Op>
+void retry_on_worker(const faults::RetryPolicy& policy,
+                     std::vector<int>& attempts, Op&& op) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      op();
+      return;
+    } catch (const Error& e) {
+      if (e.code() != ErrorCode::kTransientIoError) {
+        throw;
+      }
+      if (attempt >= policy.max_attempts) {
+        OOCC_THROW(ErrorCode::kIoError,
+                   "transient I/O fault persisted after "
+                       << attempt << " attempts: " << e.what());
+      }
+      attempts.push_back(attempt);
+    }
+  }
+}
+
 }  // namespace
 
 std::string_view storage_order_name(StorageOrder order) noexcept {
@@ -437,6 +462,186 @@ void LocalArrayFile::write_section(sim::SpmdContext& ctx, const Section& s,
     }
     bwrite(ctx, e.offset_bytes, scratch_.data(), e.length_bytes);
     ++r;
+  }
+}
+
+AsyncHandle LocalArrayFile::read_section_async(sim::SpmdContext& ctx,
+                                               AsyncEngine& engine,
+                                               const Section& s,
+                                               std::span<double> out) {
+  validate_section(s);
+  OOCC_REQUIRE(out.size() == static_cast<std::size_t>(s.elements()),
+               "output buffer holds " << out.size() << " elements; section "
+                                      << "needs " << s.elements());
+  std::vector<Extent> extents = section_extents(s);
+  // Simulated cost is charged now, on the compute thread — identical to the
+  // synchronous path in fault-free runs. Only the physical transfer moves
+  // to the engine.
+  charge(ctx, extents, /*is_read=*/true);
+  ++stats_.async_reads;
+
+  AsyncHandle h;
+  h.retry_attempts = std::make_shared<std::vector<int>>();
+  auto attempts = h.retry_attempts;
+  const faults::RetryPolicy policy = retry_;
+  const Section sec = s;
+  // Stream key: the file itself. Submissions against one LAF stay in
+  // program order (so a read never overtakes a write-back it must see);
+  // different files behave as independent devices and overlap.
+  h.ticket = engine.submit(
+      this, [this, sec, out, extents = std::move(extents), attempts, policy] {
+        if (order_ == StorageOrder::kColumnMajor) {
+          // Each extent maps to a contiguous run of `out`.
+          std::size_t off = 0;
+          for (const Extent& e : extents) {
+            retry_on_worker(policy, *attempts, [&] {
+              backend_.read_at(e.offset_bytes, out.data() + off,
+                               e.length_bytes);
+            });
+            off += static_cast<std::size_t>(e.length_bytes / kElem);
+          }
+          return;
+        }
+        // Row-major storage: the concatenated extents hold the section in
+        // row-major order; read into a job-local staging buffer (the shared
+        // scratch_ belongs to the compute thread) and scatter.
+        std::vector<double> payload(static_cast<std::size_t>(sec.elements()));
+        char* bytes = reinterpret_cast<char*>(payload.data());
+        std::size_t off = 0;
+        for (const Extent& e : extents) {
+          retry_on_worker(policy, *attempts, [&] {
+            backend_.read_at(e.offset_bytes, bytes + off, e.length_bytes);
+          });
+          off += static_cast<std::size_t>(e.length_bytes);
+        }
+        const std::int64_t srows = sec.rows();
+        const std::int64_t scols = sec.cols();
+        for (std::int64_t r = 0; r < srows; ++r) {
+          for (std::int64_t c = 0; c < scols; ++c) {
+            out[static_cast<std::size_t>(c * srows + r)] =
+                payload[static_cast<std::size_t>(r * scols + c)];
+          }
+        }
+      });
+  return h;
+}
+
+AsyncHandle LocalArrayFile::write_section_async(sim::SpmdContext& ctx,
+                                                AsyncEngine& engine,
+                                                const Section& s,
+                                                std::vector<double> in) {
+  validate_section(s);
+  OOCC_REQUIRE(in.size() == static_cast<std::size_t>(s.elements()),
+               "input buffer holds " << in.size() << " elements; section "
+                                     << "needs " << s.elements());
+  std::vector<Extent> extents = section_extents(s);
+  charge(ctx, extents, /*is_read=*/false);
+  ++stats_.async_writes;
+
+  const bool journaled = journal_ != nullptr;
+  if (journaled) {
+    // Same simulated charge journal_write makes: one streaming request for
+    // the shadow record.
+    const std::uint64_t payload_bytes =
+        static_cast<std::uint64_t>(s.elements()) * kElem;
+    const double time = disk_.request_time(
+        static_cast<double>(sizeof(WalHeader) + payload_bytes +
+                            sizeof(kWalCommit)),
+        ctx.nprocs());
+    ctx.charge_io_time(time);
+    stats_.time_s += time;
+    ++stats_.journal_writes;
+    stats_.bytes_journaled += payload_bytes;
+    auto& ps = ctx.stats();
+    ++ps.io_requests;
+    ps.io_bytes_written += payload_bytes;
+  }
+
+  AsyncHandle h;
+  h.retry_attempts = std::make_shared<std::vector<int>>();
+  auto attempts = h.retry_attempts;
+  const faults::RetryPolicy policy = retry_;
+  const Section sec = s;
+  h.ticket = engine.submit(
+      this, [this, sec, in = std::move(in), extents = std::move(extents),
+             attempts, policy, journaled] {
+        // Column-major extents follow column-major section order exactly,
+        // so `in` already IS the extent payload — skip the copy (it is
+        // megabytes of memcpy stolen from the compute threads' cores).
+        std::vector<double> scratch;
+        if (order_ != StorageOrder::kColumnMajor) {
+          extent_payload(sec, in, scratch);
+        }
+        const std::vector<double>& payload =
+            order_ == StorageOrder::kColumnMajor ? in : scratch;
+        const char* bytes = reinterpret_cast<const char*>(payload.data());
+        const std::uint64_t payload_bytes = payload.size() * kElem;
+        if (journaled) {
+          // The full physical journal protocol runs on the worker in the
+          // same order as the synchronous path, so an injected crash at
+          // either point leaves the journal in exactly the states the
+          // open-time recovery scan handles.
+          WalHeader wal;
+          wal.magic = kWalMagic;
+          wal.row0 = sec.row0;
+          wal.row1 = sec.row1;
+          wal.col0 = sec.col0;
+          wal.col1 = sec.col1;
+          wal.payload_bytes = payload_bytes;
+          wal.checksum = fnv1a(payload.data(), payload_bytes);
+          journal_->truncate(0);
+          retry_on_worker(policy, *attempts, [&] {
+            journal_->write_at(0, &wal, sizeof(WalHeader));
+          });
+          retry_on_worker(policy, *attempts, [&] {
+            journal_->write_at(sizeof(WalHeader), payload.data(),
+                               payload_bytes);
+          });
+          faults::FaultInjector::instance().check_crash(
+              "shadow", "journal " + backend_.path().filename().string());
+          retry_on_worker(policy, *attempts, [&] {
+            journal_->write_at(sizeof(WalHeader) + payload_bytes, &kWalCommit,
+                               sizeof(kWalCommit));
+          });
+          faults::FaultInjector::instance().check_crash(
+              "apply", "write " + backend_.path().filename().string());
+        }
+        std::size_t off = 0;
+        for (const Extent& e : extents) {
+          retry_on_worker(policy, *attempts, [&] {
+            backend_.write_at(e.offset_bytes, bytes + off, e.length_bytes);
+          });
+          off += static_cast<std::size_t>(e.length_bytes);
+        }
+        if (journaled) {
+          journal_->truncate(0);
+        }
+      });
+  return h;
+}
+
+void LocalArrayFile::settle(sim::SpmdContext& ctx, AsyncHandle& h) {
+  std::exception_ptr error;
+  try {
+    h.ticket.wait();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  if (h.retry_attempts != nullptr) {
+    // Deferred transient-fault accounting: the worker could not touch the
+    // simulated clock, so each failed attempt's backoff lands here, at the
+    // wait point.
+    for (const int attempt : *h.retry_attempts) {
+      const double backoff = retry_.backoff_s(attempt, disk_.request_overhead_s);
+      ctx.charge_io_time(backoff);
+      stats_.time_s += backoff;
+      ++stats_.retries;
+      ++ctx.stats().retries;
+    }
+    h.retry_attempts->clear();
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
   }
 }
 

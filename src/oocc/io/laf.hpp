@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "oocc/io/async_engine.hpp"
 #include "oocc/io/disk_model.hpp"
 #include "oocc/io/file_backend.hpp"
 #include "oocc/io/io_stats.hpp"
@@ -62,6 +63,18 @@ struct Section {
 struct Extent {
   std::uint64_t offset_bytes = 0;
   std::uint64_t length_bytes = 0;
+};
+
+/// One in-flight asynchronous section transfer (read_section_async /
+/// write_section_async). The simulated cost was already charged at submit;
+/// settle() waits for the physical transfer, applies any deferred
+/// transient-retry backoff, and rethrows the job's error (injected faults
+/// surface here with today's error codes).
+struct AsyncHandle {
+  AsyncEngine::Ticket ticket;
+  /// Failed transient attempts recorded by the worker (attempt indices);
+  /// their backoff is charged to the simulated clock at settle time.
+  std::shared_ptr<std::vector<int>> retry_attempts;
 };
 
 /// Contiguous extents a section of a rows x cols local array costs in the
@@ -145,6 +158,23 @@ class LocalArrayFile {
   /// Writes the section from `in` (same column-major section order).
   void write_section(sim::SpmdContext& ctx, const Section& s,
                      std::span<const double> in);
+
+  /// Asynchronous counterparts: the simulated clock/counters are charged
+  /// here (on the compute thread, identically to the synchronous calls in
+  /// fault-free runs), while the physical transfer runs on `engine`, FIFO
+  /// per file — every submission against one LocalArrayFile runs in
+  /// program order (a read never overtakes the write-back it must observe,
+  /// and the journal protocol stays serialized), while transfers against
+  /// *different* files overlap freely, like independent devices. `out`
+  /// must stay valid until settle(); the write takes its payload by value.
+  AsyncHandle read_section_async(sim::SpmdContext& ctx, AsyncEngine& engine,
+                                 const Section& s, std::span<double> out);
+  AsyncHandle write_section_async(sim::SpmdContext& ctx, AsyncEngine& engine,
+                                  const Section& s, std::vector<double> in);
+
+  /// Waits out an async transfer, charges deferred retry backoff, and
+  /// rethrows the worker's exception (fault, crash, I/O error), if any.
+  void settle(sim::SpmdContext& ctx, AsyncHandle& h);
 
   /// Fills the whole array with `value` (one streaming request).
   void fill(sim::SpmdContext& ctx, double value);

@@ -27,6 +27,29 @@ SlabBufferPool::SlabBufferPool(MemoryBudget& budget, std::string name,
       mirror_laf_stats_(mirror_laf_stats) {}
 
 SlabBufferPool::~SlabBufferPool() {
+  // Wait out every in-flight engine job before touching buffers: a worker
+  // may still be filling an entry's IclaBuffer. Errors cannot be reported
+  // from a destructor; drain_writes() at barriers / flush is where they
+  // surface in normal operation.
+  for (const auto& [array, list] : entries_) {
+    for (const auto& e : list) {
+      if (e->pending != nullptr && e->pending->ticket.valid()) {
+        try {
+          e->pending->ticket.wait();
+        } catch (...) {
+        }
+      }
+    }
+  }
+  for (PendingWrite& w : pending_writes_) {
+    if (w.handle.ticket.valid()) {
+      try {
+        w.handle.ticket.wait();
+      } catch (...) {
+      }
+    }
+  }
+
   bool pin_leak = false;
   for (const auto& [array, list] : entries_) {
     for (const auto& e : list) {
@@ -125,7 +148,17 @@ void SlabBufferPool::read_into(sim::SpmdContext& ctx, Entry& e) {
   // to the issue point and the completion timestamp is queued behind any
   // earlier outstanding request (one disk per processor).
   const double t_issue = ctx.clock().now();
-  e.buf->load(ctx, *e.laf, e.sec);
+  if (engine_ != nullptr) {
+    // Real-async path: the simulated charge is identical (read_section_async
+    // prices on the compute thread exactly like the synchronous read); only
+    // the physical transfer moves to an engine worker. settle_entry() waits
+    // it out before anyone touches the buffer.
+    e.buf->reset_section(e.sec);
+    e.pending = std::make_unique<io::AsyncHandle>(
+        e.laf->read_section_async(ctx, *engine_, e.sec, e.buf->data()));
+  } else {
+    e.buf->load(ctx, *e.laf, e.sec);
+  }
   const double service = ctx.clock().now() - t_issue;
   const double start = std::max(t_issue, disk_free_time_s_);
   e.ready_time_s = start + service;
@@ -133,11 +166,35 @@ void SlabBufferPool::read_into(sim::SpmdContext& ctx, Entry& e) {
   ctx.clock().rewind_to(t_issue);
 }
 
+void SlabBufferPool::settle_entry(sim::SpmdContext& ctx, Entry& e) {
+  if (e.pending == nullptr) {
+    return;
+  }
+  // Move the handle out first so a throwing settle cannot be retried on a
+  // consumed ticket.
+  const std::unique_ptr<io::AsyncHandle> pending = std::move(e.pending);
+  e.laf->settle(ctx, *pending);
+}
+
 void SlabBufferPool::write_back(sim::SpmdContext& ctx, Entry& e) {
+  // Eviction may pick a never-consumed prefetch: its fill must complete
+  // before the buffer is read or dropped.
+  settle_entry(ctx, e);
   if (!e.dirty) {
     return;
   }
-  e.buf->store_as(ctx, *e.laf, e.sec);
+  if (engine_ != nullptr) {
+    // The job owns a snapshot of the slab, so the entry can be evicted
+    // immediately; errors surface at the next drain_writes().
+    const std::span<const double> data = e.buf->data();
+    pending_writes_.push_back(PendingWrite{
+        e.laf,
+        e.laf->write_section_async(ctx, *engine_, e.sec,
+                                   std::vector<double>(data.begin(),
+                                                       data.end()))});
+  } else {
+    e.buf->store_as(ctx, *e.laf, e.sec);
+  }
   e.dirty = false;
   ++stats_.writebacks;
   if (mirror_laf_stats_) {
@@ -236,6 +293,7 @@ IclaBuffer& SlabBufferPool::acquire_read(sim::SpmdContext& ctx,
   if (Entry* e = find_exact(array, s)) {
     e->last_use = ++tick_;
     e->reuse_hint = reuse_hint;
+    settle_entry(ctx, *e);
     ++e->pins;
     ctx.clock().wait_until(e->ready_time_s);
     if (e->prefetched) {
@@ -257,6 +315,9 @@ IclaBuffer& SlabBufferPool::acquire_read(sim::SpmdContext& ctx,
     // Assemble the requested section from cached data: pin the sources so
     // allocation cannot evict them, copy column by column, unpin.
     double ready = ctx.clock().now();
+    for (Entry* src : sources) {
+      settle_entry(ctx, *src);
+    }
     for (Entry* src : sources) {
       ++src->pins;
       ready = std::max(ready, src->ready_time_s);
@@ -303,6 +364,7 @@ IclaBuffer& SlabBufferPool::acquire_read(sim::SpmdContext& ctx,
   }
   Entry& e = insert_entry(ctx, laf, array, s, reuse_hint);
   read_into(ctx, e);
+  settle_entry(ctx, e);
   e.pins = 1;
   ctx.clock().wait_until(e.ready_time_s);
   return *e.buf;
@@ -350,6 +412,7 @@ IclaBuffer& SlabBufferPool::acquire_write(sim::SpmdContext& ctx,
   if (e == nullptr) {
     e = &insert_entry(ctx, laf, array, s, reuse_hint);
   } else {
+    settle_entry(ctx, *e);
     e->last_use = ++tick_;
   }
   ++e->pins;
@@ -410,6 +473,24 @@ void SlabBufferPool::flush(sim::SpmdContext& ctx) {
       write_back(ctx, *e);
     }
   }
+  drain_writes(ctx);
+}
+
+void SlabBufferPool::drain_writes(sim::SpmdContext& ctx) {
+  std::exception_ptr first;
+  for (PendingWrite& w : pending_writes_) {
+    try {
+      w.laf->settle(ctx, w.handle);
+    } catch (...) {
+      if (first == nullptr) {
+        first = std::current_exception();
+      }
+    }
+  }
+  pending_writes_.clear();
+  if (first != nullptr) {
+    std::rethrow_exception(first);
+  }
 }
 
 void SlabBufferPool::invalidate(sim::SpmdContext& ctx,
@@ -425,6 +506,7 @@ void SlabBufferPool::invalidate(sim::SpmdContext& ctx,
     resident_elements_ -= e->sec.elements();
   }
   entries_.erase(it);
+  drain_writes(ctx);
 }
 
 void SlabBufferPool::drop_clean(const std::string& array) noexcept {
@@ -434,7 +516,7 @@ void SlabBufferPool::drop_clean(const std::string& array) noexcept {
   }
   EntryList& list = it->second;
   for (auto lit = list.begin(); lit != list.end();) {
-    if (!(*lit)->dirty && (*lit)->pins == 0) {
+    if (!(*lit)->dirty && (*lit)->pins == 0 && (*lit)->pending == nullptr) {
       resident_elements_ -= (*lit)->sec.elements();
       lit = list.erase(lit);
     } else {
@@ -449,7 +531,7 @@ void SlabBufferPool::drop_clean(const std::string& array) noexcept {
 void SlabBufferPool::drop_clean(const std::string& array,
                                 const io::Section& s) noexcept {
   Entry* e = find_exact(array, s);
-  if (e != nullptr && !e->dirty && e->pins == 0) {
+  if (e != nullptr && !e->dirty && e->pins == 0 && e->pending == nullptr) {
     erase_entry(array, e);
   }
 }

@@ -162,6 +162,24 @@ class SlabBufferPool {
   /// unpinned (the reader wrapper's trailing-buffer discard).
   void drop_clean(const std::string& array, const io::Section& s) noexcept;
 
+  /// Attaches the machine's real async I/O engine. With an engine, the
+  /// physical disk transfer of every pool read and dirty write-back runs
+  /// on a worker thread: read_ahead becomes a true submit-ahead, a demand
+  /// acquire of a prefetched slab costs only a wait, and write-backs drain
+  /// at barriers / flush. The *simulated* accounting (the clock-rewind
+  /// model above, and every lookup/eviction/flush decision) is unchanged —
+  /// fault-free runs are bit-identical with and without an engine, which
+  /// is what keeps CacheSim and the priced == measured invariants intact.
+  void set_async_engine(io::AsyncEngine* engine) noexcept {
+    engine_ = engine;
+  }
+
+  /// Settles every in-flight asynchronous write-back, charging deferred
+  /// retry backoff and rethrowing the first worker error. Called at
+  /// barriers and after flush()/invalidate() so errors cannot outlive the
+  /// region that caused them. No-op without an engine.
+  void drain_writes(sim::SpmdContext& ctx);
+
   /// Evicts unpinned entries until `elements` fit in the budget; throws
   /// Error(kResourceExhausted) when pinned entries make that impossible.
   /// Used before reserving non-pool buffers (reduction temporaries) from
@@ -189,6 +207,9 @@ class SlabBufferPool {
     double reuse_hint = -1.0;
     std::uint64_t last_use = 0;
     double ready_time_s = 0.0;
+    /// In-flight asynchronous read filling `buf` (engine mode only);
+    /// settled before the buffer is touched, evicted or dropped.
+    std::unique_ptr<io::AsyncHandle> pending;
   };
   using EntryList = std::vector<std::unique_ptr<Entry>>;
 
@@ -218,6 +239,13 @@ class SlabBufferPool {
   void write_back(sim::SpmdContext& ctx, Entry& e);
   bool evict_one(sim::SpmdContext& ctx);
   void erase_entry(const std::string& array, const Entry* e) noexcept;
+  /// Waits out `e.pending` (if any), applying its deferred accounting.
+  void settle_entry(sim::SpmdContext& ctx, Entry& e);
+
+  struct PendingWrite {
+    io::LocalArrayFile* laf = nullptr;
+    io::AsyncHandle handle;
+  };
 
   MemoryBudget& budget_;
   std::string name_;
@@ -227,6 +255,8 @@ class SlabBufferPool {
   std::int64_t resident_elements_ = 0;
   double disk_free_time_s_ = 0.0;
   std::uint64_t tick_ = 0;
+  io::AsyncEngine* engine_ = nullptr;
+  std::vector<PendingWrite> pending_writes_;
 };
 
 /// Read-ahead queue over a SlabBufferPool: the executor enqueues a slab

@@ -5,6 +5,8 @@
 #include <exception>
 #include <thread>
 
+#include "oocc/io/async_engine.hpp"
+#include "oocc/util/env.hpp"
 #include "oocc/util/faults.hpp"
 #include "oocc/util/log.hpp"
 #include "oocc/util/table.hpp"
@@ -85,6 +87,16 @@ std::string format_report(const RunReport& report) {
              report.max_sim_time_s(), 3)
       << " s simulated, " << format_fixed(report.wall_time_s, 3)
       << " s wall\n";
+  // Regions that never touched the engine (pure compute/comm) keep the
+  // classic report shape.
+  if (report.async.enabled && report.async.jobs > 0) {
+    oss << "async io: " << report.async.threads << " threads, "
+        << report.async.jobs << " jobs, peak queue "
+        << report.async.max_queue_depth << "; busy "
+        << format_fixed(report.async.busy_s, 3) << " s, blocked "
+        << format_fixed(report.async.blocked_s, 3) << " s, overlap "
+        << format_fixed(report.async.overlap_s, 3) << " s wall\n";
+  }
   return oss.str();
 }
 
@@ -173,6 +185,12 @@ bool SpmdContext::probe(int source, int tag) {
                                                                       tag);
 }
 
+io::AsyncEngine* SpmdContext::async_engine() noexcept {
+  return machine_->engine_.get();
+}
+
+Machine::~Machine() = default;
+
 Machine::Machine(int nprocs, MachineCostModel cost_model)
     : nprocs_(nprocs), cost_(cost_model) {
   OOCC_REQUIRE(nprocs >= 1, "machine needs at least 1 processor, got "
@@ -205,6 +223,15 @@ RunReport Machine::run(const std::function<void(SpmdContext&)>& body) {
                                 << " stale message(s) from a previous region");
     }
   }
+
+  // Lazily bring up the real async I/O engine (kill switch: OOCC_ASYNC=0
+  // falls back to fully synchronous I/O bit-identically).
+  if (engine_ == nullptr && env_flag_or("OOCC_ASYNC", true)) {
+    engine_ = std::make_unique<io::AsyncEngine>(
+        io::AsyncEngine::default_threads(nprocs_));
+  }
+  const io::AsyncEngine::Counters engine_before =
+      engine_ != nullptr ? engine_->counters() : io::AsyncEngine::Counters{};
 
   std::vector<std::unique_ptr<SpmdContext>> contexts;
   contexts.reserve(static_cast<std::size_t>(nprocs_));
@@ -264,6 +291,17 @@ RunReport Machine::run(const std::function<void(SpmdContext&)>& body) {
   }
   report.wall_time_s =
       std::chrono::duration<double>(wall_end - wall_start).count();
+  if (engine_ != nullptr) {
+    const io::AsyncEngine::Counters after = engine_->counters();
+    report.async.enabled = true;
+    report.async.threads = engine_->threads();
+    report.async.jobs = after.jobs_completed - engine_before.jobs_completed;
+    report.async.max_queue_depth = after.max_queue_depth;
+    report.async.busy_s = after.busy_s - engine_before.busy_s;
+    report.async.blocked_s = after.blocked_s - engine_before.blocked_s;
+    report.async.overlap_s =
+        std::max(0.0, report.async.busy_s - report.async.blocked_s);
+  }
   return report;
 }
 

@@ -28,6 +28,10 @@
 #include "oocc/sim/mailbox.hpp"
 #include "oocc/util/error.hpp"
 
+namespace oocc::io {
+class AsyncEngine;
+}  // namespace oocc::io
+
 namespace oocc::sim {
 
 /// Tag reserved for the abort protocol. User tags must be >= 0; the
@@ -62,10 +66,25 @@ struct ProcStats {
   double sim_time_s = 0.0;  ///< final simulated clock of this processor
 };
 
+/// Wall-clock activity of the real async I/O engine during one SPMD region
+/// (all zero when the engine is disabled via OOCC_ASYNC=0). busy/blocked/
+/// overlap are host seconds, not simulated seconds — the simulated pricing
+/// of asynchrony is the clock-rewind model and is unaffected by the engine.
+struct AsyncIoReport {
+  bool enabled = false;
+  int threads = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t max_queue_depth = 0;  ///< peak in-flight jobs (engine lifetime)
+  double busy_s = 0.0;     ///< worker time spent in physical I/O
+  double blocked_s = 0.0;  ///< compute-thread time spent waiting on tickets
+  double overlap_s = 0.0;  ///< I/O genuinely hidden behind compute
+};
+
 /// Aggregate result of one SPMD region.
 struct RunReport {
   std::vector<ProcStats> procs;
   double wall_time_s = 0.0;
+  AsyncIoReport async;
 
   /// Simulated makespan: the latest final clock across processors. This is
   /// the quantity reported as "Time (s)" in the reproduced tables.
@@ -183,6 +202,12 @@ class SpmdContext {
   /// True if a matching message is already queued (no time charge).
   bool probe(int source, int tag);
 
+  /// The machine's real async I/O engine, or nullptr when disabled
+  /// (OOCC_ASYNC=0). Shared by all ranks; the LAF layer keys its
+  /// submissions by file, so each local array file gets its own FIFO
+  /// stream and distinct files overlap like independent devices.
+  io::AsyncEngine* async_engine() noexcept;
+
  private:
   friend class Machine;
   SpmdContext(Machine* machine, int rank) : machine_(machine), rank_(rank) {}
@@ -198,12 +223,17 @@ class SpmdContext {
 class Machine {
  public:
   Machine(int nprocs, MachineCostModel cost_model);
+  ~Machine();
 
   int nprocs() const noexcept { return nprocs_; }
   const MachineCostModel& cost() const noexcept { return cost_; }
 
   /// Runs `body(ctx)` on every simulated processor, one host thread each.
   /// Rethrows the lowest-rank exception if any rank fails.
+  ///
+  /// Unless OOCC_ASYNC=0, the machine lazily creates its async I/O engine
+  /// on the first run (OOCC_IO_THREADS workers, default min(nprocs, 4));
+  /// RunReport::async carries the engine activity of this region.
   RunReport run(const std::function<void(SpmdContext&)>& body);
 
  private:
@@ -214,6 +244,7 @@ class Machine {
   int nprocs_;
   MachineCostModel cost_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::unique_ptr<io::AsyncEngine> engine_;
 };
 
 }  // namespace oocc::sim

@@ -37,6 +37,13 @@ bool env_flag(const char* name) noexcept {
          std::strcmp(value, "off") != 0;
 }
 
+bool env_flag_or(const char* name, bool fallback) noexcept {
+  if (std::getenv(name) == nullptr) {
+    return fallback;
+  }
+  return env_flag(name);
+}
+
 std::vector<int> env_int_list(const char* name,
                               const std::vector<int>& fallback) {
   const char* value = std::getenv(name);

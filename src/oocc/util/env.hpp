@@ -22,6 +22,11 @@ std::int64_t env_int(const char* name, std::int64_t fallback) noexcept;
 /// "", "0", "false", "no", "off".
 bool env_flag(const char* name) noexcept;
 
+/// Tri-state flag: returns `fallback` when the variable is unset, otherwise
+/// the same truthiness test as env_flag. Lets a knob default to on
+/// (e.g. OOCC_ASYNC) while "0"/"off" still disables it.
+bool env_flag_or(const char* name, bool fallback) noexcept;
+
 /// Parses a comma-separated integer list ("4,16,32"); returns `fallback`
 /// when unset or empty after parsing.
 std::vector<int> env_int_list(const char* name,

@@ -14,6 +14,10 @@
 //   --no-prefetch          force synchronous slab reads (the default)
 //   --no-cache             disable the runtime slab buffer pool (--run) —
 //                          reproduces the pre-pool executor exactly
+//   --no-async             disable the real async I/O engine (--run): all
+//                          host I/O runs synchronously on the compute
+//                          threads, bit-identically (OOCC_ASYNC=0 is the
+//                          same knob via the environment)
 //   --stencil[=N[,P]]      compile the bundled Jacobi halo-stencil program
 //                          (hpf::stencil_source, default N=64 P=4) instead
 //                          of reading a source file
@@ -72,7 +76,8 @@ void usage() {
                "usage: oocc-compile <program.hpf> [--memory N] "
                "[--equal-split] [--no-access-reorg] [--no-storage-reorg] "
                "[--no-fuse] [--prefetch[=auto]] [--no-prefetch] "
-               "[--no-cache] [--stencil[=N[,P]]] [--iters K] [--tol X] "
+               "[--no-cache] [--no-async] [--stencil[=N[,P]]] [--iters K] "
+               "[--tol X] "
                "[--ast] [--dump-plan] [--dump-verify] [--no-verify] "
                "[--run] [--verify] [--faults=PLAN] [--checkpoint-every K] "
                "[--restarts N]\n");
@@ -117,6 +122,7 @@ int main(int argc, char** argv) {
   bool run = false;
   bool verify = false;
   bool use_cache = true;
+  bool use_async = true;
   bool stencil = false;
   std::int64_t stencil_n = 64;
   int stencil_p = 4;
@@ -166,6 +172,8 @@ int main(int argc, char** argv) {
       options.prefetch = compiler::PrefetchMode::kOff;
     } else if (std::strcmp(arg, "--no-cache") == 0) {
       use_cache = false;
+    } else if (std::strcmp(arg, "--no-async") == 0) {
+      use_async = false;
     } else if (std::strcmp(arg, "--ast") == 0) {
       ast_only = true;
     } else if (std::strcmp(arg, "--dump-plan") == 0) {
@@ -346,6 +354,7 @@ int main(int argc, char** argv) {
     // below, which must reflect whether the pool actually ran.
     exec::ExecOptions base_exec_options = exec::default_exec_options();
     base_exec_options.use_cache = base_exec_options.use_cache && use_cache;
+    base_exec_options.async = base_exec_options.async && use_async;
     base_exec_options.verify = base_exec_options.verify && options.verify;
     sim::RunReport report;
     int restarts = 0;
@@ -462,6 +471,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.total_io_requests()),
                 static_cast<double>(report.total_io_bytes()) / 1e6,
                 static_cast<unsigned long long>(report.total_messages()));
+    if (report.async.enabled && report.async.jobs > 0) {
+      std::printf(
+          "async io: %d threads, %llu jobs, peak queue %llu; busy %.3f s, "
+          "blocked %.3f s, overlap %.3f s wall\n",
+          report.async.threads,
+          static_cast<unsigned long long>(report.async.jobs),
+          static_cast<unsigned long long>(report.async.max_queue_depth),
+          report.async.busy_s, report.async.blocked_s,
+          report.async.overlap_s);
+    }
     if (base_exec_options.use_cache && checkpoint_every == 0) {
       std::printf(
           "slab cache: %llu hits, %llu misses, %llu evictions, %llu "
