@@ -1,0 +1,183 @@
+#include "oocc/serve/admission.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace oocc::serve {
+
+AdmissionController::AdmissionController(std::int64_t total_elements)
+    : total_(total_elements) {
+  OOCC_REQUIRE(total_elements > 0,
+               "admission controller needs a positive budget, got "
+                   << total_elements);
+}
+
+AdmissionController::Grant::Grant(Grant&& o) noexcept
+    : owner_(o.owner_), tenant_(std::move(o.tenant_)),
+      elements_(o.elements_), wait_s_(o.wait_s_) {
+  o.owner_ = nullptr;
+  o.elements_ = 0;
+}
+
+AdmissionController::Grant& AdmissionController::Grant::operator=(
+    Grant&& o) noexcept {
+  if (this != &o) {
+    release();
+    owner_ = o.owner_;
+    tenant_ = std::move(o.tenant_);
+    elements_ = o.elements_;
+    wait_s_ = o.wait_s_;
+    o.owner_ = nullptr;
+    o.elements_ = 0;
+  }
+  return *this;
+}
+
+AdmissionController::Grant::~Grant() { release(); }
+
+void AdmissionController::Grant::release() {
+  if (owner_ == nullptr) {
+    return;
+  }
+  AdmissionController* owner = owner_;
+  owner_ = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(owner->mu_);
+    owner->release_locked(tenant_, elements_);
+  }
+  owner->cv_.notify_all();
+}
+
+void AdmissionController::release_locked(const std::string& tenant,
+                                         std::int64_t elements) {
+  in_use_ -= elements;
+  TenantStats& ts = tenants_[tenant];
+  ts.elements_in_use -= elements;
+  --ts.jobs_in_flight;
+  grant_pass_locked();
+}
+
+void AdmissionController::grant_pass_locked() {
+  bool admitted_any = true;
+  while (admitted_any) {
+    admitted_any = false;
+    // Barrier: the oldest waiter that has been passed over too often. No
+    // younger waiter may be admitted ahead of it.
+    std::uint64_t barrier_ticket = 0;
+    bool have_barrier = false;
+    for (const auto& w : waiting_) {
+      if (!w->admitted && w->passed_over >= kStarvationLimit &&
+          (!have_barrier || w->ticket < barrier_ticket)) {
+        barrier_ticket = w->ticket;
+        have_barrier = true;
+      }
+    }
+    // Head (oldest non-admitted) waiter per tenant.
+    std::map<std::string, std::shared_ptr<Waiter>> heads;
+    for (const auto& w : waiting_) {
+      if (w->admitted) {
+        continue;
+      }
+      auto [it, inserted] = heads.emplace(w->tenant, w);
+      if (!inserted && w->ticket < it->second->ticket) {
+        it->second = w;
+      }
+    }
+    if (heads.empty()) {
+      break;
+    }
+    // Round-robin: tenant names in order, rotated past the last grantee.
+    std::vector<std::string> rotation;
+    rotation.reserve(heads.size());
+    for (const auto& [tenant, w] : heads) {
+      rotation.push_back(tenant);
+    }
+    const auto pivot = std::upper_bound(rotation.begin(), rotation.end(),
+                                        last_granted_tenant_);
+    std::rotate(rotation.begin(), pivot, rotation.end());
+
+    for (const std::string& tenant : rotation) {
+      const std::shared_ptr<Waiter>& w = heads.at(tenant);
+      if (have_barrier && w->ticket > barrier_ticket) {
+        continue;
+      }
+      if (in_use_ + w->elements > total_) {
+        continue;
+      }
+      w->admitted = true;
+      in_use_ += w->elements;
+      peak_in_use_ = std::max(peak_in_use_, in_use_);
+      ++admitted_;
+      TenantStats& ts = tenants_[tenant];
+      ++ts.admitted;
+      ts.elements_in_use += w->elements;
+      ++ts.jobs_in_flight;
+      last_granted_tenant_ = tenant;
+      // Every older waiter just got passed over by this admission.
+      for (const auto& other : waiting_) {
+        if (!other->admitted && other->ticket < w->ticket) {
+          ++other->passed_over;
+        }
+      }
+      std::erase_if(waiting_, [&](const std::shared_ptr<Waiter>& q) {
+        return q.get() == w.get();
+      });
+      admitted_any = true;
+      break;  // heads/rotation changed; rescan
+    }
+  }
+}
+
+AdmissionController::Grant AdmissionController::acquire(
+    const std::string& tenant, std::int64_t elements) {
+  OOCC_REQUIRE(elements > 0,
+               "admission acquire of " << elements << " elements");
+  OOCC_CHECK(elements <= total_, ErrorCode::kResourceExhausted,
+             "job needs " << elements << " elements but the server budget is "
+                          << total_ << " — it could never be admitted");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (waiting_.empty() && in_use_ + elements <= total_) {
+    in_use_ += elements;
+    peak_in_use_ = std::max(peak_in_use_, in_use_);
+    ++admitted_;
+    TenantStats& ts = tenants_[tenant];
+    ++ts.admitted;
+    ts.elements_in_use += elements;
+    ++ts.jobs_in_flight;
+    last_granted_tenant_ = tenant;
+    return Grant(this, tenant, elements, 0.0);
+  }
+
+  auto waiter = std::make_shared<Waiter>();
+  waiter->tenant = tenant;
+  waiter->elements = elements;
+  waiter->ticket = next_ticket_++;
+  waiting_.push_back(waiter);
+  ++waits_;
+  ++tenants_[tenant].waits;
+  const auto t0 = std::chrono::steady_clock::now();
+  grant_pass_locked();
+  cv_.wait(lock, [&] { return waiter->admitted; });
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  wait_time_s_ += waited;
+  tenants_[tenant].wait_time_s += waited;
+  return Grant(this, tenant, elements, waited);
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.total_elements = total_;
+  s.in_use_elements = in_use_;
+  s.peak_in_use_elements = peak_in_use_;
+  s.admitted = admitted_;
+  s.waits = waits_;
+  s.wait_time_s = wait_time_s_;
+  s.waiting_jobs = static_cast<int>(waiting_.size());
+  s.tenants = tenants_;
+  return s;
+}
+
+}  // namespace oocc::serve

@@ -1,0 +1,130 @@
+// Multi-tenant admission control over the global memory budget.
+//
+// Every admitted job runs its plan's per-processor MemoryBudget on each of
+// its nprocs simulated ranks — the buffer pool's pin/refcount machinery is
+// what actually enforces the per-rank cap. AdmissionController sits above
+// that: it owns the *global* element budget of the server and only admits
+// a job when the sum of admitted jobs' footprints (nprocs × per-rank
+// budget) still fits. Jobs that do not fit queue; the budget is never
+// oversubscribed.
+//
+// Fairness policy (documented in docs/serve.md, asserted in
+// tests/serve_test.cpp):
+//  * tenants take turns — waiting jobs are admitted round-robin across
+//    tenants, FIFO within a tenant, so a tenant streaming big jobs cannot
+//    monopolize the budget while another tenant's small jobs fit;
+//  * a waiter that does not currently fit is skipped, so small jobs flow
+//    past a queued giant (no head-of-line blocking across tenants);
+//  * anti-starvation: a waiter that has been passed over kStarvationLimit
+//    times becomes a barrier — nothing younger is admitted until it fits —
+//    so the queued giant is guaranteed to run once in-flight jobs drain.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "oocc/util/error.hpp"
+
+namespace oocc::serve {
+
+class AdmissionController {
+ public:
+  /// Passed-over count at which a waiter blocks younger admissions.
+  static constexpr int kStarvationLimit = 16;
+
+  explicit AdmissionController(std::int64_t total_elements);
+
+  /// RAII share of the global budget; releasing re-runs the grant pass.
+  class Grant {
+   public:
+    Grant() = default;
+    Grant(Grant&& o) noexcept;
+    Grant& operator=(Grant&& o) noexcept;
+    Grant(const Grant&) = delete;
+    Grant& operator=(const Grant&) = delete;
+    ~Grant();
+
+    std::int64_t elements() const noexcept { return elements_; }
+    double wait_s() const noexcept { return wait_s_; }
+    void release();
+
+   private:
+    friend class AdmissionController;
+    Grant(AdmissionController* owner, std::string tenant,
+          std::int64_t elements, double wait_s)
+        : owner_(owner), tenant_(std::move(tenant)), elements_(elements),
+          wait_s_(wait_s) {}
+
+    AdmissionController* owner_ = nullptr;
+    std::string tenant_;
+    std::int64_t elements_ = 0;
+    double wait_s_ = 0.0;
+  };
+
+  /// Blocks until `elements` of the global budget are granted to `tenant`.
+  /// Throws Error(kResourceExhausted) immediately when elements > total —
+  /// such a job could never run.
+  Grant acquire(const std::string& tenant, std::int64_t elements);
+
+  struct TenantStats {
+    std::uint64_t admitted = 0;
+    std::uint64_t waits = 0;        ///< admissions that had to queue
+    double wait_time_s = 0.0;
+    std::int64_t elements_in_use = 0;
+    int jobs_in_flight = 0;
+  };
+
+  struct Stats {
+    std::int64_t total_elements = 0;
+    std::int64_t in_use_elements = 0;
+    std::int64_t peak_in_use_elements = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t waits = 0;
+    double wait_time_s = 0.0;
+    int waiting_jobs = 0;
+    std::map<std::string, TenantStats> tenants;
+  };
+
+  Stats stats() const;
+  std::int64_t total_elements() const noexcept { return total_; }
+
+ private:
+  struct Waiter {
+    std::string tenant;
+    std::int64_t elements = 0;
+    std::uint64_t ticket = 0;
+    int passed_over = 0;
+    bool admitted = false;
+  };
+
+  void release_locked(const std::string& tenant, std::int64_t elements);
+
+  /// Admits every waiter the policy allows right now; called with mu_ held
+  /// whenever capacity or the queue changes.
+  void grant_pass_locked();
+
+  const std::int64_t total_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::int64_t in_use_ = 0;
+  std::int64_t peak_in_use_ = 0;
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t waits_ = 0;
+  double wait_time_s_ = 0.0;
+  /// Round-robin cursor: name of the tenant granted most recently; the
+  /// next pass starts after it in tenant name order.
+  std::string last_granted_tenant_;
+  std::deque<std::shared_ptr<Waiter>> waiting_;
+  std::map<std::string, TenantStats> tenants_;
+
+  friend class Grant;
+};
+
+}  // namespace oocc::serve

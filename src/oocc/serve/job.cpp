@@ -1,0 +1,159 @@
+#include "oocc/serve/job.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <system_error>
+
+#include "oocc/hpf/parser.hpp"
+#include "oocc/sim/collectives.hpp"
+
+namespace oocc::serve {
+
+namespace {
+
+/// Monotonic job-directory counter: job dirs must be unique even when two
+/// jobs of one tenant run concurrently, and request ids are client-chosen
+/// (not trusted as path components).
+std::atomic<std::uint64_t> job_seq{0};
+
+struct DirGuard {
+  std::filesystem::path path;
+  ~DirGuard() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+}  // namespace
+
+double input_gen_a(std::int64_t r, std::int64_t c) {
+  return 1.0 + 1e-3 * static_cast<double>((r * 31 + c * 7) % 101);
+}
+
+double input_gen_b(std::int64_t r, std::int64_t c) {
+  return -0.5 + 1e-3 * static_cast<double>((r * 13 + c * 3) % 97);
+}
+
+ExecProfile ExecProfile::capture() {
+  ExecProfile p;
+  p.exec = exec::default_exec_options();
+  p.machine = sim::MachineOptions::from_env();
+  return p;
+}
+
+JobResult run_job(const JobRequest& req, PlanCache& cache,
+                  AdmissionController& admission,
+                  const std::filesystem::path& tenant_root) {
+  JobResult res;
+  res.id = req.id;
+  res.tenant = req.tenant;
+
+  const hpf::BoundProgram bound = hpf::analyze(hpf::parse(req.source));
+  compiler::CompileOptions options = req.options;
+  if (options.memory_budget_elements == 0) {
+    options.memory_budget_elements = default_memory_budget(bound);
+  }
+  res.memory_budget_elements = options.memory_budget_elements;
+  res.footprint_elements =
+      static_cast<std::int64_t>(bound.nprocs) * options.memory_budget_elements;
+  res.key = make_plan_key(bound, options);
+
+  bool served_from_cache = false;
+  const std::shared_ptr<const CachedPlan> entry = cache.get_or_compile(
+      res.key, [&] { return compiler::compile_sequence(bound, options); },
+      &served_from_cache);
+  res.cache_hit = served_from_cache;
+  res.plan_count = static_cast<int>(entry->plans.size());
+
+  if (req.op == JobOp::kCompile) {
+    return res;
+  }
+
+  // Execution: hold a share of the server's global budget for the job's
+  // whole footprint before spinning up the machine. The grant outlives the
+  // SPMD region and releases on every exit path.
+  AdmissionController::Grant grant =
+      admission.acquire(req.tenant, res.footprint_elements);
+  res.admission_wait_s = grant.wait_s();
+
+  const std::filesystem::path job_dir =
+      tenant_root /
+      ("job-" + std::to_string(job_seq.fetch_add(1, std::memory_order_relaxed)));
+  std::filesystem::create_directories(job_dir);
+  DirGuard guard{job_dir};
+
+  const std::span<const compiler::NodeProgram> plans(entry->plans.data(),
+                                                     entry->plans.size());
+  const compiler::NodeProgram& front = entry->plans.front();
+  const std::set<std::string> outputs(entry->output_arrays.begin(),
+                                      entry->output_arrays.end());
+
+  // The machine runs under the knobs captured at request scope — not the
+  // process globals of whatever moment this worker thread reached the job.
+  sim::Machine machine(front.nprocs, options.machine, req.profile.machine);
+  exec::ExecOptions base = req.profile.exec;
+  base.verify = base.verify && options.verify;
+  base.max_iters = req.max_iters;
+  base.residual_tol = req.residual_tol;
+
+  std::mutex mu;
+  exec::StencilRunInfo stencil_info;
+  std::uint64_t result_hash = 0;
+
+  const sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
+    auto arrays =
+        exec::create_sequence_arrays(ctx, plans, job_dir, options.disk);
+    for (auto& [name, arr] : arrays) {
+      if (!outputs.contains(name)) {
+        arr->initialize(ctx, name == front.b ? input_gen_b : input_gen_a,
+                        options.memory_budget_elements);
+      }
+    }
+    sim::barrier(ctx);
+    ctx.reset_accounting();
+
+    exec::ArrayBindings bindings;
+    for (auto& [name, arr] : arrays) {
+      bindings[name] = arr.get();
+    }
+    exec::ExecOptions exec_options = base;
+    exec::StencilRunInfo local_info;
+    exec_options.stencil_info = &local_info;
+    exec::execute_sequence(ctx, plans, bindings, exec_options);
+
+    // Fingerprint the results: for stencil plans the live half of the
+    // ping-pong pair, otherwise every pure output, in sorted name order.
+    std::vector<std::string> to_hash;
+    if (front.kind == compiler::ProgramKind::kStencil) {
+      to_hash.push_back(local_info.result);
+    } else {
+      to_hash = entry->output_arrays;
+    }
+    std::uint64_t h = kFnvOffsetBasis;
+    for (const std::string& name : to_hash) {
+      const std::vector<double> global =
+          arrays.at(name)->gather_global(ctx, options.memory_budget_elements);
+      if (ctx.rank() == 0) {
+        h = hash_named_array(name, global, h);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (ctx.rank() == 0) {
+      result_hash = h;
+    }
+    if (!local_info.result.empty()) {
+      stencil_info = local_info;  // allreduced: identical on every rank
+    }
+  });
+
+  res.sim_time_s = report.max_sim_time_s();
+  res.wall_time_s = report.wall_time_s;
+  res.io_requests = report.total_io_requests();
+  res.result_hash = result_hash;
+  res.stencil_iterations = stencil_info.iterations;
+  res.stencil_residual = stencil_info.final_residual;
+  return res;
+}
+
+}  // namespace oocc::serve

@@ -1,0 +1,95 @@
+// One compile-or-run job inside the serve subsystem.
+//
+// run_job() is the server's whole data path for a single request: analyze
+// the program, hit the PlanCache (single-flight compile on a miss), and —
+// for op=run — acquire an AdmissionController grant for the job's global
+// footprint (nprocs × per-processor budget), execute the cached plans on a
+// fresh simulated machine over a job-private LAF directory under the
+// tenant's tree, and fingerprint the outputs.
+//
+// Bit-identity contract: a run served from the cache must produce exactly
+// the bytes a cold serial `oocc_compile --run` produces. That holds because
+// (a) the cache stores the verified plans themselves (no re-lowering), and
+// (b) inputs come from the same deterministic generators the CLI uses
+// (input_gen_a / input_gen_b below — oocc_compile calls these too).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "oocc/compiler/lower.hpp"
+#include "oocc/exec/interp.hpp"
+#include "oocc/serve/admission.hpp"
+#include "oocc/serve/plan_cache.hpp"
+#include "oocc/sim/machine.hpp"
+
+namespace oocc::serve {
+
+/// Deterministic input generators shared by oocc_compile and the server —
+/// the foundation of the cached-vs-fresh bit-identity invariant.
+double input_gen_a(std::int64_t r, std::int64_t c);
+double input_gen_b(std::int64_t r, std::int64_t c);
+
+/// Snapshot of every process-global execution knob a job depends on
+/// (OOCC_NO_CACHE, OOCC_NO_VERIFY, OOCC_ASYNC, OOCC_JOURNAL,
+/// OOCC_IO_THREADS, active fault plans). The daemon captures this once per
+/// request, at request scope, and workers execute from the snapshot — a job
+/// must never re-read process globals at whatever later moment a worker
+/// thread picks it up.
+struct ExecProfile {
+  exec::ExecOptions exec;
+  sim::MachineOptions machine;
+
+  static ExecProfile capture();
+};
+
+enum class JobOp {
+  kCompile,  ///< compile (or fetch) the plan; no execution, no admission
+  kRun,      ///< compile/fetch, admit against the global budget, execute
+};
+
+struct JobRequest {
+  std::string id;                ///< client-chosen; echoed in the result
+  std::string tenant = "default";
+  JobOp op = JobOp::kCompile;
+  std::string source;            ///< HPF program text
+  compiler::CompileOptions options;  ///< budget + optimizer knobs
+  int max_iters = 10;            ///< stencil plans: max Jacobi sweeps
+  double residual_tol = 0.0;     ///< stencil plans: early-stop threshold
+  /// Process-global knobs captured when the request was accepted.
+  ExecProfile profile;
+};
+
+struct JobResult {
+  std::string id;
+  std::string tenant;
+  PlanKey key;
+  bool cache_hit = false;        ///< plan served without running the compiler
+  int plan_count = 0;
+  std::int64_t memory_budget_elements = 0;  ///< per-processor, post-default
+  std::int64_t footprint_elements = 0;      ///< nprocs × per-processor budget
+  double admission_wait_s = 0.0;
+  double sim_time_s = 0.0;       ///< op=run: simulated makespan
+  double wall_time_s = 0.0;      ///< op=run: host wall clock of the region
+  std::uint64_t io_requests = 0; ///< op=run: physical LAF requests
+  /// op=run: FNV-1a fingerprint over (name, column-major bytes) of every
+  /// output array — stencil plans fingerprint the live half of the
+  /// ping-pong pair. Equal fingerprints == bit-identical results.
+  std::uint64_t result_hash = 0;
+  int stencil_iterations = 0;
+  double stencil_residual = 0.0;
+};
+
+/// Executes one job end to end. `tenant_root` is the tenant's private LAF
+/// tree; the job creates (and removes) a job-private subdirectory in it.
+/// Throws oocc::Error on parse/compile/execution failure.
+JobResult run_job(const JobRequest& req, PlanCache& cache,
+                  AdmissionController& admission,
+                  const std::filesystem::path& tenant_root);
+
+/// The per-processor default budget rule shared with oocc_compile, applied
+/// when the request leaves memory_budget_elements at 0.
+/// (Declared in hash.hpp as default_memory_budget.)
+
+}  // namespace oocc::serve

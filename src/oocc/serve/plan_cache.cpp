@@ -1,0 +1,118 @@
+#include "oocc/serve/plan_cache.hpp"
+
+#include <chrono>
+#include <set>
+
+namespace oocc::serve {
+
+std::vector<std::string> collect_output_arrays(
+    std::span<const compiler::NodeProgram> plans) {
+  std::set<std::string> outputs;
+  for (const compiler::NodeProgram& plan : plans) {
+    for (const auto& [name, pa] : plan.arrays) {
+      if (pa.is_output) {
+        outputs.insert(name);
+      }
+    }
+  }
+  return {outputs.begin(), outputs.end()};
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::get_or_compile(
+    const PlanKey& key, const CompileFn& compile, bool* served_from_cache) {
+  std::promise<std::shared_ptr<const CachedPlan>> promise;
+  Flight flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      flight = it->second;
+      // A published entry is ready immediately; an in-flight one makes
+      // this caller a joiner. Distinguish for the stats without blocking
+      // under the lock.
+      if (flight.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        ++stats_.hits;
+      } else {
+        ++stats_.inflight_waits;
+      }
+    } else {
+      owner = true;
+      ++stats_.misses;
+      flight = promise.get_future().share();
+      flights_.emplace(key, flight);
+    }
+  }
+  if (served_from_cache != nullptr) {
+    *served_from_cache = !owner;
+  }
+
+  if (!owner) {
+    return flight.get();  // rethrows the owner's compile error, if any
+  }
+
+  try {
+    auto entry = std::make_shared<CachedPlan>();
+    entry->key = key;
+    entry->plans = compile();
+    entry->output_arrays = collect_output_arrays(
+        std::span<const compiler::NodeProgram>(entry->plans.data(),
+                                               entry->plans.size()));
+    promise.set_value(entry);
+    return entry;
+  } catch (...) {
+    // Publish the failure to every joiner, then forget the key so a later
+    // request retries instead of replaying a stale exception forever.
+    promise.set_exception(std::current_exception());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.failures;
+      flights_.erase(key);
+    }
+    throw;
+  }
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::lookup(const PlanKey& key) const {
+  Flight flight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = flights_.find(key);
+    if (it == flights_.end() ||
+        it->second.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+      return nullptr;
+    }
+    flight = it->second;
+  }
+  try {
+    return flight.get();
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Only drop settled flights; erasing an in-flight future here would be
+  // harmless (the owner holds its own promise) but would break the
+  // single-flight guarantee for concurrent requesters.
+  for (auto it = flights_.begin(); it != flights_.end();) {
+    if (it->second.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      it = flights_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = flights_.size();
+  return s;
+}
+
+}  // namespace oocc::serve

@@ -1,0 +1,85 @@
+// Thread-safe, single-flight cache of compiled-and-verified plans.
+//
+// The compile server's whole throughput argument rests on compiling a
+// program once and serving the verified NodeProgram sequence to every
+// later request with the same PlanKey. Three properties matter:
+//
+//  * thread safety — worker threads hit the cache concurrently;
+//  * single flight — N concurrent requests for the same missing key run
+//    the compiler exactly once; the other N-1 block on the first compile
+//    and share its result (tests assert "no duplicate lowering");
+//  * verified-once — compile_sequence stamps NodeProgram::verified, and the
+//    cache stores the stamped plans, so a cache hit skips both lowering
+//    and re-verification (the executor never re-checks stamped plans).
+//
+// Entries are immutable once published (shared_ptr<const CachedPlan>), so
+// any number of concurrent executions may walk the same step trees.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "oocc/compiler/plan.hpp"
+#include "oocc/serve/hash.hpp"
+
+namespace oocc::serve {
+
+/// One compiled program sequence, immutable after publication.
+struct CachedPlan {
+  PlanKey key;
+  std::vector<compiler::NodeProgram> plans;
+  /// Array names no statement of the sequence reads before writing — the
+  /// pure outputs; precomputed so job setup need not rescan the plans.
+  std::vector<std::string> output_arrays;
+};
+
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;           ///< served from a published entry
+    std::uint64_t misses = 0;         ///< ran the compiler
+    std::uint64_t inflight_waits = 0; ///< joined another thread's compile
+    std::uint64_t failures = 0;       ///< compiles that threw
+    std::size_t entries = 0;
+  };
+
+  using CompileFn = std::function<std::vector<compiler::NodeProgram>()>;
+
+  /// Returns the cached plans for `key`, compiling at most once across all
+  /// concurrent callers. On compile failure the error propagates to every
+  /// waiter of that flight and the key is forgotten, so a later request
+  /// retries (the failure may have been transient, e.g. budget-dependent).
+  /// `served_from_cache`, when non-null, reports whether this caller got an
+  /// existing flight (published or joined) rather than running the compiler.
+  std::shared_ptr<const CachedPlan> get_or_compile(
+      const PlanKey& key, const CompileFn& compile,
+      bool* served_from_cache = nullptr);
+
+  /// Lookup without compiling; nullptr when absent or still in flight.
+  std::shared_ptr<const CachedPlan> lookup(const PlanKey& key) const;
+
+  /// Drops every published entry (bench cold-path control). In-flight
+  /// compiles are unaffected and publish into the cleared map.
+  void clear();
+
+  Stats stats() const;
+
+ private:
+  using Flight = std::shared_future<std::shared_ptr<const CachedPlan>>;
+
+  mutable std::mutex mu_;
+  std::map<PlanKey, Flight> flights_;
+  Stats stats_;
+};
+
+/// Fills CachedPlan::output_arrays: arrays some plan writes (is_output).
+std::vector<std::string> collect_output_arrays(
+    std::span<const compiler::NodeProgram> plans);
+
+}  // namespace oocc::serve

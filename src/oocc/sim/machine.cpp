@@ -1,5 +1,6 @@
 #include "oocc/sim/machine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -191,8 +192,19 @@ io::AsyncEngine* SpmdContext::async_engine() noexcept {
 
 Machine::~Machine() = default;
 
+MachineOptions MachineOptions::from_env() {
+  MachineOptions o;
+  o.async = env_flag_or("OOCC_ASYNC", true);
+  o.io_threads = static_cast<int>(env_int("OOCC_IO_THREADS", 0));
+  return o;
+}
+
 Machine::Machine(int nprocs, MachineCostModel cost_model)
-    : nprocs_(nprocs), cost_(cost_model) {
+    : Machine(nprocs, cost_model, MachineOptions::from_env()) {}
+
+Machine::Machine(int nprocs, MachineCostModel cost_model,
+                 MachineOptions options)
+    : nprocs_(nprocs), cost_(cost_model), options_(options) {
   OOCC_REQUIRE(nprocs >= 1, "machine needs at least 1 processor, got "
                                 << nprocs);
   mailboxes_.reserve(static_cast<std::size_t>(nprocs));
@@ -224,11 +236,14 @@ RunReport Machine::run(const std::function<void(SpmdContext&)>& body) {
     }
   }
 
-  // Lazily bring up the real async I/O engine (kill switch: OOCC_ASYNC=0
-  // falls back to fully synchronous I/O bit-identically).
-  if (engine_ == nullptr && env_flag_or("OOCC_ASYNC", true)) {
-    engine_ = std::make_unique<io::AsyncEngine>(
-        io::AsyncEngine::default_threads(nprocs_));
+  // Lazily bring up the real async I/O engine from the knobs captured at
+  // construction time — run() itself never consults the environment, so a
+  // server can pin each job to the snapshot it was admitted under.
+  if (engine_ == nullptr && options_.async) {
+    const int threads = options_.io_threads > 0
+                            ? std::min(options_.io_threads, 64)
+                            : std::max(1, std::min(nprocs_, 4));
+    engine_ = std::make_unique<io::AsyncEngine>(threads);
   }
   const io::AsyncEngine::Counters engine_before =
       engine_ != nullptr ? engine_->counters() : io::AsyncEngine::Counters{};

@@ -218,22 +218,43 @@ class SpmdContext {
   ProcStats stats_;
 };
 
+/// Process-global knobs a Machine snapshots at construction. Long-lived
+/// hosts (the compile server) capture these once per request via
+/// `from_env()` — a job must see the knob values of the process state it
+/// was admitted under, not whatever the globals happen to say when a worker
+/// thread finally calls run().
+struct MachineOptions {
+  /// Bring up the real async I/O engine (kill switch: OOCC_ASYNC=0 falls
+  /// back to fully synchronous host I/O bit-identically).
+  bool async = true;
+  /// Engine worker threads; 0 = the built-in default min(nprocs, 4).
+  int io_threads = 0;
+
+  /// Snapshot of OOCC_ASYNC / OOCC_IO_THREADS.
+  static MachineOptions from_env();
+};
+
 /// The simulated machine. Construct once with a processor count and cost
 /// model; `run()` may be invoked repeatedly (each run starts from clock 0).
 class Machine {
  public:
+  /// Captures MachineOptions::from_env() — the environment is read here,
+  /// once, never again during run().
   Machine(int nprocs, MachineCostModel cost_model);
+  Machine(int nprocs, MachineCostModel cost_model, MachineOptions options);
   ~Machine();
 
   int nprocs() const noexcept { return nprocs_; }
   const MachineCostModel& cost() const noexcept { return cost_; }
+  const MachineOptions& options() const noexcept { return options_; }
 
   /// Runs `body(ctx)` on every simulated processor, one host thread each.
   /// Rethrows the lowest-rank exception if any rank fails.
   ///
-  /// Unless OOCC_ASYNC=0, the machine lazily creates its async I/O engine
-  /// on the first run (OOCC_IO_THREADS workers, default min(nprocs, 4));
-  /// RunReport::async carries the engine activity of this region.
+  /// Unless options().async is off, the machine lazily creates its async
+  /// I/O engine on the first run (options().io_threads workers, default
+  /// min(nprocs, 4)); RunReport::async carries the engine activity of this
+  /// region.
   RunReport run(const std::function<void(SpmdContext&)>& body);
 
  private:
@@ -243,6 +264,7 @@ class Machine {
 
   int nprocs_;
   MachineCostModel cost_;
+  MachineOptions options_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::unique_ptr<io::AsyncEngine> engine_;
 };

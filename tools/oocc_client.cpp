@@ -1,0 +1,314 @@
+// oocc-client — submit compile/run jobs to a running oocc-serve daemon.
+//
+//   oocc-client --socket <path> [options]
+//
+// Options:
+//   --op compile|run       request kind (default compile)
+//   --builtin NAME         gaxpy | elementwise | stencil (default gaxpy)
+//   --n N --p P            builtin program size / processor count
+//   --program <file>       send an HPF source file instead of a builtin
+//   --memory N             per-processor compile budget (0 = server default)
+//   --prefetch[=auto]      prefetch knob, like oocc-compile
+//   --no-fuse              disable statement fusion
+//   --iters K --tol X      stencil run controls
+//   --reps R               send the request R times per tenant (default 1)
+//   --tenants T            T concurrent tenant connections, named t0..tT-1
+//                          (default 1); each sends R requests serially
+//   --min-hit-rate X       exit nonzero unless cache_hit responses / total
+//                          >= X (CI warm-cache assertion)
+//   --stats                fetch and print server stats when done
+//   --shutdown             send op=shutdown when done
+//   --quiet                suppress per-response lines
+//
+// Exit status: 0 when every response was ok, every op=run response across
+// all tenants and reps carried the same result_hash (bit-identity), and
+// the hit-rate floor (if any) held; 1 otherwise.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "oocc/serve/json.hpp"
+#include "oocc/util/error.hpp"
+
+namespace {
+
+using oocc::serve::Json;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: oocc-client --socket PATH [--op compile|run] "
+               "[--builtin NAME] [--n N] [--p P] [--program FILE] "
+               "[--memory N] [--prefetch[=auto]] [--no-fuse] [--iters K] "
+               "[--tol X] [--reps R] [--tenants T] [--min-hit-rate X] "
+               "[--stats] [--shutdown] [--quiet]\n");
+}
+
+/// One connected Unix-domain socket with line-framed request/response.
+class Conn {
+ public:
+  explicit Conn(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    OOCC_CHECK(fd_ >= 0, oocc::ErrorCode::kIoError,
+               "socket() failed: " << std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    OOCC_CHECK(path.size() < sizeof(addr.sun_path),
+               oocc::ErrorCode::kInvalidArgument,
+               "socket path too long: " << path);
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    OOCC_CHECK(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+               oocc::ErrorCode::kIoError,
+               "connect(" << path << ") failed: " << std::strerror(errno));
+  }
+  ~Conn() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  void send_line(const std::string& line) {
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                               MSG_NOSIGNAL);
+      OOCC_CHECK(n > 0, oocc::ErrorCode::kIoError,
+                 "send failed: " << std::strerror(errno));
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string recv_line() {
+    std::size_t pos;
+    while ((pos = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      OOCC_CHECK(n > 0, oocc::ErrorCode::kIoError,
+                 "server closed the connection");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::string line = buffer_.substr(0, pos);
+    buffer_.erase(0, pos + 1);
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string op = "compile";
+  std::string builtin = "gaxpy";
+  std::string program_file;
+  std::int64_t n = 64;
+  int p = 4;
+  std::int64_t memory = 0;
+  std::string prefetch = "off";
+  bool fuse = true;
+  int iters = 10;
+  double tol = 0.0;
+  int reps = 1;
+  int tenants = 1;
+  double min_hit_rate = -1.0;
+  bool want_stats = false;
+  bool want_shutdown = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(arg, "--op") == 0 && i + 1 < argc) {
+      op = argv[++i];
+    } else if (std::strcmp(arg, "--builtin") == 0 && i + 1 < argc) {
+      builtin = argv[++i];
+    } else if (std::strcmp(arg, "--program") == 0 && i + 1 < argc) {
+      program_file = argv[++i];
+    } else if (std::strcmp(arg, "--n") == 0 && i + 1 < argc) {
+      n = std::atoll(argv[++i]);
+    } else if (std::strcmp(arg, "--p") == 0 && i + 1 < argc) {
+      p = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--memory") == 0 && i + 1 < argc) {
+      memory = std::atoll(argv[++i]);
+    } else if (std::strcmp(arg, "--prefetch") == 0) {
+      prefetch = "on";
+    } else if (std::strcmp(arg, "--prefetch=auto") == 0) {
+      prefetch = "auto";
+    } else if (std::strcmp(arg, "--no-fuse") == 0) {
+      fuse = false;
+    } else if (std::strcmp(arg, "--iters") == 0 && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--tol") == 0 && i + 1 < argc) {
+      tol = std::atof(argv[++i]);
+    } else if (std::strcmp(arg, "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--tenants") == 0 && i + 1 < argc) {
+      tenants = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--min-hit-rate") == 0 && i + 1 < argc) {
+      min_hit_rate = std::atof(argv[++i]);
+    } else if (std::strcmp(arg, "--stats") == 0) {
+      want_stats = true;
+    } else if (std::strcmp(arg, "--shutdown") == 0) {
+      want_shutdown = true;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      usage();
+      return 2;
+    }
+  }
+  if (socket_path.empty() || reps < 1 || tenants < 1) {
+    usage();
+    return 2;
+  }
+
+  std::string program;
+  if (!program_file.empty()) {
+    std::ifstream in(program_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", program_file.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    program = buffer.str();
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::atomic<int> ok_count{0};
+  std::atomic<int> error_count{0};
+  std::atomic<int> hit_count{0};
+  std::mutex mu;
+  std::set<std::string> result_hashes;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        Conn conn(socket_path);
+        for (int r = 0; r < reps; ++r) {
+          Json req = Json::object();
+          req.set("id", "t" + std::to_string(t) + "-" + std::to_string(r));
+          req.set("tenant", "t" + std::to_string(t));
+          req.set("op", op);
+          if (!program.empty()) {
+            req.set("program", program);
+          } else {
+            req.set("builtin", builtin);
+            req.set("n", n);
+            req.set("p", p);
+          }
+          if (memory > 0) {
+            req.set("memory", memory);
+          }
+          req.set("prefetch", prefetch);
+          req.set("fuse", fuse);
+          req.set("iters", iters);
+          req.set("tol", tol);
+          conn.send_line(req.dump());
+          const std::string line = conn.recv_line();
+          const Json res = Json::parse(line);
+          if (!quiet) {
+            std::lock_guard<std::mutex> lock(mu);
+            std::printf("%s\n", line.c_str());
+          }
+          if (res.get_bool("ok", false)) {
+            ok_count.fetch_add(1);
+            if (res.get_bool("cache_hit", false)) {
+              hit_count.fetch_add(1);
+            }
+            const std::string hash = res.get_string("result_hash", "");
+            if (!hash.empty()) {
+              std::lock_guard<std::mutex> lock(mu);
+              result_hashes.insert(hash);
+            }
+          } else {
+            error_count.fetch_add(1);
+            std::lock_guard<std::mutex> lock(mu);
+            std::fprintf(stderr, "error response: %s\n", line.c_str());
+          }
+        }
+      } catch (const oocc::Error& e) {
+        error_count.fetch_add(1);
+        std::lock_guard<std::mutex> lock(mu);
+        std::fprintf(stderr, "tenant t%d: %s\n", t, e.what());
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (want_stats || want_shutdown) {
+    try {
+      Conn conn(socket_path);
+      if (want_stats) {
+        conn.send_line("{\"op\":\"stats\"}");
+        std::printf("%s\n", conn.recv_line().c_str());
+      }
+      if (want_shutdown) {
+        conn.send_line("{\"op\":\"shutdown\"}");
+        std::printf("%s\n", conn.recv_line().c_str());
+      }
+    } catch (const oocc::Error& e) {
+      std::fprintf(stderr, "control connection: %s\n", e.what());
+      error_count.fetch_add(1);
+    }
+  }
+
+  const int total = tenants * reps;
+  const double hit_rate =
+      total > 0 ? static_cast<double>(hit_count.load()) / total : 0.0;
+  std::printf(
+      "client: sent %d, ok %d, errors %d, cache hits %d (%.0f%%), distinct "
+      "result hashes %zu, %.2fs, %.2f programs/s\n",
+      total, ok_count.load(), error_count.load(), hit_count.load(),
+      100.0 * hit_rate, result_hashes.size(), elapsed,
+      elapsed > 0.0 ? total / elapsed : 0.0);
+
+  if (error_count.load() != 0) {
+    return 1;
+  }
+  if (op == "run" && result_hashes.size() > 1) {
+    std::fprintf(stderr,
+                 "bit-identity violation: %zu distinct result hashes\n",
+                 result_hashes.size());
+    return 1;
+  }
+  if (min_hit_rate >= 0.0 && hit_rate < min_hit_rate) {
+    std::fprintf(stderr, "hit rate %.2f below floor %.2f\n", hit_rate,
+                 min_hit_rate);
+    return 1;
+  }
+  return 0;
+}

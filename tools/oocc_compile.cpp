@@ -24,6 +24,14 @@
 //   --iters <k>            stencil --run: max Jacobi sweeps (default 10)
 //   --tol <x>              stencil --run: stop when the global max |update|
 //                          drops to x (default 0 = run all sweeps)
+//   --hash                 print the canonical plan-cache key (the same
+//                          PlanKey oocc-serve uses: program hash + compile
+//                          knobs) and exit without compiling
+//   --result-hash          with --run: print the FNV-1a fingerprint of the
+//                          output arrays (serve::hash_named_array, the
+//                          same fingerprint oocc-serve responses carry in
+//                          "result_hash") so serve results can be checked
+//                          bit-for-bit against a serial run
 //   --ast                  print the parsed program and exit
 //   --dump-plan            print the step-level slab-program IR and its
 //                          step-walking I/O price (uncached and with the
@@ -66,6 +74,8 @@
 #include "oocc/gaxpy/gaxpy.hpp"
 #include "oocc/hpf/parser.hpp"
 #include "oocc/hpf/programs.hpp"
+#include "oocc/serve/hash.hpp"
+#include "oocc/serve/job.hpp"
 #include "oocc/sim/collectives.hpp"
 #include "oocc/util/faults.hpp"
 
@@ -78,17 +88,20 @@ void usage() {
                "[--no-fuse] [--prefetch[=auto]] [--no-prefetch] "
                "[--no-cache] [--no-async] [--stencil[=N[,P]]] [--iters K] "
                "[--tol X] "
+               "[--hash] [--result-hash] "
                "[--ast] [--dump-plan] [--dump-verify] [--no-verify] "
                "[--run] [--verify] [--faults=PLAN] [--checkpoint-every K] "
                "[--restarts N]\n");
 }
 
+// Deterministic input generators, shared with the compile server (serve/
+// job.cpp) so a server run and a CLI run see bit-identical inputs.
 double gen_a(std::int64_t r, std::int64_t c) {
-  return 1.0 + 1e-3 * static_cast<double>((r * 31 + c * 7) % 101);
+  return oocc::serve::input_gen_a(r, c);
 }
 
 double gen_b(std::int64_t r, std::int64_t c) {
-  return -0.5 + 1e-3 * static_cast<double>((r * 13 + c * 3) % 97);
+  return oocc::serve::input_gen_b(r, c);
 }
 
 /// Machine-greppable fault-tolerance counter line (soak.sh parses it).
@@ -116,6 +129,8 @@ int main(int argc, char** argv) {
 
   std::string path;
   std::int64_t memory = 0;
+  bool hash_only = false;
+  bool result_hash = false;
   bool ast_only = false;
   bool dump_plan = false;
   bool dump_verify = false;
@@ -174,6 +189,10 @@ int main(int argc, char** argv) {
       use_cache = false;
     } else if (std::strcmp(arg, "--no-async") == 0) {
       use_async = false;
+    } else if (std::strcmp(arg, "--hash") == 0) {
+      hash_only = true;
+    } else if (std::strcmp(arg, "--result-hash") == 0) {
+      result_hash = true;
     } else if (std::strcmp(arg, "--ast") == 0) {
       ast_only = true;
     } else if (std::strcmp(arg, "--dump-plan") == 0) {
@@ -252,16 +271,22 @@ int main(int argc, char** argv) {
     const hpf::BoundProgram bound = hpf::analyze(hpf::parse(source));
     if (memory == 0) {
       // Default: a quarter of the largest local array, i.e. genuinely
-      // out-of-core, plus room for the reduction temporary.
-      std::int64_t largest = 0;
-      for (const auto& [name, info] : bound.arrays) {
-        largest = std::max(largest, info.dist.local_elements(0));
-      }
-      memory = largest / 4 + 4 * (largest > 0 ? bound.arrays.begin()
-                                                    ->second.rows
-                                              : 1);
+      // out-of-core, plus room for the reduction temporary. The rule lives
+      // in serve/hash.cpp so a budget-less server request lands on the
+      // same cache key as the equivalent CLI invocation.
+      memory = serve::default_memory_budget(bound);
     }
     options.memory_budget_elements = memory;
+
+    if (hash_only) {
+      // The canonical plan-cache key: what oocc-serve would store this
+      // compile under. One line, greppable, stable across reformatting of
+      // the source program.
+      std::printf("%s\n", serve::make_plan_key(bound, options)
+                              .to_string()
+                              .c_str());
+      return 0;
+    }
 
     const std::vector<compiler::NodeProgram> plans =
         compiler::compile_sequence(bound, options);
@@ -340,6 +365,7 @@ int main(int argc, char** argv) {
     std::vector<double> result;
     runtime::SlabCacheStats cache_stats;
     exec::StencilRunInfo stencil_info;
+    std::uint64_t result_fingerprint = 0;
     std::mutex stats_mu;
     // Arrays never written by any statement are the pure inputs.
     std::set<std::string> outputs;
@@ -457,6 +483,29 @@ int main(int argc, char** argv) {
             result = std::move(state);
           }
         }
+        if (result_hash) {
+          // The serve-compatible output fingerprint: stencil plans hash the
+          // live half of the ping-pong pair, everything else hashes every
+          // pure output in sorted name order (collective: all ranks gather).
+          std::vector<std::string> to_hash;
+          if (plan.kind == compiler::ProgramKind::kStencil) {
+            to_hash.push_back(local_info.result);
+          } else {
+            to_hash.assign(outputs.begin(), outputs.end());
+          }
+          std::uint64_t h = serve::kFnvOffsetBasis;
+          for (const std::string& name : to_hash) {
+            const std::vector<double> global =
+                arrays.at(name)->gather_global(ctx, memory);
+            if (ctx.rank() == 0) {
+              h = serve::hash_named_array(name, global, h);
+            }
+          }
+          if (ctx.rank() == 0) {
+            std::lock_guard<std::mutex> lock(stats_mu);
+            result_fingerprint = h;
+          }
+        }
       });
       if (faults_installed) {
         print_fault_line(faults::FaultInjector::instance().stats(), report,
@@ -490,6 +539,11 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(cache_stats.evictions),
           static_cast<unsigned long long>(cache_stats.writebacks),
           static_cast<double>(cache_stats.elements_hit) * 8.0 / 1e6);
+    }
+
+    if (result_hash && checkpoint_every == 0) {
+      std::printf("result hash: 0x%016llx\n",
+                  static_cast<unsigned long long>(result_fingerprint));
     }
 
     if (plan.kind == compiler::ProgramKind::kStencil) {

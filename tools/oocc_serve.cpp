@@ -1,0 +1,96 @@
+// oocc-serve — the plan-cache compile server daemon.
+//
+//   oocc-serve --socket <path> [options]
+//   oocc-serve --stdio [options]
+//
+// Options:
+//   --socket <path>   listen on a Unix-domain socket (newline-delimited
+//                     JSON requests; see docs/serve.md for the schema)
+//   --stdio           serve requests from stdin, responses to stdout — the
+//                     same protocol without the socket (tests, one-shots)
+//   --budget <elems>  global admission budget in elements fair-shared
+//                     across tenants (default 4194304); a job's footprint
+//                     is nprocs × its per-processor compile budget
+//   --workers <n>     worker threads executing jobs (default: min(8,
+//                     2×cores)); socket mode only — stdio is serial
+//   --work-root <dir> root of the per-tenant LAF trees (default: a private
+//                     temp dir removed on shutdown)
+//
+// The daemon exits after an op=shutdown request (or EOF in --stdio mode)
+// and prints one "serve:" stats line on stderr. Process-global knobs
+// (OOCC_ASYNC, OOCC_NO_VERIFY, OOCC_NO_CACHE, OOCC_JOURNAL,
+// OOCC_IO_THREADS) are captured per request, at request scope — a queued
+// job runs under the environment of its admission, not its execution.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "oocc/serve/server.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: oocc-serve (--socket PATH | --stdio) [--budget N] "
+               "[--workers N] [--work-root DIR]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oocc;
+
+  std::string socket_path;
+  bool stdio = false;
+  int workers = 0;
+  serve::ServerOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(arg, "--stdio") == 0) {
+      stdio = true;
+    } else if (std::strcmp(arg, "--budget") == 0 && i + 1 < argc) {
+      options.total_budget_elements = std::atoll(argv[++i]);
+    } else if (std::strcmp(arg, "--workers") == 0 && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--work-root") == 0 && i + 1 < argc) {
+      options.work_root = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      usage();
+      return 2;
+    }
+  }
+  if (socket_path.empty() && !stdio) {
+    usage();
+    return 2;
+  }
+
+  // A client that disconnects mid-job must not kill the daemon via a write
+  // to the dead socket (serve_socket also passes MSG_NOSIGNAL; this covers
+  // any other stray pipe).
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    serve::Server server(options);
+    if (stdio) {
+      serve_stdio(server, std::cin, std::cout);
+    } else {
+      std::fprintf(stderr, "oocc-serve: listening on %s\n",
+                   socket_path.c_str());
+      const int connections =
+          serve::serve_socket(server, socket_path, workers);
+      std::fprintf(stderr, "oocc-serve: served %d connection(s)\n",
+                   connections);
+    }
+    std::fprintf(stderr, "%s\n", server.stats_line().c_str());
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

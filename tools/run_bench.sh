@@ -16,7 +16,10 @@
 # routing path. The async-overlap bench also honours OOCC_ASYNC,
 # OOCC_IO_THREADS, OOCC_HOST_IO_DELAY_US and OOCC_BENCH_REPS; the emitted
 # env dict records those plus the host CPU count and sanitizer mode, since
-# wall-clock numbers only mean something relative to the machine.
+# wall-clock numbers only mean something relative to the machine. The
+# serve_throughput bench reports a programs/sec column (cold compile vs
+# warm plan-cache serving, plus multi-tenant execution) and honours
+# OOCC_SERVE_REQS / OOCC_SERVE_REPS.
 set -euo pipefail
 
 OUT="BENCH_results.json"
@@ -46,7 +49,7 @@ BENCHES=("$@")
 if [ ${#BENCHES[@]} -eq 0 ]; then
   BENCHES=(table1_row_vs_col table2_memory_alloc fig10_slab_variation \
            two_phase_io redistribution fusion_chain cache_reuse \
-           stencil_sweep async_overlap)
+           stencil_sweep async_overlap serve_throughput)
 fi
 
 WORK="$(mktemp -d)"
