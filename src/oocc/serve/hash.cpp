@@ -39,25 +39,39 @@ std::int64_t default_memory_budget(const hpf::BoundProgram& bound) {
          4 * (largest > 0 ? bound.arrays.begin()->second.rows : 1);
 }
 
+std::uint64_t cost_model_fingerprint(
+    const io::DiskModel& disk,
+    const sim::MachineCostModel& machine) noexcept {
+  const double params[] = {disk.request_overhead_s,
+                           disk.per_proc_bandwidth_Bps,
+                           disk.aggregate_bandwidth_Bps,
+                           machine.comm.send_overhead_s,
+                           machine.comm.latency_s,
+                           machine.comm.bandwidth_Bps,
+                           machine.compute.seconds_per_flop};
+  return fnv1a64(
+      std::string_view(reinterpret_cast<const char*>(params), sizeof(params)));
+}
+
 bool PlanKey::operator<(const PlanKey& o) const {
   const auto tie = [](const PlanKey& k) {
     return std::tuple(k.program_hash, k.nprocs, k.memory_budget_elements,
                       static_cast<int>(k.memory_strategy), k.access_reorg,
                       k.storage_reorg, k.fuse, static_cast<int>(k.prefetch),
-                      k.verify);
+                      k.verify, k.cost_model_hash);
   };
   return tie(*this) < tie(o);
 }
 
 std::uint64_t PlanKey::digest() const noexcept {
-  char buf[160];
+  char buf[192];
   const int n = std::snprintf(
-      buf, sizeof(buf), "%016llx|%d|%lld|%d|%d|%d|%d|%d|%d",
+      buf, sizeof(buf), "%016llx|%d|%lld|%d|%d|%d|%d|%d|%d|%016llx",
       static_cast<unsigned long long>(program_hash), nprocs,
       static_cast<long long>(memory_budget_elements),
       static_cast<int>(memory_strategy), access_reorg ? 1 : 0,
       storage_reorg ? 1 : 0, fuse ? 1 : 0, static_cast<int>(prefetch),
-      verify ? 1 : 0);
+      verify ? 1 : 0, static_cast<unsigned long long>(cost_model_hash));
   return fnv1a64(std::string_view(buf, static_cast<std::size_t>(n)));
 }
 
@@ -73,6 +87,9 @@ std::string PlanKey::to_string() const {
       << " fuse=" << (fuse ? "on" : "off")
       << " prefetch=" << compiler::prefetch_mode_name(prefetch)
       << " verify=" << (verify ? "on" : "off");
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(cost_model_hash));
+  oss << " cost=" << hex;
   return oss.str();
 }
 
@@ -98,6 +115,7 @@ PlanKey make_plan_key(const hpf::BoundProgram& bound,
   key.fuse = options.enable_statement_fusion;
   key.prefetch = options.prefetch;
   key.verify = options.verify;
+  key.cost_model_hash = cost_model_fingerprint(options.disk, options.machine);
   return key;
 }
 

@@ -8,7 +8,10 @@
 // comments and directive ordering but sensitive to N, P, distribution kind
 // and statement changes. The config half carries the optimizer knobs
 // (budget, memory strategy, reorganization/fusion switches, prefetch mode,
-// verify). `oocc_compile --hash` prints the same key, so clients and tests
+// verify) plus a fingerprint of the disk and machine cost models — both
+// feed lowering decisions (e.g. PrefetchMode::kAuto prices the prefetch
+// variant), so two requests under different calibrations must not share a
+// plan. `oocc_compile --hash` prints the same key, so clients and tests
 // can predict cache behaviour without talking to the server.
 #pragma once
 
@@ -39,6 +42,12 @@ std::uint64_t canonical_program_hash(const hpf::BoundProgram& bound);
 /// same cache key as the equivalent CLI invocation.
 std::int64_t default_memory_budget(const hpf::BoundProgram& bound);
 
+/// FNV-1a over the numeric parameters of the disk + machine cost models.
+/// Part of the PlanKey: the pricer consults both models during lowering,
+/// so plans compiled under different calibrations are distinct.
+std::uint64_t cost_model_fingerprint(
+    const io::DiskModel& disk, const sim::MachineCostModel& machine) noexcept;
+
 /// The full cache key: canonical program hash plus the compile
 /// configuration that shapes the emitted plans.
 struct PlanKey {
@@ -52,6 +61,8 @@ struct PlanKey {
   bool fuse = true;
   compiler::PrefetchMode prefetch = compiler::PrefetchMode::kOff;
   bool verify = true;
+  /// cost_model_fingerprint of CompileOptions::disk + ::machine.
+  std::uint64_t cost_model_hash = 0;
 
   bool operator==(const PlanKey&) const = default;
   bool operator<(const PlanKey& o) const;

@@ -34,8 +34,10 @@ namespace oocc::serve {
 struct CachedPlan {
   PlanKey key;
   std::vector<compiler::NodeProgram> plans;
-  /// Array names no statement of the sequence reads before writing — the
-  /// pure outputs; precomputed so job setup need not rescan the plans.
+  /// Arrays written by any plan of the sequence (is_output), including
+  /// ones also read (in-place / staged updates); every array NOT listed
+  /// here is a pure input that job setup must initialize. Precomputed so
+  /// job setup need not rescan the plans.
   std::vector<std::string> output_arrays;
 };
 

@@ -30,7 +30,11 @@ std::string hex64(std::uint64_t v) {
   return buf;
 }
 
-/// Tenant names become directory components; keep them boring.
+/// Tenant names become directory components; keep them boring. '/' and
+/// every other non-portable character map to '_', so the result is always
+/// a single path component; a leading '.' also maps to '_' so "." and ".."
+/// (which would resolve outside the work root and later be remove_all'd by
+/// the job DirGuard) and hidden directories are impossible by construction.
 std::string sanitize_tenant(const std::string& tenant) {
   std::string out;
   for (const char c : tenant) {
@@ -41,6 +45,9 @@ std::string sanitize_tenant(const std::string& tenant) {
   }
   if (out.empty()) {
     out = "default";
+  }
+  if (out.front() == '.') {
+    out.front() = '_';
   }
   return out;
 }
@@ -349,6 +356,24 @@ struct Connection {
       off += static_cast<std::size_t>(n);
     }
   }
+
+  /// Unblocks a reader parked in recv() on an idle client (daemon
+  /// shutdown): half-close the read side; pending responses still flush.
+  /// write_mu guards against racing close_fd — shutting down a recycled
+  /// fd number would hit an unrelated descriptor.
+  void shutdown_read() {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (!closed.load(std::memory_order_acquire)) {
+      ::shutdown(fd, SHUT_RD);
+    }
+  }
+
+  /// Final close, owned by the reader thread once its drain completes.
+  void close_fd() {
+    std::lock_guard<std::mutex> lock(write_mu);
+    closed.store(true, std::memory_order_release);
+    ::close(fd);
+  }
 };
 
 struct WorkItem {
@@ -451,6 +476,7 @@ int serve_socket(Server& server, const std::filesystem::path& socket_path,
 
   int connections = 0;
   std::vector<std::thread> readers;
+  std::vector<std::shared_ptr<Connection>> conns;  // main-thread only
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
@@ -459,6 +485,7 @@ int serve_socket(Server& server, const std::filesystem::path& socket_path,
     ++connections;
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    conns.push_back(conn);
     readers.emplace_back([&server, &queue, conn] {
       std::string buffer;
       char chunk[4096];
@@ -487,13 +514,18 @@ int serve_socket(Server& server, const std::filesystem::path& socket_path,
       while (conn->pending.load(std::memory_order_acquire) > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
-      conn->closed.store(true, std::memory_order_release);
-      ::close(conn->fd);
+      conn->close_fd();
     });
   }
 
   accepting.store(false, std::memory_order_release);
   shutdown_watch.join();
+  // The listener is closed, so no new connections arrive; readers parked
+  // in recv() on clients that sent nothing would otherwise block the join
+  // loop forever — half-close every live connection to wake them.
+  for (const auto& conn : conns) {
+    conn->shutdown_read();
+  }
   for (std::thread& t : readers) {
     t.join();
   }

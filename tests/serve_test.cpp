@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -78,6 +79,15 @@ TEST(ServeHash, PlanKeyCapturesKnobs) {
   compiler::CompileOptions o4 = o;
   o4.memory_budget_elements += 1;
   EXPECT_NE(base, make_plan_key(bound, o4));
+
+  // The cost models feed lowering decisions (kAuto prefetch pricing), so a
+  // recalibrated disk or machine must land on a different key.
+  compiler::CompileOptions o5 = o;
+  o5.disk.request_overhead_s *= 2.0;
+  EXPECT_NE(base, make_plan_key(bound, o5));
+  compiler::CompileOptions o6 = o;
+  o6.machine = sim::MachineCostModel::zero();
+  EXPECT_NE(base, make_plan_key(bound, o6));
 
   EXPECT_NE(base.to_string().find("p=2"), std::string::npos);
 }
@@ -315,6 +325,33 @@ TEST(Server, MalformedRequestsGetErrorResponsesAndServerSurvives) {
       "{\"op\":\"compile\",\"builtin\":\"stencil\",\"n\":32,\"p\":2}");
   EXPECT_TRUE(good.get_bool("ok", false)) << good.dump();
   EXPECT_EQ(server.cache().stats().misses, 1u);
+}
+
+TEST(Server, HostileTenantNamesStayInsideWorkRoot) {
+  // A tenant of ".." must not resolve to the parent of the work root: job
+  // directories are created — and recursively removed — under tenant
+  // roots, so an escape would let a request delete siblings of the root.
+  io::TempDir outer("oocc-serve-tenant");
+  const std::filesystem::path root = outer.file("work");
+  const std::filesystem::path sentinel = outer.file("job-0");
+  std::filesystem::create_directories(sentinel);
+  ServerOptions opts;
+  opts.work_root = root;
+  Server server(opts);
+  const Json res = server.handle_line(
+      "{\"op\":\"run\",\"tenant\":\"..\",\"builtin\":\"stencil\","
+      "\"n\":32,\"p\":2,\"iters\":2,\"id\":\"evil\"}");
+  EXPECT_TRUE(res.get_bool("ok", false)) << res.dump();
+  EXPECT_TRUE(std::filesystem::exists(sentinel))
+      << "a '..' tenant escaped the work root and deleted a sibling dir";
+  EXPECT_TRUE(std::filesystem::exists(root / "_."))
+      << "'..' should sanitize to a plain component under the work root";
+  std::size_t entries = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator(outer.path())) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 2u) << "unexpected residue next to the work root";
 }
 
 TEST(Server, CompileOpsSkipAdmissionButRunOpsAreBounded) {
@@ -557,6 +594,31 @@ TEST(ServeSocket, SurvivesMidJobDisconnect) {
   // mid-compile (common under TSan, where compiles are slow).
   const PlanCache::Stats cs = server.cache().stats();
   EXPECT_GE(cs.misses + cs.hits + cs.inflight_waits, 2u);
+}
+
+TEST(ServeSocket, ShutdownUnblocksIdleConnections) {
+  io::TempDir dir("oocc-serve-idle");
+  const std::string path = dir.file("serve.sock").string();
+  Server server(ServerOptions{});
+  std::thread daemon([&] { serve_socket(server, path, 2); });
+  int idle = -1;
+  for (int i = 0; i < 1000 && idle < 0; ++i) {
+    std::this_thread::sleep_for(10ms);
+    idle = sock::connect_to(path);
+  }
+  ASSERT_GE(idle, 0) << "daemon did not come up";
+
+  // `idle` never sends a byte, so its reader thread is parked in recv().
+  // A shutdown from a second client must still terminate the daemon
+  // (regression: the join loop used to block until idle clients hung up).
+  const int fd = sock::connect_to(path);
+  ASSERT_GE(fd, 0);
+  sock::send_line(fd, "{\"op\":\"shutdown\",\"id\":\"bye\"}");
+  const Json bye = Json::parse(sock::recv_line(fd));
+  EXPECT_TRUE(bye.get_bool("shutdown", false));
+  ::close(fd);
+  daemon.join();
+  ::close(idle);
 }
 
 }  // namespace
