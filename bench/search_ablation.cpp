@@ -1,0 +1,226 @@
+// Plan search vs heuristics: priced and simulated makespan of the
+// cost-model-driven global plan search (compiler/search.hpp, --opt=search)
+// against the default heuristic lowering, on the two workload families the
+// search has real room in:
+//
+//   chain    a 2-statement elementwise chain whose second statement reads
+//            three extra arrays: the heuristic's fuse-everything plan
+//            shares the slab budget across all five arrays (narrow slabs,
+//            many requests), while the search's fusion partitions find
+//            that running the statements separately — wider slabs, one
+//            extra pass over the intermediate — is strictly cheaper on a
+//            request-dominated disk;
+//   stencil  the Jacobi sweep at a budget that is not a multiple of
+//            4*rows: the heuristic's width w = budget/(4 rows) - d leaves
+//            a ragged tail slab, and the search's width enumeration finds
+//            the divisor width w = cols/2 that fits the same working-set
+//            bound with one fewer slab per sweep.
+//
+// For each workload and P the bench compiles both ways, prices both plan
+// sets with the exact sequence pricer (the search's own objective), runs
+// both on the simulated Touchstone Delta, and checks bit-identity of the
+// outputs. It exits nonzero unless the searched plan strictly wins —
+// priced AND simulated — on at least one chain and one stencil
+// configuration (CI runs this in the release smoke job).
+#include "bench_common.hpp"
+
+#include <set>
+
+#include "oocc/compiler/lower.hpp"
+#include "oocc/compiler/search.hpp"
+#include "oocc/exec/interp.hpp"
+#include "oocc/hpf/programs.hpp"
+
+namespace {
+
+using namespace oocc;
+
+std::string chain_source(std::int64_t n, int p) {
+  return "parameter (n=" + std::to_string(n) + ", p=" + std::to_string(p) +
+         ")\n"
+         "real x(n,n), y(n,n), u(n,n), v(n,n), w(n,n)\n"
+         "!hpf$ processors Pr(p)\n"
+         "!hpf$ template d(n)\n"
+         "!hpf$ distribute d(block) onto Pr\n"
+         "!hpf$ align (*,:) with d :: x, y, u, v, w\n"
+         "forall (k=1:n)\n"
+         "  y(1:n,k) = x(1:n,k)*2 + 1\n"
+         "end forall\n"
+         "forall (k=1:n)\n"
+         "  w(1:n,k) = y(1:n,k)*u(1:n,k) + v(1:n,k)\n"
+         "end forall\n"
+         "end\n";
+}
+
+struct ModeResult {
+  double priced_s = 0.0;
+  double sim_time_s = 0.0;
+  std::uint64_t laf_requests = 0;
+  std::vector<double> output;  ///< gathered final output (rank 0)
+};
+
+ModeResult run_mode(const std::vector<compiler::NodeProgram>& plans,
+                    const compiler::CompileOptions& options, int p,
+                    const std::string& output_array) {
+  ModeResult result;
+  result.priced_s = compiler::priced_sequence_makespan_s(
+      std::span<const compiler::NodeProgram>(plans.data(), plans.size()),
+      options.disk, options.machine);
+
+  io::TempDir dir("oocc-search-bench");
+  sim::Machine machine(p, options.machine);
+  std::mutex mu;
+  sim::RunReport report = machine.run([&](sim::SpmdContext& ctx) {
+    auto arrays = exec::create_sequence_arrays(
+        ctx,
+        std::span<const compiler::NodeProgram>(plans.data(), plans.size()),
+        dir.path(), options.disk);
+    std::set<std::string> outputs;
+    for (const compiler::NodeProgram& plan : plans) {
+      for (const auto& [name, pa] : plan.arrays) {
+        if (pa.is_output) {
+          outputs.insert(name);
+        }
+      }
+    }
+    for (auto& [name, arr] : arrays) {
+      if (!outputs.contains(name)) {
+        arr->initialize(
+            ctx,
+            [](std::int64_t r, std::int64_t c) {
+              return 1.0 + 1e-3 * static_cast<double>((r * 31 + c * 7) % 101);
+            },
+            1 << 16);
+      }
+      arr->laf().reset_stats();
+    }
+    sim::barrier(ctx);
+    ctx.reset_accounting();
+    exec::ArrayBindings bindings;
+    for (auto& [name, arr] : arrays) {
+      bindings[name] = arr.get();
+    }
+    exec::ExecOptions exec_options;
+    exec_options.max_iters = 1;
+    exec::execute_sequence(
+        ctx,
+        std::span<const compiler::NodeProgram>(plans.data(), plans.size()),
+        bindings, exec_options);
+    std::vector<double> out =
+        arrays.at(output_array)->gather_global(ctx, 1 << 16);
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto& [name, arr] : arrays) {
+      const io::IoStats& s = arr->laf().stats();
+      result.laf_requests += s.read_requests + s.write_requests;
+    }
+    if (ctx.rank() == 0) {
+      result.output = std::move(out);
+    }
+  });
+  result.sim_time_s = report.max_sim_time_s();
+  return result;
+}
+
+struct Comparison {
+  bool priced_win = false;
+  bool measured_win = false;
+  bool identical = false;
+};
+
+Comparison compare(const std::string& source, std::int64_t budget, int p,
+                   const std::string& output_array,
+                   oocc::TextTable& table, const std::string& label) {
+  compiler::CompileOptions options;
+  options.memory_budget_elements = budget;
+  options.disk = io::DiskModel::touchstone_delta_cfs();
+  options.machine = sim::MachineCostModel::touchstone_delta();
+
+  const std::vector<compiler::NodeProgram> heuristic =
+      compiler::compile_sequence_source(source, options);
+  compiler::CompileOptions sopt = options;
+  sopt.opt = compiler::OptMode::kSearch;
+  compiler::SearchResult searched =
+      compiler::search_sequence_source(source, sopt);
+
+  const ModeResult h = run_mode(heuristic, options, p, output_array);
+  const ModeResult s = run_mode(searched.plans, options, p, output_array);
+
+  Comparison c;
+  c.priced_win = s.priced_s < h.priced_s;
+  c.measured_win = s.sim_time_s < h.sim_time_s;
+  c.identical = h.output == s.output && !h.output.empty();
+  table.add_row({label, std::to_string(p), std::to_string(budget),
+                 format_fixed(h.priced_s, 4),
+                 format_fixed(s.priced_s, 4),
+                 format_fixed(h.sim_time_s, 4),
+                 format_fixed(s.sim_time_s, 4),
+                 std::to_string(h.laf_requests),
+                 std::to_string(s.laf_requests),
+                 c.priced_win && c.measured_win
+                     ? (c.identical ? "win" : "MISMATCH")
+                     : "-"});
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  using namespace oocc;
+  using namespace oocc::bench;
+
+  const std::int64_t n = bench_n(512);
+  print_header(
+      "Plan search vs heuristics: priced + simulated makespan ablation");
+  std::printf("chain: 2-statement elementwise (5 arrays); stencil: Jacobi "
+              "sweep; N = %lld\n\n",
+              static_cast<long long>(n));
+
+  TextTable table({"workload", "P", "budget", "heur priced (s)",
+                         "search priced (s)", "heur sim (s)",
+                         "search sim (s)", "heur reqs", "search reqs",
+                         "verdict"});
+  bool chain_win = false;
+  bool stencil_win = false;
+  bool all_identical = true;
+  bool all_ordered = true;
+  for (int p : bench_procs()) {
+    if (p > n) {
+      continue;
+    }
+    const std::int64_t local = n * ((n + p - 1) / p);
+    // Chain: budget around half a local array — the fused sweep splits it
+    // five ways, so the per-array slabs are narrow and the run is
+    // request-bound, which is exactly the regime where unfusing wins.
+    const Comparison chain = compare(chain_source(n, p), local / 2, p, "w",
+                                     table, "chain");
+    chain_win = chain_win || (chain.priced_win && chain.measured_win &&
+                              chain.identical);
+    all_identical = all_identical && chain.identical;
+    all_ordered = all_ordered && chain.priced_win;
+
+    // Stencil: 2*local + 2n is deliberately NOT a multiple of 4*rows, so
+    // the heuristic width w = budget/(4 rows) - d truncates below the
+    // divisor width cols/2 that the search's enumeration finds — same
+    // working-set bound, one fewer (ragged-tail) slab per sweep.
+    const Comparison stencil = compare(hpf::stencil_source(n, p),
+                                       2 * local + 2 * n, p, "b", table,
+                                       "stencil");
+    stencil_win = stencil_win || (stencil.priced_win &&
+                                  stencil.measured_win && stencil.identical);
+    all_identical = all_identical && stencil.identical;
+    all_ordered = all_ordered && stencil.priced_win;
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  const bool ok = chain_win && stencil_win && all_identical;
+  std::printf(
+      "shape check (search strictly beats heuristics, priced and "
+      "simulated, on >=1 chain and >=1 stencil; outputs bit-identical): "
+      "%s\n",
+      ok ? "OK" : "FAILED");
+  if (!all_ordered) {
+    std::printf("note: search priced no better than heuristic on some "
+                "configurations (never worse is guaranteed; strictly "
+                "better is workload-dependent)\n");
+  }
+  return ok ? 0 : 1;
+}

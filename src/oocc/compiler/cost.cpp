@@ -1,6 +1,7 @@
 #include "oocc/compiler/cost.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <optional>
 #include <sstream>
 
@@ -201,6 +202,7 @@ class CacheSim {
     double hint = -1.0;
     std::uint64_t last_use = 0;
     bool dirty = false;
+    bool prefetched = false;
     int pins = 0;
   };
 
@@ -209,15 +211,24 @@ class CacheSim {
   /// Sections written back by an operation, to be charged by the caller.
   using WriteBacks = std::vector<std::pair<std::string, io::Section>>;
 
-  /// Demand read: returns true on a hit. Either way the requested section
-  /// ends pinned and resident (assembled entries mirror the pool's copies).
-  bool acquire_read(const std::string& array, const io::Section& s,
-                    double hint, WriteBacks& wb) {
+  /// What a demand read found. kPrefetched mirrors the pool's double-buffer
+  /// accounting: the bytes did move (charged at read-ahead issue), so the
+  /// demand acquire is neither a charged read nor a counted hit.
+  enum class ReadResult { kMiss, kHit, kPrefetched };
+
+  /// Demand read. Either way the requested section ends pinned and
+  /// resident (assembled entries mirror the pool's copies).
+  ReadResult acquire_read(const std::string& array, const io::Section& s,
+                          double hint, WriteBacks& wb) {
     if (Entry* e = find_exact(array, s)) {
       e->last_use = ++tick_;
       e->hint = hint;
       ++e->pins;
-      return true;
+      if (e->prefetched) {
+        e->prefetched = false;
+        return ReadResult::kPrefetched;
+      }
+      return ReadResult::kHit;
     }
     const std::vector<io::Section> sources = covering_sections(array, s);
     if (!sources.empty()) {
@@ -231,13 +242,35 @@ class CacheSim {
       for (const io::Section& src : sources) {
         adjust_pins(array, src, -1);
       }
-      return true;
+      return ReadResult::kHit;
     }
     // Miss: the pool writes back dirty entries overlapping the request
     // before reading the disk (the read must see current data).
     flush_overlapping_dirty(array, s, wb);
     insert(array, s, hint, wb).pins = 1;
-    return false;
+    return ReadResult::kMiss;
+  }
+
+  /// Mirror of SlabBufferPool::resident: exact entry or assemblable cover.
+  bool resident(const std::string& array, const io::Section& s) {
+    return !covering_sections(array, s).empty();
+  }
+
+  /// Mirror of SlabBufferPool::read_ahead: inserts an unpinned prefetched
+  /// entry only when the spare room holds it — a read-ahead never evicts.
+  /// Returns false (queue stalls) when the pool is full. The caller charges
+  /// the disk read on success.
+  bool read_ahead(const std::string& array, const io::Section& s,
+                  double hint, WriteBacks& wb) {
+    if (resident(array, s)) {
+      return true;
+    }
+    if (used_ + s.elements() > capacity_) {
+      return false;
+    }
+    flush_overlapping_dirty(array, s, wb);
+    insert(array, s, hint, wb).prefetched = true;
+    return true;
   }
 
   /// Staging for a write: drops (write-back first) other overlapping
@@ -519,6 +552,15 @@ class StepPricer {
     std::vector<std::pair<std::string, io::Section>> pinned;
     /// Halo entries dropped at iteration end (mirror of the executor).
     std::vector<std::pair<std::string, io::Section>> transient;
+    /// Read-ahead mirror of the executor's per-loop IoScheduler: the
+    /// upcoming input-slab schedule, pumped after each demand read.
+    struct PrefReq {
+      std::string array;
+      io::Section section;
+      double hint;
+    };
+    std::deque<PrefReq> queue;
+    int lookahead = 0;
   };
 
   /// The same batching core the executor's OwnedColumnWriter wraps, minus
@@ -597,6 +639,26 @@ class StepPricer {
     switch (step.kind) {
       case StepKind::kForEachSlab: {
         LoopState& loop = state(step.loop);
+        if (cache_ != nullptr && loop.decl->prefetch) {
+          // Mirror of the executor's schedule hand-off: every pure-input
+          // ReadSlab stream of this loop, every slab, in demand order.
+          loop.queue.clear();
+          loop.lookahead = 0;
+          std::vector<const Step*> reads;
+          for (const Step& s : step.body) {
+            if (s.kind == StepKind::kReadSlab &&
+                !plan_.array(s.array).is_output) {
+              reads.push_back(&s);
+              ++loop.lookahead;
+            }
+          }
+          for (std::int64_t i = 0; i < loop.iter.count(); ++i) {
+            for (const Step* s : reads) {
+              loop.queue.push_back(LoopState::PrefReq{
+                  s->array, loop.iter.section(i), s->reuse_distance});
+            }
+          }
+        }
         for (std::int64_t i = 0; i < loop.iter.count(); ++i) {
           loop.index = i;
           loop.section = loop.iter.section(i);
@@ -685,27 +747,71 @@ class StepPricer {
                       : loop.section;
     if (cache_ != nullptr) {
       CacheSim::WriteBacks wb;
-      const bool hit =
+      const CacheSim::ReadResult r =
           cache_->acquire_read(step.array, s, step.reuse_distance, wb);
       charge_writebacks(wb);
       loop.pinned.emplace_back(step.array, s);
       if (step.halo > 0) {
         loop.transient.emplace_back(step.array, s);
       }
-      if (hit) {
+      if (r == CacheSim::ReadResult::kHit) {
         price_.cache_hits += 1.0;
         price_.elements_avoided += static_cast<double>(s.elements());
-        return;
+      } else if (r == CacheSim::ReadResult::kMiss) {
+        charge(step.array, s, /*is_read=*/true);
       }
+      if (loop.decl->prefetch) {
+        pump(loop);
+      }
+      return;
     }
     charge(step.array, s, /*is_read=*/true);
     if (loop.decl->prefetch && loop.index > 0) {
+      // Cache-off path: the PrefetchingSlabReader double-buffers every
+      // stream, so all but the first slab's read overlaps compute.
       const PlanArray& pa = plan_.array(step.array);
       price_.overlappable_read_requests +=
           static_cast<double>(io::section_extent_count(
               s, pa.dist.local_rows(proc_), pa.dist.local_cols(proc_),
               pa.storage));
       price_.overlappable_read_elements += static_cast<double>(s.elements());
+    }
+  }
+
+  /// Mirror of IoScheduler::pump: pop satisfied requests, then issue
+  /// read-aheads until `lookahead` upcoming requests are resident or the
+  /// pool has no spare room. Each issued read is charged here (the bytes
+  /// move now) and counted overlappable (it runs behind the compute).
+  void pump(LoopState& loop) {
+    while (!loop.queue.empty() &&
+           cache_->resident(loop.queue.front().array,
+                            loop.queue.front().section)) {
+      loop.queue.pop_front();
+    }
+    int in_flight = 0;
+    for (const LoopState::PrefReq& r : loop.queue) {
+      if (in_flight >= loop.lookahead) {
+        break;
+      }
+      if (cache_->resident(r.array, r.section)) {
+        ++in_flight;
+        continue;
+      }
+      CacheSim::WriteBacks wb;
+      const bool issued = cache_->read_ahead(r.array, r.section, r.hint, wb);
+      charge_writebacks(wb);
+      if (!issued) {
+        break;  // no spare room; try again after the next demand read
+      }
+      charge(r.array, r.section, /*is_read=*/true);
+      const PlanArray& pa = resolve_array(r.array);
+      price_.overlappable_read_requests +=
+          static_cast<double>(io::section_extent_count(
+              r.section, pa.dist.local_rows(proc_),
+              pa.dist.local_cols(proc_), pa.storage));
+      price_.overlappable_read_elements +=
+          static_cast<double>(r.section.elements());
+      ++in_flight;
     }
   }
 
@@ -723,15 +829,17 @@ class StepPricer {
     const auto price_edge = [&](const io::Section& sec) {
       if (cache_ != nullptr) {
         CacheSim::WriteBacks wb;
-        const bool hit =
+        const CacheSim::ReadResult r =
             cache_->acquire_read(step.array, sec, step.reuse_distance, wb);
         charge_writebacks(wb);
         cache_->unpin(step.array, sec);
-        if (hit) {
+        if (r == CacheSim::ReadResult::kHit) {
           price_.cache_hits += 1.0;
           price_.elements_avoided += static_cast<double>(sec.elements());
-          return;
+        } else if (r == CacheSim::ReadResult::kMiss) {
+          charge(step.array, sec, /*is_read=*/true);
         }
+        return;
       }
       charge(step.array, sec, /*is_read=*/true);
     };

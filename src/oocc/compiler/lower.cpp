@@ -7,7 +7,9 @@
 #include <sstream>
 
 #include "oocc/compiler/access.hpp"
+#include "oocc/compiler/lower_internal.hpp"
 #include "oocc/compiler/pretty.hpp"
+#include "oocc/compiler/search.hpp"
 #include "oocc/compiler/verify.hpp"
 #include "oocc/hpf/parser.hpp"
 #include "oocc/util/error.hpp"
@@ -154,6 +156,14 @@ Step barrier_step() {
   return s;
 }
 
+}  // namespace
+
+// Emission hooks shared with the global plan search (lower_internal.hpp):
+// the searcher's candidates are re-emitted by the exact routines the
+// heuristic pipeline uses, so every searched plan is a plan this file
+// could have produced.
+namespace detail {
+
 /// Builds the GAXPY step program for the plan's chosen orientation: the
 /// exact loop nests of Figure 9 (column slabs, A re-swept per output
 /// column) and Figure 12 (row slabs, A fetched exactly once).
@@ -284,6 +294,39 @@ void finish_elementwise_plan(NodeProgram& plan, const CompileOptions& options,
   }
   plan.steps.push_back(for_each_slab("S", std::move(body)));
 }
+
+/// Whether `next` can join a fused group whose sweep geometry is `head`'s:
+/// both are communication-free elementwise plans whose sweeps cover
+/// identically distributed sections, and the union of arrays still fits
+/// the memory budget at one column per buffer.
+bool can_fuse(const NodeProgram& head, const NodeProgram& next,
+              const CompileOptions& options,
+              std::size_t union_array_count) {
+  if (head.kind != ProgramKind::kElementwise ||
+      next.kind != ProgramKind::kElementwise) {
+    return false;
+  }
+  const PlanArray& a = head.array(head.statements.front().lhs);
+  const PlanArray& b = next.array(next.statements.front().lhs);
+  if (!(a.dist == b.dist) || a.storage != b.storage ||
+      a.orientation != b.orientation) {
+    return false;
+  }
+  // Conservative capacity check: every buffer (plus a second one per array
+  // when prefetching — assumed for kAuto too) must still hold one column.
+  const std::int64_t buffers =
+      static_cast<std::int64_t>(union_array_count) *
+      (options.prefetch != PrefetchMode::kOff ? 2 : 1);
+  return options.memory_budget_elements / buffers >= a.dist.local_rows(0);
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::can_fuse;
+using detail::emit_gaxpy_steps;
+using detail::finish_elementwise_plan;
 
 /// Matches `do j=1,n { forall(k=1:n) temp(:,k)=b(k,j)*a(:,k); c(:,j)=SUM(temp,2) }`.
 std::optional<GaxpyMatch> match_gaxpy(const BoundProgram& program) {
@@ -1052,31 +1095,6 @@ NodeProgram lower_elementwise(const BoundProgram& program,
 
 // ----------------------------------------------------------- slab fusion
 
-/// Whether `next` can join a fused group whose sweep geometry is `head`'s:
-/// both are communication-free elementwise plans whose sweeps cover
-/// identically distributed sections, and the union of arrays still fits
-/// the memory budget at one column per buffer.
-bool can_fuse(const NodeProgram& head, const NodeProgram& next,
-              const CompileOptions& options,
-              std::size_t union_array_count) {
-  if (head.kind != ProgramKind::kElementwise ||
-      next.kind != ProgramKind::kElementwise) {
-    return false;
-  }
-  const PlanArray& a = head.array(head.statements.front().lhs);
-  const PlanArray& b = next.array(next.statements.front().lhs);
-  if (!(a.dist == b.dist) || a.storage != b.storage ||
-      a.orientation != b.orientation) {
-    return false;
-  }
-  // Conservative capacity check: every buffer (plus a second one per array
-  // when prefetching — assumed for kAuto too) must still hold one column.
-  const std::int64_t buffers =
-      static_cast<std::int64_t>(union_array_count) *
-      (options.prefetch != PrefetchMode::kOff ? 2 : 1);
-  return options.memory_budget_elements / buffers >= a.dist.local_rows(0);
-}
-
 /// Merges consecutive fusable elementwise plans into single sweeps.
 std::vector<NodeProgram> fuse_statement_plans(std::vector<NodeProgram> plans,
                                               const CompileOptions& options) {
@@ -1207,6 +1225,16 @@ std::string_view prefetch_mode_name(PrefetchMode m) noexcept {
   return "?";
 }
 
+std::string_view opt_mode_name(OptMode m) noexcept {
+  switch (m) {
+    case OptMode::kHeuristic:
+      return "heuristic";
+    case OptMode::kSearch:
+      return "search";
+  }
+  return "?";
+}
+
 NodeProgram compile(const BoundProgram& program,
                     const CompileOptions& options) {
   OOCC_REQUIRE(options.memory_budget_elements >= 1,
@@ -1252,6 +1280,12 @@ NodeProgram compile_source(std::string_view source,
 
 std::vector<NodeProgram> compile_sequence(const BoundProgram& program,
                                           const CompileOptions& options) {
+  if (options.opt == OptMode::kSearch) {
+    // Global plan search: the searcher compiles the heuristic baseline
+    // (with a kHeuristic copy of these options), enumerates the joint knob
+    // space, and returns the min-priced verified candidate sequence.
+    return search_sequence(program, options).plans;
+  }
   // A single statement (including the GAXPY nest) goes through compile();
   // statement dependencies in longer sequences flow through the arrays'
   // Local Array Files, so every statement lowers independently.

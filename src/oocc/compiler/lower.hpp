@@ -31,6 +31,16 @@ enum class PrefetchMode {
 
 std::string_view prefetch_mode_name(PrefetchMode m) noexcept;
 
+/// Plan optimizer mode.
+enum class OptMode {
+  kHeuristic,  ///< per-statement local decisions (the historical pipeline)
+  kSearch      ///< global plan search: enumerate slab sizes, memory shares,
+               ///< prefetch and fusion groupings, minimize the priced
+               ///< makespan of the whole sequence (compiler/search.hpp)
+};
+
+std::string_view opt_mode_name(OptMode m) noexcept;
+
 struct CompileOptions {
   /// Per-processor node memory available for ICLAs, in elements.
   std::int64_t memory_budget_elements = 1 << 20;
@@ -63,6 +73,19 @@ struct CompileOptions {
   /// Machine model for the end-to-end (compute + communication) time
   /// predictions recorded in the decision report.
   sim::MachineCostModel machine = sim::MachineCostModel::touchstone_delta();
+
+  /// Plan optimizer: kHeuristic keeps the per-statement local decisions
+  /// above; kSearch runs the global plan search (compiler/search.hpp),
+  /// which enumerates the joint knob space and returns the min-priced
+  /// verified candidate. Only compile_sequence consults this; the search
+  /// itself compiles its candidates with a kHeuristic copy.
+  OptMode opt = OptMode::kHeuristic;
+
+  /// kSearch only: coordinate-descent passes over the sequence segments.
+  /// Pass 1 explores each segment against the heuristic rest; later passes
+  /// re-visit segments against the improved context. More passes cost more
+  /// candidate pricings and can only improve the priced makespan.
+  int search_passes = 2;
 
   /// Run the static verifier (compiler/verify.hpp) on every emitted plan
   /// and throw Error(kVerifyError) on a violation. On by default: a plan

@@ -1,0 +1,35 @@
+// Lowering internals shared with the global plan search.
+//
+// The searcher (compiler/search.cpp) re-emits candidate layouts by calling
+// back into the same emission routines lowering uses, so a searched plan is
+// always a plan the heuristic pipeline *could* have produced — same step
+// shapes, same invariants, same verifier coverage. These hooks are an
+// implementation detail of the compiler, not public API; only search.cpp
+// and lower.cpp include this header.
+#pragma once
+
+#include "oocc/compiler/lower.hpp"
+
+namespace oocc::compiler::detail {
+
+/// Re-divides the budget among an elementwise (possibly fused) plan's
+/// buffers and re-emits its loops and steps. `plan.statements` and
+/// `plan.arrays` must already be populated; throws
+/// Error(kResourceExhausted) when one column per buffer does not fit
+/// options.memory_budget_elements. Re-runnable: the --prefetch=auto pass
+/// and the searcher build several layouts from one plan.
+void finish_elementwise_plan(NodeProgram& plan, const CompileOptions& options,
+                             bool enable_prefetch);
+
+/// Rebuilds a GAXPY plan's loops and steps from its current orientation,
+/// memory plan and prefetch flag (Figure 9 column sweep or Figure 12 row
+/// sweep). Re-runnable for the same reason.
+void emit_gaxpy_steps(NodeProgram& plan);
+
+/// Whether `next` can join a fused group headed by `head`: both elementwise,
+/// identically distributed/stored/oriented sweeps, and the union of arrays
+/// still holds one column per buffer within the budget.
+bool can_fuse(const NodeProgram& head, const NodeProgram& next,
+              const CompileOptions& options, std::size_t union_array_count);
+
+}  // namespace oocc::compiler::detail

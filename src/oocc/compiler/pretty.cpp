@@ -1,5 +1,6 @@
 #include "oocc/compiler/pretty.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 #include "oocc/util/error.hpp"
@@ -336,6 +337,43 @@ std::string decision_report(const NodeProgram& plan) {
   }
   if (!plan.cost.prefetch_rationale.empty()) {
     oss << "prefetch: " << plan.cost.prefetch_rationale << "\n";
+  }
+  return oss.str();
+}
+
+std::string search_report_text(const SearchReport& report) {
+  std::ostringstream oss;
+  char buf[64];
+  const auto secs = [&](double s) {
+    std::snprintf(buf, sizeof(buf), "%.6f", s);
+    return std::string(buf);
+  };
+  oss << "statements: " << report.statements << ", segments: "
+      << report.segments << ", passes: " << report.passes << "\n";
+  oss << "candidates: " << report.enumerated << " enumerated, "
+      << report.priced << " priced, " << report.verified << " verified\n";
+  oss << "heuristic baseline: " << secs(report.heuristic_priced_s)
+      << " s priced makespan\n";
+  oss << "chosen: " << secs(report.chosen_priced_s) << " s priced makespan ("
+      << report.chosen << ")\n";
+  for (const SearchCandidate& c : report.candidates) {
+    oss << "  [pass " << c.pass << "]";
+    if (c.segment >= 0) {
+      oss << " seg " << c.segment + 1;
+    }
+    oss << " " << c.describe;
+    if (c.priced) {
+      oss << ": " << secs(c.priced_s) << " s";
+    }
+    if (c.adopted) {
+      oss << "  << adopted";
+    } else if (!c.rejected.empty()) {
+      oss << "  (rejected: " << c.rejected << ")";
+    }
+    oss << "\n";
+  }
+  for (const std::string& d : report.not_searchable) {
+    oss << d << "\n";
   }
   return oss.str();
 }

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "oocc/compiler/plan.hpp"
+#include "oocc/compiler/search.hpp"
 
 namespace oocc::compiler {
 
@@ -25,5 +26,11 @@ std::string step_program_text(const NodeProgram& plan);
 /// Renders one step (no children, no indent) exactly as a step_program_text
 /// line would. The verifier quotes this in its diagnostics.
 std::string step_text(const Step& step);
+
+/// Renders a plan-search decision record: space statistics, baseline vs
+/// chosen priced makespans, the adopted/rejected candidate log and the
+/// "not searchable" diagnostics. `oocc_compile --dump-search` prints it;
+/// formatting is deterministic so docs can embed the output verbatim.
+std::string search_report_text(const SearchReport& report);
 
 }  // namespace oocc::compiler

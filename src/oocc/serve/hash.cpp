@@ -58,7 +58,8 @@ bool PlanKey::operator<(const PlanKey& o) const {
     return std::tuple(k.program_hash, k.nprocs, k.memory_budget_elements,
                       static_cast<int>(k.memory_strategy), k.access_reorg,
                       k.storage_reorg, k.fuse, static_cast<int>(k.prefetch),
-                      k.verify, k.cost_model_hash);
+                      static_cast<int>(k.opt), k.search_passes, k.verify,
+                      k.cost_model_hash);
   };
   return tie(*this) < tie(o);
 }
@@ -66,12 +67,13 @@ bool PlanKey::operator<(const PlanKey& o) const {
 std::uint64_t PlanKey::digest() const noexcept {
   char buf[192];
   const int n = std::snprintf(
-      buf, sizeof(buf), "%016llx|%d|%lld|%d|%d|%d|%d|%d|%d|%016llx",
+      buf, sizeof(buf), "%016llx|%d|%lld|%d|%d|%d|%d|%d|%d|%d|%d|%016llx",
       static_cast<unsigned long long>(program_hash), nprocs,
       static_cast<long long>(memory_budget_elements),
       static_cast<int>(memory_strategy), access_reorg ? 1 : 0,
       storage_reorg ? 1 : 0, fuse ? 1 : 0, static_cast<int>(prefetch),
-      verify ? 1 : 0, static_cast<unsigned long long>(cost_model_hash));
+      static_cast<int>(opt), search_passes, verify ? 1 : 0,
+      static_cast<unsigned long long>(cost_model_hash));
   return fnv1a64(std::string_view(buf, static_cast<std::size_t>(n)));
 }
 
@@ -86,7 +88,11 @@ std::string PlanKey::to_string() const {
       << " storage-reorg=" << (storage_reorg ? "on" : "off")
       << " fuse=" << (fuse ? "on" : "off")
       << " prefetch=" << compiler::prefetch_mode_name(prefetch)
-      << " verify=" << (verify ? "on" : "off");
+      << " opt=" << compiler::opt_mode_name(opt);
+  if (opt == compiler::OptMode::kSearch) {
+    oss << " passes=" << search_passes;
+  }
+  oss << " verify=" << (verify ? "on" : "off");
   std::snprintf(hex, sizeof(hex), "%016llx",
                 static_cast<unsigned long long>(cost_model_hash));
   oss << " cost=" << hex;
@@ -114,6 +120,11 @@ PlanKey make_plan_key(const hpf::BoundProgram& bound,
   key.storage_reorg = options.enable_storage_reorganization;
   key.fuse = options.enable_statement_fusion;
   key.prefetch = options.prefetch;
+  key.opt = options.opt;
+  // search_passes only shapes kSearch plans; under kHeuristic the knob is
+  // dead, and folding it in would split the cache for identical plans.
+  key.search_passes =
+      options.opt == compiler::OptMode::kSearch ? options.search_passes : 0;
   key.verify = options.verify;
   key.cost_model_hash = cost_model_fingerprint(options.disk, options.machine);
   return key;

@@ -60,6 +60,12 @@ struct PlanKey {
   bool storage_reorg = true;
   bool fuse = true;
   compiler::PrefetchMode prefetch = compiler::PrefetchMode::kOff;
+  /// Plan optimizer: heuristic and searched plans for the same program are
+  /// different plans, so they must land on different cache entries.
+  compiler::OptMode opt = compiler::OptMode::kHeuristic;
+  /// Coordinate-descent rounds under kSearch. Normalized to 0 when opt is
+  /// kHeuristic (the knob is dead there and must not split the cache).
+  int search_passes = 0;
   bool verify = true;
   /// cost_model_fingerprint of CompileOptions::disk + ::machine.
   std::uint64_t cost_model_hash = 0;

@@ -134,6 +134,17 @@ JobRequest Server::parse_request(const std::string& line) const {
     OOCC_THROW(ErrorCode::kParseError,
                "unknown prefetch mode '" << prefetch << "'");
   }
+  const std::string opt = req.get_string("opt", "heuristic");
+  if (opt == "heuristic") {
+    o.opt = compiler::OptMode::kHeuristic;
+  } else if (opt == "search") {
+    o.opt = compiler::OptMode::kSearch;
+  } else {
+    OOCC_THROW(ErrorCode::kParseError,
+               "unknown optimizer mode '" << opt << "'");
+  }
+  o.search_passes =
+      static_cast<int>(req.get_int("search_passes", o.search_passes));
   o.verify = req.get_bool("verify", true);
 
   job.max_iters = static_cast<int>(req.get_int("iters", 10));

@@ -323,10 +323,12 @@ TEST(IoSchedulerTest, PumpsReadAheadInScheduleOrder) {
 TEST(AutoPrefetch, EnablesWhenComputeCanHideIo) {
   // Compute-heavy machine: the elementwise sweep's input reads overlap
   // with evaluation, so double-buffering pays and auto turns it on. The
-  // tight budget forces a genuinely multi-slab sweep (one slab would leave
-  // nothing to read ahead).
+  // budget forces a genuinely multi-slab sweep (one slab would leave
+  // nothing to read ahead) but leaves the pool spare room to issue the
+  // read-aheads: a read-ahead never evicts, so a budget the retained slabs
+  // saturate would starve the queue and auto would (correctly) decline.
   compiler::CompileOptions options;
-  options.memory_budget_elements = 512;
+  options.memory_budget_elements = 1024;
   options.prefetch = compiler::PrefetchMode::kAuto;
   options.disk = DiskModel::unit_test();
   options.machine = MachineCostModel::unit_test();

@@ -1,0 +1,36 @@
+// Seeded random HPF program generator for differential testing.
+//
+// generate_program(seed) is a pure function of the seed: same seed, same
+// program text, same budget — byte for byte. Programs are drawn from the
+// compiler's supported envelope (elementwise chains, GAXPY reduction
+// nests, halo stencils, and mixed chains around a GAXPY barrier) with
+// sizes, processor counts and memory budgets varied per seed, and budgets
+// chosen so the heuristic pipeline always lowers them (the search
+// harness's baseline must exist; *tight* budgets still exercise the
+// fusion-declines and share-scaling paths). The differential harness
+// (search_test.cpp) compiles each program under the heuristic and search
+// optimizers and proves them equivalent and cost-ordered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace oocc::progen {
+
+struct GeneratedProgram {
+  std::uint64_t seed = 0;
+  std::string source;    ///< HPF source text (hpf::parse-ready)
+  std::string describe;  ///< one line: shape, n, p, budget — for messages
+  std::int64_t n = 0;    ///< global array extent (square n x n arrays)
+  int nprocs = 1;
+  std::int64_t memory_budget_elements = 0;
+  int statements = 0;    ///< top-level statements in the sequence
+  bool has_gaxpy = false;
+  bool has_stencil = false;
+};
+
+/// Deterministically generates the seed's program. Every program compiles
+/// under default CompileOptions with the embedded memory budget.
+GeneratedProgram generate_program(std::uint64_t seed);
+
+}  // namespace oocc::progen

@@ -92,6 +92,38 @@ TEST(ServeHash, PlanKeyCapturesKnobs) {
   EXPECT_NE(base.to_string().find("p=2"), std::string::npos);
 }
 
+TEST(ServeHash, PlanKeyCapturesOptimizerMode) {
+  // Searched and heuristic plans can differ in every knob the key cannot
+  // see (slab sizes, fusion grouping, prefetch), so they must land on
+  // different cache entries — and a different search depth too.
+  const hpf::BoundProgram bound = analyze_source(hpf::gaxpy_source(32, 2));
+  compiler::CompileOptions o;
+  o.memory_budget_elements = default_memory_budget(bound);
+  const PlanKey heuristic = make_plan_key(bound, o);
+
+  compiler::CompileOptions s = o;
+  s.opt = compiler::OptMode::kSearch;
+  const PlanKey searched = make_plan_key(bound, s);
+  EXPECT_NE(heuristic, searched);
+  EXPECT_NE(heuristic.digest(), searched.digest());
+
+  compiler::CompileOptions deeper = s;
+  deeper.search_passes = s.search_passes + 3;
+  EXPECT_NE(searched, make_plan_key(bound, deeper));
+
+  // Under kHeuristic the search_passes knob is dead: folding it into the
+  // key would split the cache across identical plans.
+  compiler::CompileOptions h2 = o;
+  h2.search_passes = o.search_passes + 3;
+  EXPECT_EQ(heuristic, make_plan_key(bound, h2));
+
+  // The rendered key names the optimizer, and passes only when searching.
+  EXPECT_NE(searched.to_string().find("opt=search"), std::string::npos);
+  EXPECT_NE(searched.to_string().find("passes="), std::string::npos);
+  EXPECT_NE(heuristic.to_string().find("opt=heuristic"), std::string::npos);
+  EXPECT_EQ(heuristic.to_string().find("passes="), std::string::npos);
+}
+
 TEST(ServeHash, DefaultMemoryBudgetMatchesCliRule) {
   const hpf::BoundProgram bound = analyze_source(hpf::gaxpy_source(64, 4));
   std::int64_t largest = 0;

@@ -12,6 +12,14 @@
 //   --prefetch             double-buffer the dominant array's slabs
 //   --prefetch=auto        let price_steps + the disk model decide per plan
 //   --no-prefetch          force synchronous slab reads (the default)
+//   --opt=search           global plan search: enumerate slab sizes, memory
+//                          shares, prefetch and fusion groupings, keep the
+//                          min-priced verified plan (docs/plan-search.md)
+//   --opt=heuristic        the per-statement local decisions (the default)
+//   --search-passes <k>    --opt=search: coordinate-descent rounds (def. 2)
+//   --dump-search          print the plan-search decision record (implies
+//                          --opt=search): candidates priced, adopted knobs
+//                          and the structured "not searchable" diagnostics
 //   --no-cache             disable the runtime slab buffer pool (--run) —
 //                          reproduces the pre-pool executor exactly
 //   --no-async             disable the real async I/O engine (--run): all
@@ -68,6 +76,7 @@
 #include "oocc/apps/jacobi.hpp"
 #include "oocc/compiler/lower.hpp"
 #include "oocc/compiler/pretty.hpp"
+#include "oocc/compiler/search.hpp"
 #include "oocc/compiler/verify.hpp"
 #include "oocc/exec/checkpoint.hpp"
 #include "oocc/exec/interp.hpp"
@@ -86,6 +95,8 @@ void usage() {
                "usage: oocc-compile <program.hpf> [--memory N] "
                "[--equal-split] [--no-access-reorg] [--no-storage-reorg] "
                "[--no-fuse] [--prefetch[=auto]] [--no-prefetch] "
+               "[--opt=search|heuristic] [--search-passes K] "
+               "[--dump-search] "
                "[--no-cache] [--no-async] [--stencil[=N[,P]]] [--iters K] "
                "[--tol X] "
                "[--hash] [--result-hash] "
@@ -133,6 +144,7 @@ int main(int argc, char** argv) {
   bool result_hash = false;
   bool ast_only = false;
   bool dump_plan = false;
+  bool dump_search = false;
   bool dump_verify = false;
   bool run = false;
   bool verify = false;
@@ -185,6 +197,19 @@ int main(int argc, char** argv) {
       options.prefetch = compiler::PrefetchMode::kAuto;
     } else if (std::strcmp(arg, "--no-prefetch") == 0) {
       options.prefetch = compiler::PrefetchMode::kOff;
+    } else if (std::strcmp(arg, "--opt=search") == 0) {
+      options.opt = compiler::OptMode::kSearch;
+    } else if (std::strcmp(arg, "--opt=heuristic") == 0) {
+      options.opt = compiler::OptMode::kHeuristic;
+    } else if (std::strcmp(arg, "--search-passes") == 0 && i + 1 < argc) {
+      options.search_passes = std::atoi(argv[++i]);
+      if (options.search_passes < 1) {
+        std::fprintf(stderr, "bad --search-passes: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--dump-search") == 0) {
+      dump_search = true;
+      options.opt = compiler::OptMode::kSearch;
     } else if (std::strcmp(arg, "--no-cache") == 0) {
       use_cache = false;
     } else if (std::strcmp(arg, "--no-async") == 0) {
@@ -288,8 +313,21 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const std::vector<compiler::NodeProgram> plans =
-        compiler::compile_sequence(bound, options);
+    std::vector<compiler::NodeProgram> plans;
+    if (options.opt == compiler::OptMode::kSearch) {
+      // Call the searcher directly (rather than through compile_sequence's
+      // dispatch) so --dump-search can render the decision record.
+      compiler::SearchResult searched =
+          compiler::search_sequence(bound, options);
+      plans = std::move(searched.plans);
+      if (dump_search) {
+        std::printf(
+            "=== plan search ===\n%s\n",
+            compiler::search_report_text(searched.report).c_str());
+      }
+    } else {
+      plans = compiler::compile_sequence(bound, options);
+    }
     if (dump_verify) {
       const compiler::VerifyReport vreport = compiler::verify_sequence(
           std::span<const compiler::NodeProgram>(plans.data(), plans.size()));

@@ -49,7 +49,7 @@ BENCHES=("$@")
 if [ ${#BENCHES[@]} -eq 0 ]; then
   BENCHES=(table1_row_vs_col table2_memory_alloc fig10_slab_variation \
            two_phase_io redistribution fusion_chain cache_reuse \
-           stencil_sweep async_overlap serve_throughput)
+           stencil_sweep async_overlap serve_throughput search_ablation)
 fi
 
 WORK="$(mktemp -d)"
